@@ -1,0 +1,1055 @@
+//! The memory subsystem of the SMT simulator.
+//!
+//! Implements the cache hierarchy of Table 2 of Tullsen et al., ISCA 1996:
+//!
+//! | level | size  | assoc | line | banks | xfer | acc/cyc | fill | lat. to next |
+//! |-------|-------|-------|------|-------|------|---------|------|--------------|
+//! | I$    | 32 KB | DM    | 64 B | 8     | 1    | 1-4     | 2    | 6            |
+//! | D$    | 32 KB | DM    | 64 B | 8     | 1    | 4       | 2    | 6            |
+//! | L2    | 256 KB| 4-way | 64 B | 8     | 1    | 1       | 2    | 12           |
+//! | L3    | 2 MB  | DM    | 64 B | 1     | 4    | 1/4     | 8    | 62           |
+//!
+//! Caches are lockup-free (MSHRs with secondary-miss merging), banked with
+//! per-cycle port limits, and connected by buses with occupancy, so the
+//! "memory throughput" concern of the paper (Section 7) is modeled: requests
+//! experience queueing delays at busy banks and buses even though latencies
+//! are fixed. TLB misses cost two full memory accesses and consume no
+//! execution resources.
+//!
+//! The hierarchy is polled by the pipeline once per cycle:
+//!
+//! ```
+//! use smt_mem::{MemConfig, MemoryHierarchy, AccessResult};
+//! use smt_isa::ThreadId;
+//!
+//! let mut mem = MemoryHierarchy::new(MemConfig::default());
+//! mem.begin_cycle(0);
+//! match mem.dcache_access(ThreadId(0), 0x1_0000, false) {
+//!     AccessResult::Hit => {}
+//!     AccessResult::Miss(req) => {
+//!         // poll `take_completions` each cycle until `req` appears
+//!         let _ = req;
+//!     }
+//!     AccessResult::BankConflict => { /* retry next cycle */ }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use smt_isa::{Addr, ThreadId};
+
+/// Parameters of one cache level (one row of Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (1 = direct mapped).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Number of single-ported banks (line-interleaved).
+    pub banks: usize,
+    /// Maximum accesses started per cycle across all banks.
+    pub accesses_per_cycle: u32,
+    /// For slow arrays: minimum cycles between successive accesses to the
+    /// same bank (L3: 4, i.e. 1/4 access per cycle).
+    pub cycles_per_access: u64,
+    /// Bus transfer time to the next level, in cycles.
+    pub transfer_cycles: u64,
+    /// Cycles a fill occupies the bank.
+    pub fill_cycles: u64,
+    /// Latency to retrieve data from the *next* level on a miss here.
+    pub latency_to_next: u64,
+}
+
+impl CacheParams {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.assoc)
+    }
+
+    /// The bank index servicing `addr` (line-interleaved).
+    pub fn bank_of(&self, addr: Addr) -> usize {
+        ((addr / self.line_bytes as u64) as usize) & (self.banks - 1)
+    }
+
+    /// The aligned line address containing `addr`.
+    pub fn line_of(&self, addr: Addr) -> Addr {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+}
+
+/// Configuration of the entire memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Instruction cache parameters.
+    pub icache: CacheParams,
+    /// Data cache parameters.
+    pub dcache: CacheParams,
+    /// Unified second-level cache.
+    pub l2: CacheParams,
+    /// Unified third-level cache.
+    pub l3: CacheParams,
+    /// Instruction TLB entries (fully associative, LRU).
+    pub itlb_entries: usize,
+    /// Data TLB entries.
+    pub dtlb_entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Number of MSHRs (outstanding primary misses) per L1 cache.
+    pub mshrs: usize,
+    /// When set, bank/bus/port contention is disabled: every access sees
+    /// only raw latencies (the "infinite bandwidth" ablation of Section 7).
+    pub infinite_bandwidth: bool,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            icache: CacheParams {
+                size_bytes: 32 * 1024,
+                assoc: 1,
+                line_bytes: 64,
+                banks: 8,
+                accesses_per_cycle: 4,
+                cycles_per_access: 1,
+                transfer_cycles: 1,
+                fill_cycles: 2,
+                latency_to_next: 6,
+            },
+            dcache: CacheParams {
+                size_bytes: 32 * 1024,
+                assoc: 1,
+                line_bytes: 64,
+                banks: 8,
+                accesses_per_cycle: 4,
+                cycles_per_access: 1,
+                transfer_cycles: 1,
+                fill_cycles: 2,
+                latency_to_next: 6,
+            },
+            l2: CacheParams {
+                size_bytes: 256 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                banks: 8,
+                accesses_per_cycle: 1,
+                cycles_per_access: 1,
+                transfer_cycles: 1,
+                fill_cycles: 2,
+                latency_to_next: 12,
+            },
+            l3: CacheParams {
+                size_bytes: 2 * 1024 * 1024,
+                assoc: 1,
+                line_bytes: 64,
+                banks: 1,
+                accesses_per_cycle: 1,
+                cycles_per_access: 4,
+                transfer_cycles: 4,
+                fill_cycles: 8,
+                latency_to_next: 62,
+            },
+            itlb_entries: 64,
+            dtlb_entries: 128,
+            page_bytes: 8 * 1024,
+            mshrs: 8,
+            infinite_bandwidth: false,
+        }
+    }
+}
+
+/// Identifier of an outstanding miss request, returned on completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+/// Result of a cache access attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// Data available at the level's hit latency.
+    Hit,
+    /// Miss: data will arrive later; poll [`MemoryHierarchy::take_completions`].
+    Miss(ReqId),
+    /// The bank (or the cache's per-cycle port budget) is busy this cycle;
+    /// the access did not happen and must be retried.
+    BankConflict,
+}
+
+/// Hit/miss counters for one cache or TLB level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Number of accesses (lookups) at this level.
+    pub accesses: u64,
+    /// Number of those that missed.
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Miss rate in percent (0 when no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64 * 100.0
+        }
+    }
+}
+
+/// Statistics for the whole memory subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// I-cache lookups.
+    pub icache: LevelStats,
+    /// D-cache lookups.
+    pub dcache: LevelStats,
+    /// L2 lookups (from both I and D sides).
+    pub l2: LevelStats,
+    /// L3 lookups.
+    pub l3: LevelStats,
+    /// Instruction TLB lookups.
+    pub itlb: LevelStats,
+    /// Data TLB lookups.
+    pub dtlb: LevelStats,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// D-cache accesses rejected for bank/port conflicts.
+    pub bank_conflicts: u64,
+    /// Secondary misses merged into an outstanding MSHR.
+    pub mshr_merges: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u8,
+}
+
+/// A set-associative (or direct-mapped) tag array with true LRU.
+#[derive(Debug, Clone)]
+struct TagArray {
+    sets: usize,
+    assoc: usize,
+    line_bytes: u64,
+    lines: Vec<Line>,
+}
+
+impl TagArray {
+    fn new(p: &CacheParams) -> TagArray {
+        let sets = p.sets();
+        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        TagArray {
+            sets,
+            assoc: p.assoc,
+            line_bytes: p.line_bytes as u64,
+            lines: vec![Line::default(); sets * p.assoc],
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, addr: Addr) -> usize {
+        ((addr / self.line_bytes) as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: Addr) -> u64 {
+        addr / self.line_bytes / self.sets as u64
+    }
+
+    /// Probe without updating replacement state.
+    fn probe(&self, addr: Addr) -> bool {
+        let base = self.set_of(addr) * self.assoc;
+        let tag = self.tag_of(addr);
+        (0..self.assoc).any(|w| {
+            let l = &self.lines[base + w];
+            l.valid && l.tag == tag
+        })
+    }
+
+    /// Access for read/write; returns true on hit and updates LRU/dirty.
+    fn access(&mut self, addr: Addr, write: bool) -> bool {
+        let base = self.set_of(addr) * self.assoc;
+        let tag = self.tag_of(addr);
+        for w in 0..self.assoc {
+            if self.lines[base + w].valid && self.lines[base + w].tag == tag {
+                let hit_lru = self.lines[base + w].lru;
+                for v in 0..self.assoc {
+                    let l = &mut self.lines[base + v];
+                    if l.valid && l.lru < hit_lru {
+                        l.lru += 1;
+                    }
+                }
+                let l = &mut self.lines[base + w];
+                l.lru = 0;
+                l.dirty |= write;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Install the line containing `addr`; returns the evicted dirty line
+    /// address, if any.
+    fn install(&mut self, addr: Addr, dirty: bool) -> Option<Addr> {
+        let set = self.set_of(addr);
+        let base = set * self.assoc;
+        let tag = self.tag_of(addr);
+        // Already present (e.g. a racing fill): just refresh.
+        for w in 0..self.assoc {
+            if self.lines[base + w].valid && self.lines[base + w].tag == tag {
+                self.lines[base + w].dirty |= dirty;
+                return None;
+            }
+        }
+        let victim = (0..self.assoc)
+            .find(|&w| !self.lines[base + w].valid)
+            .unwrap_or_else(|| {
+                (0..self.assoc)
+                    .max_by_key(|&w| self.lines[base + w].lru)
+                    .expect("assoc > 0")
+            });
+        let evicted = &self.lines[base + victim];
+        let wb = if evicted.valid && evicted.dirty {
+            Some((evicted.tag * self.sets as u64 + set as u64) * self.line_bytes)
+        } else {
+            None
+        };
+        for w in 0..self.assoc {
+            let l = &mut self.lines[base + w];
+            if l.valid {
+                l.lru = l.lru.saturating_add(1).min(self.assoc as u8 - 1);
+            }
+        }
+        self.lines[base + victim] = Line { valid: true, dirty, tag, lru: 0 };
+        wb
+    }
+}
+
+/// A fully-associative, LRU, thread-tagged TLB.
+#[derive(Debug, Clone)]
+struct Tlb {
+    entries: Vec<(u8, u64)>, // (thread, vpn)
+    capacity: usize,
+    page_bytes: u64,
+}
+
+impl Tlb {
+    fn new(capacity: usize, page_bytes: u64) -> Tlb {
+        Tlb { entries: Vec::with_capacity(capacity), capacity, page_bytes }
+    }
+
+    /// Returns true on hit; on miss the translation is installed (the miss
+    /// *penalty* is charged by the hierarchy).
+    fn access(&mut self, thread: ThreadId, addr: Addr) -> bool {
+        let key = (thread.0, addr / self.page_bytes);
+        if let Some(pos) = self.entries.iter().position(|&e| e == key) {
+            // Move to MRU position.
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            return true;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(key);
+        false
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Instr,
+    Data,
+}
+
+#[derive(Debug)]
+struct Mshr {
+    line: Addr,
+    side: Side,
+    complete_at: u64,
+    waiters: Vec<ReqId>,
+}
+
+/// One completed miss request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request id returned by the original access.
+    pub req: ReqId,
+    /// Cycle at which the data became available.
+    pub at_cycle: u64,
+}
+
+/// The full memory hierarchy: L1 I/D, L2, L3, TLBs, buses and MSHRs.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    cfg: MemConfig,
+    icache: TagArray,
+    dcache: TagArray,
+    l2: TagArray,
+    l3: TagArray,
+    itlb: Tlb,
+    dtlb: Tlb,
+    stats: MemStats,
+
+    // Per-cycle port accounting (reset by `begin_cycle`).
+    cycle: u64,
+    i_ports_used: u32,
+    d_ports_used: u32,
+    i_banks_used: u64, // bitmask over banks
+    d_banks_used: u64,
+
+    // Resource reservations (next free cycle).
+    l2_bank_free: Vec<u64>,
+    l3_bank_free: Vec<u64>,
+    bus_l1i_free: u64,
+    bus_l1d_free: u64,
+    bus_l2_free: u64,
+    bus_mem_free: u64,
+
+    mshrs: Vec<Mshr>,
+    completions: BinaryHeap<Reverse<(u64, u64)>>, // (cycle, mshr key)
+    pending_fills: Vec<(u64, Side, Addr)>,        // (cycle, side, line)
+    delay_only: Vec<(u64, ReqId)>,                // TLB walks on tag hits
+    ready: Vec<Completion>,
+    next_req: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from a configuration.
+    pub fn new(cfg: MemConfig) -> MemoryHierarchy {
+        let icache = TagArray::new(&cfg.icache);
+        let dcache = TagArray::new(&cfg.dcache);
+        let l2 = TagArray::new(&cfg.l2);
+        let l3 = TagArray::new(&cfg.l3);
+        let itlb = Tlb::new(cfg.itlb_entries, cfg.page_bytes);
+        let dtlb = Tlb::new(cfg.dtlb_entries, cfg.page_bytes);
+        let l2_banks = cfg.l2.banks;
+        let l3_banks = cfg.l3.banks;
+        MemoryHierarchy {
+            cfg,
+            icache,
+            dcache,
+            l2,
+            l3,
+            itlb,
+            dtlb,
+            stats: MemStats::default(),
+            cycle: 0,
+            i_ports_used: 0,
+            d_ports_used: 0,
+            i_banks_used: 0,
+            d_banks_used: 0,
+            l2_bank_free: vec![0; l2_banks],
+            l3_bank_free: vec![0; l3_banks],
+            bus_l1i_free: 0,
+            bus_l1d_free: 0,
+            bus_l2_free: 0,
+            bus_mem_free: 0,
+            mshrs: Vec::new(),
+            completions: BinaryHeap::new(),
+            pending_fills: Vec::new(),
+            delay_only: Vec::new(),
+            ready: Vec::new(),
+            next_req: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Clears statistics (e.g. at the end of a warmup window). Cache and
+    /// TLB contents are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    /// Starts a new cycle: resets port budgets and retires due events.
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        self.i_ports_used = 0;
+        self.d_ports_used = 0;
+        self.i_banks_used = 0;
+        self.d_banks_used = 0;
+
+        // Install fills that land this cycle.
+        let mut i = 0;
+        while i < self.pending_fills.len() {
+            if self.pending_fills[i].0 <= cycle {
+                let (_, side, line) = self.pending_fills.swap_remove(i);
+                self.install_chain(side, line);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Retire finished TLB walks that did not need a line fill.
+        let mut i = 0;
+        while i < self.delay_only.len() {
+            if self.delay_only[i].0 <= cycle {
+                let (t, req) = self.delay_only.swap_remove(i);
+                self.ready.push(Completion { req, at_cycle: t });
+            } else {
+                i += 1;
+            }
+        }
+
+        // Collect completed misses.
+        while let Some(&Reverse((t, key))) = self.completions.peek() {
+            if t > cycle {
+                break;
+            }
+            self.completions.pop();
+            if let Some(pos) = self
+                .mshrs
+                .iter()
+                .position(|m| m.complete_at == t && key == Self::mshr_key(m))
+            {
+                let m = self.mshrs.swap_remove(pos);
+                for req in m.waiters {
+                    self.ready.push(Completion { req, at_cycle: t });
+                }
+            }
+        }
+    }
+
+    fn mshr_key(m: &Mshr) -> u64 {
+        m.line ^ match m.side {
+            Side::Instr => 0x8000_0000_0000_0000,
+            Side::Data => 0,
+        }
+    }
+
+    fn install_chain(&mut self, side: Side, line: Addr) {
+        // Fill L1; a dirty eviction consumes downstream bus bandwidth.
+        let wb = match side {
+            Side::Instr => self.icache.install(line, false),
+            Side::Data => self.dcache.install(line, false),
+        };
+        if let Some(_dirty_line) = wb {
+            self.stats.writebacks += 1;
+            if !self.cfg.infinite_bandwidth {
+                let bus = match side {
+                    Side::Instr => &mut self.bus_l1i_free,
+                    Side::Data => &mut self.bus_l1d_free,
+                };
+                *bus = (*bus).max(self.cycle) + self.cfg.dcache.transfer_cycles;
+            }
+        }
+        // Fill outer levels (simple inclusive fill on the miss path).
+        if let Some(_wb2) = self.l2.install(line, false) {
+            self.stats.writebacks += 1;
+            if !self.cfg.infinite_bandwidth {
+                self.bus_l2_free = self.bus_l2_free.max(self.cycle) + self.cfg.l2.transfer_cycles;
+            }
+        }
+        if let Some(_wb3) = self.l3.install(line, false) {
+            self.stats.writebacks += 1;
+            if !self.cfg.infinite_bandwidth {
+                self.bus_mem_free =
+                    self.bus_mem_free.max(self.cycle) + self.cfg.l3.transfer_cycles;
+            }
+        }
+    }
+
+    /// Computes the data-return time for a miss that leaves L1 at `cycle`,
+    /// reserving bus/bank occupancy along the way.
+    fn service_miss(&mut self, side: Side, line: Addr, start: u64) -> u64 {
+        let inf = self.cfg.infinite_bandwidth;
+        let l1 = match side {
+            Side::Instr => &self.cfg.icache,
+            Side::Data => &self.cfg.dcache,
+        };
+        // L1 -> L2 request+data uses the L1 bus and the fixed level latency.
+        let mut t = start;
+        if !inf {
+            let bus = match side {
+                Side::Instr => &mut self.bus_l1i_free,
+                Side::Data => &mut self.bus_l1d_free,
+            };
+            t = t.max(*bus);
+            *bus = t + l1.transfer_cycles;
+        }
+        t += l1.latency_to_next;
+
+        // L2 access: bank reservation.
+        self.stats.l2.accesses += 1;
+        if !inf {
+            let b = self.cfg.l2.bank_of(line);
+            t = t.max(self.l2_bank_free[b]);
+            self.l2_bank_free[b] = t + self.cfg.l2.cycles_per_access;
+        }
+        let l2_hit = self.l2.access(line, false);
+        if l2_hit {
+            return t + 1; // data starts back after the array access
+        }
+        self.stats.l2.misses += 1;
+
+        // L2 -> L3.
+        if !inf {
+            t = t.max(self.bus_l2_free);
+            self.bus_l2_free = t + self.cfg.l2.transfer_cycles;
+        }
+        t += self.cfg.l2.latency_to_next;
+        self.stats.l3.accesses += 1;
+        if !inf {
+            let b = self.cfg.l3.bank_of(line);
+            t = t.max(self.l3_bank_free[b]);
+            self.l3_bank_free[b] = t + self.cfg.l3.cycles_per_access;
+        }
+        let l3_hit = self.l3.access(line, false);
+        if l3_hit {
+            return t + 1;
+        }
+        self.stats.l3.misses += 1;
+
+        // L3 -> memory.
+        if !inf {
+            t = t.max(self.bus_mem_free);
+            self.bus_mem_free = t + self.cfg.l3.transfer_cycles;
+        }
+        t += self.cfg.l3.latency_to_next;
+        t + 1
+    }
+
+    /// Total latency of one full memory access (L1 miss all the way to
+    /// memory), used for the TLB miss penalty: the paper charges TLB misses
+    /// two of these.
+    pub fn full_memory_latency(&self) -> u64 {
+        self.cfg.dcache.latency_to_next + self.cfg.l2.latency_to_next + self.cfg.l3.latency_to_next
+    }
+
+    fn start_miss(&mut self, side: Side, line: Addr, extra_delay: u64) -> Option<ReqId> {
+        let req = ReqId(self.next_req);
+        // Merge with an outstanding miss for the same line.
+        if let Some(m) = self
+            .mshrs
+            .iter_mut()
+            .find(|m| m.side == side && m.line == line)
+        {
+            m.waiters.push(req);
+            self.next_req += 1;
+            self.stats.mshr_merges += 1;
+            return Some(req);
+        }
+        if self.mshrs.len() >= self.cfg.mshrs && !self.cfg.infinite_bandwidth {
+            // All MSHRs busy: structural stall, caller must retry.
+            return None;
+        }
+        let start = self.cycle + 1 + extra_delay;
+        let complete_at = self.service_miss(side, line, start);
+        let m = Mshr { line, side, complete_at, waiters: vec![req] };
+        self.completions.push(Reverse((complete_at, Self::mshr_key(&m))));
+        self.pending_fills.push((complete_at, side, line));
+        self.mshrs.push(m);
+        self.next_req += 1;
+        Some(req)
+    }
+
+    /// Instruction fetch access for one thread's fetch block at `addr`.
+    ///
+    /// On a miss the thread should stop fetching until the returned request
+    /// completes. Returns `BankConflict` when the I-cache ports or the
+    /// target bank are exhausted this cycle.
+    pub fn icache_fetch(&mut self, thread: ThreadId, addr: Addr) -> AccessResult {
+        // ITLB.
+        self.stats.itlb.accesses += 1;
+        let tlb_extra = if self.itlb.access(thread, addr) {
+            0
+        } else {
+            self.stats.itlb.misses += 1;
+            2 * self.full_memory_latency()
+        };
+
+        let p = &self.cfg.icache;
+        let bank = p.bank_of(addr) as u64;
+        if !self.cfg.infinite_bandwidth {
+            if self.i_ports_used >= p.accesses_per_cycle || self.i_banks_used & (1 << bank) != 0 {
+                return AccessResult::BankConflict;
+            }
+            self.i_ports_used += 1;
+            self.i_banks_used |= 1 << bank;
+        }
+
+        self.stats.icache.accesses += 1;
+        let line = p.line_of(addr);
+        let tag_hit = self.icache.access(addr, false);
+        if tag_hit && tlb_extra == 0 {
+            return AccessResult::Hit;
+        }
+        if !tag_hit {
+            self.stats.icache.misses += 1;
+            match self.start_miss(Side::Instr, line, tlb_extra) {
+                Some(req) => AccessResult::Miss(req),
+                None => AccessResult::BankConflict,
+            }
+        } else {
+            // Line present but translation missing: pay the page-walk delay
+            // without generating downstream traffic.
+            let req = ReqId(self.next_req);
+            self.next_req += 1;
+            self.delay_only.push((self.cycle + 1 + tlb_extra, req));
+            AccessResult::Miss(req)
+        }
+    }
+
+    /// Probe the I-cache tags without consuming a port and without side
+    /// effects — the early tag lookup used by the ITAG fetch scheme.
+    pub fn icache_probe(&self, addr: Addr) -> bool {
+        self.icache.probe(addr)
+    }
+
+    /// Whether the I-cache bank for `addr` is still free this cycle.
+    pub fn icache_bank_free(&self, addr: Addr) -> bool {
+        if self.cfg.infinite_bandwidth {
+            return true;
+        }
+        let bank = self.cfg.icache.bank_of(addr) as u64;
+        self.i_banks_used & (1 << bank) == 0
+            && self.i_ports_used < self.cfg.icache.accesses_per_cycle
+    }
+
+    /// Data access (load or store) at `addr`.
+    ///
+    /// Returns `Hit` (1-cycle latency), `Miss` (poll completions), or
+    /// `BankConflict` (port/bank exhausted — for loads this squashes
+    /// optimistically issued dependents, per Section 2 of the paper).
+    pub fn dcache_access(&mut self, thread: ThreadId, addr: Addr, write: bool) -> AccessResult {
+        let p = &self.cfg.dcache;
+        let bank = p.bank_of(addr) as u64;
+        if !self.cfg.infinite_bandwidth {
+            if self.d_ports_used >= p.accesses_per_cycle || self.d_banks_used & (1 << bank) != 0 {
+                self.stats.bank_conflicts += 1;
+                return AccessResult::BankConflict;
+            }
+            self.d_ports_used += 1;
+            self.d_banks_used |= 1 << bank;
+        }
+
+        // DTLB.
+        self.stats.dtlb.accesses += 1;
+        let tlb_extra = if self.dtlb.access(thread, addr) {
+            0
+        } else {
+            self.stats.dtlb.misses += 1;
+            2 * self.full_memory_latency()
+        };
+
+        self.stats.dcache.accesses += 1;
+        let line = p.line_of(addr);
+        let tag_hit = self.dcache.access(addr, write);
+        if tag_hit && tlb_extra == 0 {
+            return AccessResult::Hit;
+        }
+        if !tag_hit {
+            self.stats.dcache.misses += 1;
+            match self.start_miss(Side::Data, line, tlb_extra) {
+                Some(req) => AccessResult::Miss(req),
+                None => AccessResult::BankConflict,
+            }
+        } else {
+            let req = ReqId(self.next_req);
+            self.next_req += 1;
+            self.delay_only.push((self.cycle + 1 + tlb_extra, req));
+            AccessResult::Miss(req)
+        }
+    }
+
+    /// Number of outstanding data-side misses (for the MISSCOUNT policy the
+    /// caller tracks per-thread counts; this is the global view).
+    pub fn outstanding_data_misses(&self) -> usize {
+        self.mshrs.iter().filter(|m| m.side == Side::Data).count()
+    }
+
+    /// Drains and returns all miss completions that have become ready.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(MemConfig::default())
+    }
+
+    fn drain_until(m: &mut MemoryHierarchy, req: ReqId, limit: u64) -> u64 {
+        for c in 1..limit {
+            m.begin_cycle(c);
+            for done in m.take_completions() {
+                if done.req == req {
+                    return c;
+                }
+            }
+        }
+        panic!("request {req:?} never completed within {limit} cycles");
+    }
+
+    #[test]
+    fn default_config_matches_table2() {
+        let c = MemConfig::default();
+        assert_eq!(c.icache.size_bytes, 32 * 1024);
+        assert_eq!(c.icache.assoc, 1);
+        assert_eq!(c.dcache.banks, 8);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l2.assoc, 4);
+        assert_eq!(c.l3.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l3.cycles_per_access, 4);
+        assert_eq!(c.icache.latency_to_next, 6);
+        assert_eq!(c.l2.latency_to_next, 12);
+        assert_eq!(c.l3.latency_to_next, 62);
+        assert_eq!(c.icache.sets(), 512);
+        assert_eq!(c.l2.sets(), 1024);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut m = mem();
+        // Warm the TLB for the page (first touch pays the page walk).
+        m.begin_cycle(0);
+        let AccessResult::Miss(warm) = m.dcache_access(T0, 0x10_0000, false) else {
+            panic!("cold access must miss")
+        };
+        let warmed = drain_until(&mut m, warm, 2000);
+        // A different line in the same (now-translated) page: pure cache miss.
+        m.begin_cycle(warmed + 1);
+        let AccessResult::Miss(req) = m.dcache_access(T0, 0x10_0040, false) else {
+            panic!("expected miss")
+        };
+        let done = drain_until(&mut m, req, 2000) - (warmed + 1);
+        // Cold miss goes all the way to memory: 6 + 12 + 62 plus access
+        // costs; it must take at least 80 cycles and not be absurdly long.
+        assert!(done >= 80, "cold miss completed too fast: {done}");
+        assert!(done < 200, "cold miss too slow: {done}");
+        m.begin_cycle(warmed + done + 2);
+        assert_eq!(m.dcache_access(T0, 0x10_0040, false), AccessResult::Hit);
+        // Same line, different word, next cycle (same bank): still a hit.
+        m.begin_cycle(warmed + done + 3);
+        assert_eq!(m.dcache_access(T0, 0x10_0048, false), AccessResult::Hit);
+    }
+
+    #[test]
+    fn l2_hit_is_much_faster_than_memory() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x20_0000, false) else {
+            panic!("expected miss")
+        };
+        let t1 = drain_until(&mut m, r1, 1000);
+        // Evict from tiny L1 by touching a conflicting line (same set).
+        let conflict = 0x20_0000 + 32 * 1024;
+        m.begin_cycle(t1 + 1);
+        let AccessResult::Miss(r2) = m.dcache_access(T0, conflict, false) else {
+            panic!("expected miss")
+        };
+        let t2 = drain_until(&mut m, r2, 2000);
+        // Original line now misses L1 but hits L2.
+        m.begin_cycle(t2 + 1);
+        let AccessResult::Miss(r3) = m.dcache_access(T0, 0x20_0000, false) else {
+            panic!("expected L1 miss")
+        };
+        let t3 = drain_until(&mut m, r3, 2000);
+        let l2_latency = t3 - (t2 + 1);
+        assert!(l2_latency < 20, "L2 hit should be ~7-10 cycles, got {l2_latency}");
+    }
+
+    #[test]
+    fn dcache_port_limit_is_four_per_cycle() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        let mut ok = 0;
+        // 8 accesses to 8 distinct banks: only 4 ports available.
+        for b in 0..8u64 {
+            match m.dcache_access(T0, 0x40_0000 + b * 64, false) {
+                AccessResult::BankConflict => {}
+                _ => ok += 1,
+            }
+        }
+        assert_eq!(ok, 4);
+        // Next cycle the ports are free again.
+        m.begin_cycle(1);
+        assert!(!matches!(m.dcache_access(T0, 0x50_0000, false), AccessResult::BankConflict));
+    }
+
+    #[test]
+    fn same_bank_conflicts_within_cycle() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        let a = 0x60_0000;
+        let same_bank = a + 8 * 64; // 8 banks * 64B line => same bank, different line
+        let _ = m.dcache_access(T0, a, false);
+        assert_eq!(m.dcache_access(T0, same_bank, false), AccessResult::BankConflict);
+        assert!(m.stats().bank_conflicts >= 1);
+    }
+
+    #[test]
+    fn infinite_bandwidth_removes_conflicts() {
+        let mut m = MemoryHierarchy::new(MemConfig {
+            infinite_bandwidth: true,
+            ..MemConfig::default()
+        });
+        m.begin_cycle(0);
+        for b in 0..16u64 {
+            assert!(!matches!(
+                m.dcache_access(T0, 0x40_0000 + b * 64, false),
+                AccessResult::BankConflict
+            ));
+        }
+    }
+
+    #[test]
+    fn mshr_merges_secondary_misses() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x70_0000, false) else {
+            panic!("expected miss")
+        };
+        // Same line one cycle later (same-cycle would be a bank conflict):
+        // merges into the outstanding MSHR.
+        m.begin_cycle(1);
+        let AccessResult::Miss(r2) = m.dcache_access(T0, 0x70_0008, false) else {
+            panic!("expected merged miss")
+        };
+        assert_eq!(m.stats().mshr_merges, 1);
+        // Both complete at the same cycle.
+        let mut done = Vec::new();
+        for c in 1..1000 {
+            m.begin_cycle(c);
+            done.extend(m.take_completions());
+            if done.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].at_cycle, done[1].at_cycle);
+        assert!(done.iter().any(|d| d.req == r1));
+        assert!(done.iter().any(|d| d.req == r2));
+    }
+
+    #[test]
+    fn icache_separate_from_dcache() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        let AccessResult::Miss(req) = m.icache_fetch(T0, 0x1000) else {
+            panic!("cold I-fetch must miss")
+        };
+        let done = drain_until(&mut m, req, 1000);
+        m.begin_cycle(done + 1);
+        assert_eq!(m.icache_fetch(T0, 0x1000), AccessResult::Hit);
+        assert_eq!(m.stats().icache.misses, 1);
+        assert_eq!(m.stats().dcache.accesses, 0);
+    }
+
+    #[test]
+    fn icache_probe_has_no_side_effects() {
+        let mut m = mem();
+        assert!(!m.icache_probe(0x1000));
+        let before = m.stats().icache.accesses;
+        let _ = m.icache_probe(0x1000);
+        assert_eq!(m.stats().icache.accesses, before);
+        // After a fill, probe sees the line.
+        m.begin_cycle(0);
+        let AccessResult::Miss(req) = m.icache_fetch(T0, 0x1000) else { panic!() };
+        let done = drain_until(&mut m, req, 1000);
+        m.begin_cycle(done + 1);
+        assert!(m.icache_probe(0x1000));
+    }
+
+    #[test]
+    fn tlb_miss_charges_two_memory_accesses() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        // First access: TLB miss + cold cache miss.
+        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x100_0000, false) else { panic!() };
+        let t1 = drain_until(&mut m, r1, 2000);
+        assert!(
+            t1 >= 2 * m.full_memory_latency(),
+            "TLB miss must cost at least two full memory accesses, got {t1}"
+        );
+        assert_eq!(m.stats().dtlb.misses, 1);
+        // Same page again: TLB hit; different line: ordinary cache miss.
+        m.begin_cycle(t1 + 1);
+        let AccessResult::Miss(r2) = m.dcache_access(T0, 0x100_0000 + 64, false) else {
+            panic!()
+        };
+        let t2 = drain_until(&mut m, r2, 2000);
+        assert!(t2 - t1 < 2 * m.full_memory_latency());
+        assert_eq!(m.stats().dtlb.misses, 1, "second access must hit the TLB");
+    }
+
+    #[test]
+    fn writebacks_counted_on_dirty_eviction() {
+        let mut m = mem();
+        // Write a line (write-allocate), then evict it with a conflicting line.
+        m.begin_cycle(0);
+        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x30_0000, true) else { panic!() };
+        let t1 = drain_until(&mut m, r1, 2000);
+        m.begin_cycle(t1 + 1);
+        // Dirty the line now that it is resident.
+        assert_eq!(m.dcache_access(T0, 0x30_0000, true), AccessResult::Hit);
+        m.begin_cycle(t1 + 2);
+        let AccessResult::Miss(r2) = m.dcache_access(T0, 0x30_0000 + 32 * 1024, false) else {
+            panic!()
+        };
+        let _ = drain_until(&mut m, r2, 3000);
+        assert!(m.stats().writebacks >= 1, "dirty eviction must count a writeback");
+    }
+
+    #[test]
+    fn level_stats_miss_rate() {
+        let s = LevelStats { accesses: 200, misses: 5 };
+        assert_eq!(s.miss_rate(), 2.5);
+        assert_eq!(LevelStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        let AccessResult::Miss(req) = m.dcache_access(T0, 0x10_0000, false) else { panic!() };
+        let done = drain_until(&mut m, req, 1000);
+        m.reset_stats();
+        assert_eq!(m.stats().dcache.accesses, 0);
+        m.begin_cycle(done + 1);
+        assert_eq!(m.dcache_access(T0, 0x10_0000, false), AccessResult::Hit);
+    }
+
+    #[test]
+    fn bank_mapping_is_line_interleaved() {
+        let p = MemConfig::default().dcache;
+        assert_eq!(p.bank_of(0), 0);
+        assert_eq!(p.bank_of(63), 0);
+        assert_eq!(p.bank_of(64), 1);
+        assert_eq!(p.bank_of(64 * 8), 0);
+        assert_eq!(p.line_of(0x12345), 0x12345 & !63);
+    }
+
+    #[test]
+    fn l3_bank_reservation_throttles() {
+        let mut m = mem();
+        // Two cold misses to different L3 lines close in time: the second
+        // must queue behind the first at the single L3 bank.
+        m.begin_cycle(0);
+        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x800_0000, false) else { panic!() };
+        // Different L1 bank (line + 64) so both accesses start this cycle.
+        let AccessResult::Miss(r2) = m.dcache_access(T0, 0x900_0040, false) else { panic!() };
+        let t1 = drain_until(&mut m, r1, 4000);
+        let t2 = drain_until(&mut m, r2, 4000);
+        assert!(t2 > t1, "second miss must queue behind the first in L3/memory");
+    }
+}
