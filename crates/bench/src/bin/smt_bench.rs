@@ -1,0 +1,37 @@
+//! `smt_bench` — simulator throughput baseline.
+//!
+//! Runs a short warmup, then three timed measurements of the reference
+//! ICOUNT.2.8 configuration and reports the best (least-noisy) rate.
+//!
+//! ```text
+//! smt_bench [CYCLES]   # default 200000 simulated cycles per measurement
+//! ```
+
+use smt_bench::run_reference;
+
+fn main() {
+    let cycles: u64 = match std::env::args().nth(1) {
+        None => 200_000,
+        Some(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("usage: smt_bench [CYCLES]   (CYCLES must be a number, got '{s}')");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    // Warmup: touch code paths and the allocator.
+    let _ = run_reference(cycles / 10);
+
+    let mut best: Option<smt_bench::BenchResult> = None;
+    for i in 1..=3 {
+        let r = run_reference(cycles);
+        println!("run {i}: {r}");
+        if best.is_none_or(|b| r.ips() > b.ips()) {
+            best = Some(r);
+        }
+    }
+    let best = best.expect("three runs completed");
+    println!("best: {best}");
+}

@@ -1,1 +1,81 @@
-// placeholder
+//! Simulator throughput micro-benchmark.
+//!
+//! Measures how fast the simulator itself runs: simulated instructions
+//! committed per wall-clock second for the reference ICOUNT.2.8
+//! configuration on the standard 8-thread mix. Later performance PRs report
+//! against this baseline via the `smt_bench` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use smt_core::SimConfig;
+use smt_workload::standard_mix;
+
+/// Result of one timed simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchResult {
+    /// Simulated cycles executed.
+    pub cycles: u64,
+    /// Correct-path instructions committed.
+    pub committed: u64,
+    /// Wall-clock time spent inside `Simulator::run`.
+    pub wall: Duration,
+}
+
+impl BenchResult {
+    /// Simulated instructions committed per wall-clock second.
+    pub fn ips(&self) -> f64 {
+        self.committed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Simulated cycles per wall-clock second.
+    pub fn cps(&self) -> f64 {
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} committed in {:.3}s -> {:.0} kinsts/s ({:.0} kcycles/s)",
+            self.cycles,
+            self.committed,
+            self.wall.as_secs_f64(),
+            self.ips() / 1e3,
+            self.cps() / 1e3,
+        )
+    }
+}
+
+/// Builds the reference machine (ICOUNT.2.8, standard 8-thread mix) and
+/// times `cycles` simulated cycles. Construction and program generation are
+/// excluded from the measurement.
+pub fn run_reference(cycles: u64) -> BenchResult {
+    let mut sim = SimConfig::new().with_benchmarks(standard_mix(), 42).build();
+    let start = Instant::now();
+    let report = sim.run(cycles);
+    let wall = start.elapsed();
+    BenchResult {
+        cycles,
+        committed: report.total_committed(),
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_bench_runs_and_reports() {
+        let r = run_reference(300);
+        assert_eq!(r.cycles, 300);
+        assert!(r.committed > 0);
+        assert!(r.ips() > 0.0);
+        let s = r.to_string();
+        assert!(s.contains("committed"));
+    }
+}

@@ -73,7 +73,11 @@ impl Default for PredictorConfig {
 impl PredictorConfig {
     /// The paper's "better scheme": doubled BTB and PHT (Section 7).
     pub fn doubled() -> PredictorConfig {
-        PredictorConfig { btb_entries: 512, pht_entries: 4096, ..PredictorConfig::default() }
+        PredictorConfig {
+            btb_entries: 512,
+            pht_entries: 4096,
+            ..PredictorConfig::default()
+        }
     }
 
     /// Number of history bits (= log2 of PHT entries).
@@ -124,10 +128,21 @@ impl Btb {
     ///
     /// Panics if `entries` is not a power-of-two multiple of `assoc`.
     pub fn new(entries: usize, assoc: usize, thread_tagged: bool) -> Btb {
-        assert!(assoc > 0 && entries % assoc == 0, "entries must be a multiple of assoc");
+        assert!(
+            assoc > 0 && entries.is_multiple_of(assoc),
+            "entries must be a multiple of assoc"
+        );
         let sets = entries / assoc;
-        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
-        Btb { sets, assoc, thread_tagged, entries: vec![BtbEntry::default(); entries] }
+        assert!(
+            sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
+        Btb {
+            sets,
+            assoc,
+            thread_tagged,
+            entries: vec![BtbEntry::default(); entries],
+        }
     }
 
     #[inline]
@@ -137,7 +152,7 @@ impl Btb {
 
     #[inline]
     fn tag(&self, pc: Addr) -> u64 {
-        (pc >> 2) as u64 / self.sets as u64
+        (pc >> 2) / self.sets as u64
     }
 
     /// Looks up a target for `pc` fetched by `thread`. Updates LRU on hit.
@@ -201,8 +216,13 @@ impl Btb {
                 e.lru = e.lru.saturating_add(1).min(self.assoc as u8 - 1);
             }
         }
-        self.entries[base + victim] =
-            BtbEntry { valid: true, tag, thread: thread.0, target, lru: 0 };
+        self.entries[base + victim] = BtbEntry {
+            valid: true,
+            tag,
+            thread: thread.0,
+            target,
+            lru: 0,
+        };
     }
 }
 
@@ -219,8 +239,13 @@ impl Pht {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Pht {
-        assert!(entries.is_power_of_two(), "PHT entries must be a power of two");
-        Pht { counters: vec![2; entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "PHT entries must be a power of two"
+        );
+        Pht {
+            counters: vec![2; entries],
+        }
     }
 
     /// Predicted direction for the given index.
@@ -267,7 +292,11 @@ impl Ras {
     /// Creates an empty stack with `capacity` slots.
     pub fn new(capacity: usize) -> Ras {
         assert!(capacity > 0, "RAS capacity must be positive");
-        Ras { slots: vec![0; capacity], top: 0, depth: 0 }
+        Ras {
+            slots: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
     }
 
     /// Pushes a return address (called at fetch of a subroutine call).
@@ -312,9 +341,18 @@ impl BranchPredictor {
         let btb = Btb::new(cfg.btb_entries, cfg.btb_assoc, cfg.thread_tagged_btb);
         let pht = Pht::new(cfg.pht_entries);
         let ras_count = if cfg.per_thread_ras { threads } else { 1 };
-        let ras = (0..ras_count.max(1)).map(|_| Ras::new(cfg.ras_entries)).collect();
+        let ras = (0..ras_count.max(1))
+            .map(|_| Ras::new(cfg.ras_entries))
+            .collect();
         let history_mask = ((1u32 << cfg.history_bits()) - 1) as u16;
-        BranchPredictor { cfg, btb, pht, ras, history: vec![0; threads], history_mask }
+        BranchPredictor {
+            cfg,
+            btb,
+            pht,
+            ras,
+            history: vec![0; threads],
+            history_mask,
+        }
     }
 
     /// The configuration this predictor was built with.
@@ -348,26 +386,50 @@ impl BranchPredictor {
             Opcode::CondBranch => {
                 let idx = self.pht_index(thread, pc);
                 let taken = self.pht.predict(idx);
-                let target = if taken { self.btb.lookup(thread, pc) } else { None };
+                let target = if taken {
+                    self.btb.lookup(thread, pc)
+                } else {
+                    None
+                };
                 // Speculative history update.
                 let h = &mut self.history[thread.index()];
                 *h = ((*h << 1) | u16::from(taken)) & self.history_mask;
-                Prediction { taken, target, pht_index: idx, history_before }
+                Prediction {
+                    taken,
+                    target,
+                    pht_index: idx,
+                    history_before,
+                }
             }
             Opcode::Jump | Opcode::JumpInd => {
                 let target = self.btb.lookup(thread, pc);
-                Prediction { taken: true, target, pht_index: 0, history_before }
+                Prediction {
+                    taken: true,
+                    target,
+                    pht_index: 0,
+                    history_before,
+                }
             }
             Opcode::Call => {
                 let target = self.btb.lookup(thread, pc);
                 let ras = self.ras_index(thread);
                 self.ras[ras].push(pc + smt_isa::INST_BYTES);
-                Prediction { taken: true, target, pht_index: 0, history_before }
+                Prediction {
+                    taken: true,
+                    target,
+                    pht_index: 0,
+                    history_before,
+                }
             }
             Opcode::Return => {
                 let ras = self.ras_index(thread);
                 let target = self.ras[ras].pop();
-                Prediction { taken: true, target, pht_index: 0, history_before }
+                Prediction {
+                    taken: true,
+                    target,
+                    pht_index: 0,
+                    history_before,
+                }
             }
             other => panic!("predict called on non-control opcode {other}"),
         }
@@ -495,12 +557,18 @@ mod tests {
         // Another thread at the same PC must not see thread 0's entry.
         assert!(!bp.btb_would_hit(T1, 0x4000));
         let p1 = bp.predict(T1, 0x4000, Opcode::CondBranch);
-        assert_eq!(p1.target, None, "thread-tagged BTB must not leak across threads");
+        assert_eq!(
+            p1.target, None,
+            "thread-tagged BTB must not leak across threads"
+        );
     }
 
     #[test]
     fn untagged_btb_leaks_across_threads() {
-        let cfg = PredictorConfig { thread_tagged_btb: false, ..PredictorConfig::default() };
+        let cfg = PredictorConfig {
+            thread_tagged_btb: false,
+            ..PredictorConfig::default()
+        };
         let mut bp = BranchPredictor::new(cfg, 8);
         bp.resolve_uncond(T0, 0x4000, Opcode::Jump, 0x9000);
         assert!(bp.btb_would_hit(T1, 0x4000));
@@ -511,7 +579,9 @@ mod tests {
         // 8 sets with assoc 4; five distinct tags in one set force an eviction.
         let mut btb = Btb::new(32, 4, true);
         let set_stride = 8 * 4; // sets * INST_BYTES
-        let pcs: Vec<Addr> = (0..5).map(|i| 0x1000 + i as u64 * set_stride as u64).collect();
+        let pcs: Vec<Addr> = (0..5)
+            .map(|i| 0x1000 + i as u64 * set_stride as u64)
+            .collect();
         for &pc in &pcs {
             btb.insert(T0, pc, pc + 0x100);
         }
@@ -570,7 +640,10 @@ mod tests {
 
     #[test]
     fn shared_ras_ablation_interferes() {
-        let cfg = PredictorConfig { per_thread_ras: false, ..PredictorConfig::default() };
+        let cfg = PredictorConfig {
+            per_thread_ras: false,
+            ..PredictorConfig::default()
+        };
         let mut bp = BranchPredictor::new(cfg, 8);
         bp.predict(T0, 0x1000, Opcode::Call);
         // Thread 1 steals thread 0's return address.
@@ -584,7 +657,11 @@ mod tests {
         let h0 = bp.history(T0);
         let p = bp.predict(T0, 0x1000, Opcode::CondBranch);
         assert_eq!(p.history_before, h0);
-        assert_ne!(bp.history(T0), h0, "weakly-taken init predicts taken, shifting in a 1");
+        assert_ne!(
+            bp.history(T0),
+            h0,
+            "weakly-taken init predicts taken, shifting in a 1"
+        );
         // Mispredict: repair with the actual (not-taken) direction.
         bp.repair_history(T0, p.history_before, false);
         assert_eq!(bp.history(T0), (h0 << 1) & ((1 << 11) - 1));

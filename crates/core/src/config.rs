@@ -1,0 +1,244 @@
+//! Simulator configuration: the public builder that wires every crate
+//! together.
+//!
+//! [`SimConfig`] carries the machine description (fetch/issue policies,
+//! fetch partition, queue and register-file sizes, cache and predictor
+//! configurations) plus the workload, and [`SimConfig::build`] produces a
+//! runnable [`Simulator`]. All fields are public: anything can be swapped,
+//! including user-defined policies — see the `FetchPolicy` trait.
+
+use std::sync::Arc;
+
+use smt_branch::PredictorConfig;
+use smt_mem::MemConfig;
+use smt_workload::{standard_mix, Benchmark, Program};
+
+use crate::pipeline::Simulator;
+use crate::policy::{FetchPartition, FetchPolicy, ICount, IssuePolicy, OldestFirst};
+
+/// Maximum number of hardware contexts supported.
+pub const MAX_THREADS: usize = 32;
+
+/// Complete description of one simulation: machine plus workload.
+///
+/// Defaults reproduce the paper's final machine: ICOUNT.2.8 fetch,
+/// OLDEST_FIRST issue, 32-entry per-class instruction queues, 100 renaming
+/// registers per class, 6 integer units (4 load/store capable), 3 FP units,
+/// the Table-2 memory hierarchy and the Section-2 branch predictor, running
+/// the standard 8-thread mix.
+pub struct SimConfig {
+    /// Benchmarks, one per hardware context (defines the thread count).
+    pub benchmarks: Vec<Benchmark>,
+    /// Pre-generated program images, one per context. When non-empty this
+    /// overrides `benchmarks` entirely; thread labels in reports come from
+    /// [`Program::name`].
+    pub programs: Vec<Arc<Program>>,
+    /// Master seed for program generation and all stochastic behaviour.
+    pub seed: u64,
+    /// Fetch policy ranking threads each cycle.
+    pub fetch: Box<dyn FetchPolicy>,
+    /// Issue policy ordering ready instructions each cycle.
+    pub issue: Box<dyn IssuePolicy>,
+    /// Fetch partitioning scheme (`T.I`).
+    pub partition: FetchPartition,
+    /// Memory hierarchy parameters (Table 2).
+    pub mem: MemConfig,
+    /// Branch predictor parameters.
+    pub predictor: PredictorConfig,
+    /// Entries per instruction queue (one queue per register class).
+    pub iq_entries: usize,
+    /// Renaming registers per class beyond the architectural
+    /// `32 × contexts`.
+    pub extra_phys_regs: usize,
+    /// Total integer functional units.
+    pub int_units: usize,
+    /// How many of the integer units can execute loads/stores.
+    pub ldst_units: usize,
+    /// Floating-point functional units.
+    pub fp_units: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub decode_width: usize,
+    /// Instructions committed per cycle across all threads.
+    pub commit_width: usize,
+    /// Per-thread front-end buffer capacity (fetched, not yet renamed).
+    pub frontend_depth: usize,
+    /// Front-end depth in cycles between fetch and queue insertion
+    /// (decode + rename; the paper adds two stages over the 21164).
+    pub decode_cycles: u64,
+    /// Cycles fetch stalls after a misfetch (taken branch without a target
+    /// until decode computes it).
+    pub misfetch_penalty: u64,
+}
+
+impl SimConfig {
+    /// The paper's final machine running the standard 8-thread mix.
+    pub fn new() -> SimConfig {
+        // Table 2 leaves the MSHR count open; 8 outstanding misses per
+        // cycle-80 memory latency would cap miss bandwidth far below what
+        // eight contexts generate, so the default machine carries 16.
+        let mem = MemConfig {
+            mshrs: 16,
+            ..MemConfig::default()
+        };
+        SimConfig {
+            benchmarks: standard_mix(),
+            programs: Vec::new(),
+            seed: 42,
+            fetch: Box::new(ICount),
+            issue: Box::new(OldestFirst),
+            partition: FetchPartition::new(2, 8),
+            mem,
+            predictor: PredictorConfig::default(),
+            iq_entries: 32,
+            extra_phys_regs: 100,
+            int_units: 6,
+            ldst_units: 4,
+            fp_units: 3,
+            decode_width: 8,
+            commit_width: 12,
+            frontend_depth: 8,
+            decode_cycles: 2,
+            misfetch_penalty: 2,
+        }
+    }
+
+    /// Replaces the fetch policy.
+    pub fn with_fetch(mut self, fetch: Box<dyn FetchPolicy>) -> SimConfig {
+        self.fetch = fetch;
+        self
+    }
+
+    /// Replaces the issue policy.
+    pub fn with_issue(mut self, issue: Box<dyn IssuePolicy>) -> SimConfig {
+        self.issue = issue;
+        self
+    }
+
+    /// Replaces the fetch partition.
+    pub fn with_partition(mut self, partition: FetchPartition) -> SimConfig {
+        self.partition = partition;
+        self
+    }
+
+    /// Replaces the workload (one benchmark per hardware context) and the
+    /// generation seed.
+    pub fn with_benchmarks(mut self, benchmarks: Vec<Benchmark>, seed: u64) -> SimConfig {
+        self.benchmarks = benchmarks;
+        self.seed = seed;
+        self.programs.clear();
+        self
+    }
+
+    /// Supplies pre-generated program images directly (one per context).
+    pub fn with_programs(mut self, programs: Vec<Arc<Program>>) -> SimConfig {
+        self.programs = programs;
+        self
+    }
+
+    /// Replaces the master seed (oracle stochasticity, and program
+    /// generation when `benchmarks` is used).
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the memory hierarchy configuration.
+    pub fn with_mem(mut self, mem: MemConfig) -> SimConfig {
+        self.mem = mem;
+        self
+    }
+
+    /// Replaces the branch predictor configuration.
+    pub fn with_predictor(mut self, predictor: PredictorConfig) -> SimConfig {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Number of hardware contexts this configuration describes.
+    pub fn threads(&self) -> usize {
+        if self.programs.is_empty() {
+            self.benchmarks.len()
+        } else {
+            self.programs.len()
+        }
+    }
+
+    /// Builds the simulator, generating program images as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no threads, more than
+    /// [`MAX_THREADS`], or zero-width structures).
+    pub fn build(self) -> Simulator {
+        let threads = self.threads();
+        assert!(threads > 0, "at least one hardware context is required");
+        assert!(
+            threads <= MAX_THREADS,
+            "at most {MAX_THREADS} hardware contexts supported"
+        );
+        assert!(self.iq_entries > 0 && self.decode_width > 0 && self.commit_width > 0);
+        assert!(
+            self.ldst_units <= self.int_units,
+            "load/store units are a subset of int units"
+        );
+        assert!(self.frontend_depth > 0 && self.int_units > 0 && self.fp_units > 0);
+        Simulator::new(self)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::new()
+    }
+}
+
+impl std::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("benchmarks", &self.benchmarks)
+            .field("seed", &self.seed)
+            .field("fetch", &self.fetch.name())
+            .field("issue", &self.issue.name())
+            .field("partition", &self.partition)
+            .field("iq_entries", &self.iq_entries)
+            .field("extra_phys_regs", &self.extra_phys_regs)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_machine() {
+        let c = SimConfig::new();
+        assert_eq!(c.threads(), 8);
+        assert_eq!(c.partition, FetchPartition::new(2, 8));
+        assert_eq!(c.fetch.name(), "ICOUNT");
+        assert_eq!(c.issue.name(), "OLDEST_FIRST");
+        assert_eq!(c.iq_entries, 32);
+        assert_eq!(c.extra_phys_regs, 100);
+        assert_eq!(c.int_units, 6);
+        assert_eq!(c.ldst_units, 4);
+        assert_eq!(c.fp_units, 3);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = SimConfig::new()
+            .with_fetch(Box::new(crate::policy::RoundRobin))
+            .with_partition(FetchPartition::new(1, 8))
+            .with_benchmarks(vec![Benchmark::Espresso, Benchmark::Tomcatv], 7);
+        assert_eq!(c.fetch.name(), "RR");
+        assert_eq!(c.partition.to_string(), "1.8");
+        assert_eq!(c.threads(), 2);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hardware context")]
+    fn empty_workload_panics() {
+        let _ = SimConfig::new().with_benchmarks(vec![], 1).build();
+    }
+}

@@ -1,1 +1,67 @@
-pub fn placeholder() {}
+//! The policy-driven SMT simulator core — the public API of the system.
+//!
+//! This crate reproduces the machine of Tullsen, Eggers, Emer, Levy, Lo and
+//! Stamm, *"Exploiting Choice: Instruction Fetch and Issue on an
+//! Implementable Simultaneous Multithreading Processor"* (ISCA 1996). The
+//! paper's contribution is *choice*: each cycle the processor chooses which
+//! threads to fetch from and which instructions to issue. Both choices are
+//! first-class objects here:
+//!
+//! * [`FetchPolicy`] ranks hardware contexts for fetch each cycle. Shipped:
+//!   [`RoundRobin`], [`ICount`], [`BrCount`], [`MissCount`].
+//! * [`IssuePolicy`] orders ready instructions for issue. Shipped:
+//!   [`OldestFirst`], [`OptLast`], [`SpecLast`], [`BranchFirst`].
+//! * [`FetchPartition`] is the `T.I` partitioning scheme (1.8, 2.4, 2.8,
+//!   4.2) dividing the 8-instruction fetch bandwidth among threads.
+//!
+//! [`SimConfig`] bundles policies with the machine description (Table-2
+//! caches via `smt-mem`, the Section-2 predictor via `smt-branch`,
+//! per-class register files and queues) and a workload (`smt-workload`
+//! benchmarks), and builds a [`Simulator`] whose [`run`](Simulator::run)
+//! returns a [`SimReport`] built on `smt-stats`.
+//!
+//! Adding a policy requires implementing one trait — no simulator internals:
+//!
+//! ```
+//! use smt_core::{FetchPolicy, SimConfig, ThreadFetchView};
+//! use smt_workload::Benchmark;
+//!
+//! /// Fetch from whichever thread has the fewest outstanding D-misses,
+//! /// breaking ties toward fewer in-flight instructions.
+//! struct MissThenICount;
+//!
+//! impl FetchPolicy for MissThenICount {
+//!     fn name(&self) -> &str {
+//!         "MISS_THEN_ICOUNT"
+//!     }
+//!     fn priority(&self, _cycle: u64, view: &ThreadFetchView) -> i64 {
+//!         i64::from(view.outstanding_misses) * 1000 + i64::from(view.in_flight)
+//!     }
+//! }
+//!
+//! let report = SimConfig::new()
+//!     .with_benchmarks(vec![Benchmark::Espresso, Benchmark::Alvinn], 42)
+//!     .with_fetch(Box::new(MissThenICount))
+//!     .build()
+//!     .run(1_000);
+//! assert_eq!(report.fetch_policy, "MISS_THEN_ICOUNT");
+//! assert!(report.total_committed() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod pipeline;
+mod policy;
+mod regfile;
+mod report;
+
+pub use config::{SimConfig, MAX_THREADS};
+pub use pipeline::Simulator;
+pub use policy::{
+    fetch_policy_by_name, issue_policy_by_name, rotating_rank, BrCount, BranchFirst,
+    FetchPartition, FetchPolicy, ICount, IssueCandidate, IssuePolicy, MissCount, OldestFirst,
+    OptLast, RoundRobin, SpecLast, ThreadFetchView,
+};
+pub use report::{FetchBreakdown, IssueBreakdown, SimReport, ThreadReport};

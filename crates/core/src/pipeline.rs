@@ -1,0 +1,1038 @@
+//! The cycle-level SMT pipeline.
+//!
+//! Eight logical stages on the paper's machine collapse here into five
+//! simulated phases per cycle, processed oldest-work-first so data flows
+//! one cycle per stage without double-stepping:
+//!
+//! 1. **completions** — drain finished cache misses (I-side unblocks fetch,
+//!    D-side wakes waiting loads),
+//! 2. **writeback** — finished instructions make their results available;
+//!    correct-path branches resolve, train the predictor, and squash on a
+//!    mispredict,
+//! 3. **commit** — per-thread in-order retirement, freeing renaming
+//!    registers,
+//! 4. **issue** — the [`IssuePolicy`](crate::IssuePolicy) orders ready
+//!    instructions onto the 6 integer (4 load/store-capable) and 3 FP
+//!    units; loads/stores arbitrate for D-cache banks,
+//! 5. **rename/dispatch** then **fetch** — the front end: decoded
+//!    instructions claim renaming registers and queue slots, and the
+//!    [`FetchPolicy`](crate::FetchPolicy) picks which threads fill the
+//!    8-wide fetch bandwidth under the active
+//!    [`FetchPartition`](crate::FetchPartition).
+//!
+//! Fetch follows *predicted* paths: the per-thread oracle supplies the
+//! correct path, the predictor supplies choices, and any disagreement sends
+//! the thread down a synthesized wrong path until the offending branch
+//! resolves and squashes it — so wrong-path instructions consume fetch
+//! slots, rename registers, queue entries and functional units exactly as
+//! the paper requires.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use smt_branch::{BranchPredictor, Prediction};
+use smt_isa::{Addr, FuKind, Opcode, Outcome, RegClass, StaticInst, ThreadId, INST_BYTES};
+use smt_mem::{AccessResult, MemoryHierarchy, ReqId};
+use smt_stats::Ratio;
+use smt_workload::{Program, ThreadContext, WrongPath};
+
+use crate::config::SimConfig;
+use crate::policy::{FetchPartition, IssueCandidate, ThreadFetchView};
+use crate::regfile::{PhysRegFile, RenameMap};
+use crate::report::{FetchBreakdown, IssueBreakdown, SimReport, ThreadReport};
+
+/// Why a fetch slot could not be filled this cycle (candidate loss causes,
+/// settled against the actually-unused slots at end of cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LossCause {
+    Icache,
+    Bank,
+    Fragmentation,
+    FrontendFull,
+    NoThread,
+}
+
+/// Lifecycle of one in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstState {
+    /// In the front end (decode/rename pipe); eligible to enter a queue at
+    /// `ready_at`.
+    Decoding {
+        /// Cycle at which decode finishes.
+        ready_at: u64,
+    },
+    /// In an instruction queue, waiting for operands and a functional unit.
+    Queued,
+    /// Issued; result available at `done_at`.
+    Executing {
+        /// Cycle at which the result is written back.
+        done_at: u64,
+    },
+    /// A load waiting on an outstanding D-cache miss.
+    WaitingMem,
+    /// Executed; awaiting in-order retirement.
+    Done,
+}
+
+/// One dynamic (in-flight) instruction.
+#[derive(Debug, Clone)]
+struct DynInst {
+    seq: u64,
+    pc: Addr,
+    inst: StaticInst,
+    /// Architectural outcome; `None` on the wrong path.
+    outcome: Option<Outcome>,
+    wrong_path: bool,
+    pred: Option<Prediction>,
+    /// Correct-path control instruction whose prediction was wrong; resolves
+    /// with a squash and redirect.
+    mispredict: bool,
+    /// Effective address for memory instructions (synthesized on the wrong
+    /// path).
+    mem_addr: Addr,
+    dest_phys: Option<(RegClass, u16)>,
+    prev_phys: Option<(RegClass, u16)>,
+    srcs_phys: [Option<(RegClass, u16)>; 2],
+    state: InstState,
+}
+
+/// One hardware context.
+struct Thread {
+    id: ThreadId,
+    oracle: ThreadContext,
+    program: Arc<Program>,
+    map: RenameMap,
+    /// All in-flight instructions in fetch order (the per-thread ROB).
+    rob: VecDeque<DynInst>,
+    /// Sequence numbers of instructions still in the front end, in order.
+    frontend: VecDeque<u64>,
+    fetch_pc: Addr,
+    /// Fetch has diverged from the correct path.
+    wrong_path: bool,
+    /// Fetch suppressed until this cycle (misfetch/redirect penalties).
+    stall_until: u64,
+    /// Outstanding I-cache miss blocking fetch.
+    icache_req: Option<ReqId>,
+    /// Salt for wrong-path address synthesis.
+    wp_salt: u64,
+    committed: u64,
+    // Per-cycle policy counters, refreshed before fetch.
+    in_flight: u32,
+    unresolved_branches: u32,
+    outstanding_misses: u32,
+}
+
+impl Thread {
+    fn find(&self, seq: u64) -> Option<usize> {
+        self.rob.binary_search_by_key(&seq, |i| i.seq).ok()
+    }
+
+    /// Recomputes the counters the fetch policies read. `in_flight` is the
+    /// paper's ICOUNT counter: instructions in decode, rename and the
+    /// queues (fetched but not yet issued).
+    fn refresh_counters(&mut self) {
+        let mut in_flight = 0;
+        let mut unresolved = 0;
+        let mut misses = 0;
+        for i in &self.rob {
+            match i.state {
+                InstState::Decoding { .. } | InstState::Queued => in_flight += 1,
+                InstState::WaitingMem => misses += 1,
+                _ => {}
+            }
+            if i.inst.op.is_control() && i.state != InstState::Done {
+                unresolved += 1;
+            }
+        }
+        self.in_flight = in_flight;
+        self.unresolved_branches = unresolved;
+        self.outstanding_misses = misses;
+    }
+}
+
+/// The simulator: a configured machine plus its architectural state.
+///
+/// Built by [`SimConfig::build`]; driven by [`Simulator::run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    cycle: u64,
+    next_seq: u64,
+    threads: Vec<Thread>,
+    regs: [PhysRegFile; 2],
+    /// Instruction queues, one per register class, holding
+    /// `(thread index, seq)`.
+    iq: [Vec<(usize, u64)>; 2],
+    mem: MemoryHierarchy,
+    bp: BranchPredictor,
+    pending_loads: HashMap<ReqId, (usize, u64)>,
+    f_stats: FetchBreakdown,
+    i_stats: IssueBreakdown,
+    cond_pred: Ratio,
+    squashes: u64,
+    squashed_insts: u64,
+}
+
+impl Simulator {
+    /// Builds the machine described by `cfg`. Prefer [`SimConfig::build`].
+    pub(crate) fn new(cfg: SimConfig) -> Simulator {
+        let threads = cfg.threads();
+        let programs: Vec<Arc<Program>> = if cfg.programs.is_empty() {
+            cfg.benchmarks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| Arc::new(b.generate(cfg.seed, i as u32)))
+                .collect()
+        } else {
+            cfg.programs.clone()
+        };
+        let phys = smt_isa::LOGICAL_REGS * threads + cfg.extra_phys_regs;
+        let mut regs = [PhysRegFile::new(phys), PhysRegFile::new(phys)];
+        let bp = BranchPredictor::new(cfg.predictor.clone(), threads);
+        let mem = MemoryHierarchy::new(cfg.mem.clone());
+        let thread_state = programs
+            .iter()
+            .enumerate()
+            .map(|(i, program)| Thread {
+                id: ThreadId(i as u8),
+                oracle: ThreadContext::new(
+                    program.clone(),
+                    cfg.seed ^ (i as u64).wrapping_mul(0x9e37),
+                ),
+                program: program.clone(),
+                map: RenameMap::new(&mut regs),
+                rob: VecDeque::new(),
+                frontend: VecDeque::new(),
+                fetch_pc: program.entry(),
+                wrong_path: false,
+                stall_until: 0,
+                icache_req: None,
+                wp_salt: 0,
+                committed: 0,
+                in_flight: 0,
+                unresolved_branches: 0,
+                outstanding_misses: 0,
+            })
+            .collect();
+        Simulator {
+            cfg,
+            cycle: 0,
+            next_seq: 0,
+            threads: thread_state,
+            regs,
+            iq: [Vec::new(), Vec::new()],
+            mem,
+            bp,
+            pending_loads: HashMap::new(),
+            f_stats: FetchBreakdown::default(),
+            i_stats: IssueBreakdown::default(),
+            cond_pred: Ratio::new(),
+            squashes: 0,
+            squashed_insts: 0,
+        }
+    }
+
+    /// Number of hardware contexts.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Simulates `cycles` further cycles and returns the cumulative report.
+    pub fn run(&mut self, cycles: u64) -> SimReport {
+        for _ in 0..cycles {
+            self.step_cycle();
+        }
+        self.report()
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step_cycle(&mut self) {
+        self.cycle += 1;
+        self.mem.begin_cycle(self.cycle);
+        self.drain_completions();
+        self.writeback();
+        self.commit();
+        self.issue();
+        self.rename();
+        self.fetch();
+    }
+
+    /// The cumulative report for everything simulated so far.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            cycles: self.cycle,
+            fetch_policy: self.cfg.fetch.name().to_string(),
+            issue_policy: self.cfg.issue.name().to_string(),
+            partition: self.cfg.partition,
+            threads: self
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| ThreadReport {
+                    thread: i,
+                    benchmark: t.program.name().to_string(),
+                    committed: t.committed,
+                    ipc: if self.cycle == 0 {
+                        0.0
+                    } else {
+                        t.committed as f64 / self.cycle as f64
+                    },
+                })
+                .collect(),
+            fetch: self.f_stats,
+            issue: self.i_stats,
+            cond_prediction: self.cond_pred,
+            squashes: self.squashes,
+            squashed_insts: self.squashed_insts,
+            mem: *self.mem.stats(),
+        }
+    }
+
+    // ---- phase 1: miss completions -----------------------------------
+
+    fn drain_completions(&mut self) {
+        let cycle = self.cycle;
+        for done in self.mem.take_completions() {
+            if let Some((ti, seq)) = self.pending_loads.remove(&done.req) {
+                let t = &mut self.threads[ti];
+                if let Some(idx) = t.find(seq) {
+                    if t.rob[idx].state == InstState::WaitingMem {
+                        t.rob[idx].state = InstState::Executing { done_at: cycle };
+                    }
+                }
+            } else {
+                for t in &mut self.threads {
+                    if t.icache_req == Some(done.req) {
+                        t.icache_req = None;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- phase 2: writeback / branch resolution ----------------------
+
+    fn writeback(&mut self) {
+        let cycle = self.cycle;
+        let mut finished: Vec<(usize, u64)> = Vec::new();
+        for (ti, t) in self.threads.iter().enumerate() {
+            for i in &t.rob {
+                if let InstState::Executing { done_at } = i.state {
+                    if done_at <= cycle {
+                        finished.push((ti, i.seq));
+                    }
+                }
+            }
+        }
+        // Resolve oldest-first so an older mispredict squashes younger work
+        // before that work can act.
+        finished.sort_unstable_by_key(|&(_, seq)| seq);
+        for (ti, seq) in finished {
+            let Some(idx) = self.threads[ti].find(seq) else {
+                continue; // squashed earlier this cycle
+            };
+            let t = &mut self.threads[ti];
+            t.rob[idx].state = InstState::Done;
+            if let Some((class, p)) = t.rob[idx].dest_phys {
+                let by_load = t.rob[idx].inst.op.is_load();
+                self.regs[class.index()].set_ready(p, cycle, by_load);
+            }
+            if t.rob[idx].inst.op.is_control() && !t.rob[idx].wrong_path {
+                self.resolve_branch(ti, idx);
+            }
+        }
+    }
+
+    fn resolve_branch(&mut self, ti: usize, idx: usize) {
+        let (seq, pc, op, pred, outcome, mispredict) = {
+            let i = &self.threads[ti].rob[idx];
+            (i.seq, i.pc, i.inst.op, i.pred, i.outcome, i.mispredict)
+        };
+        let id = self.threads[ti].id;
+        let outcome = outcome.expect("correct-path control instruction carries its outcome");
+        let pred = pred.expect("control instruction carries its prediction");
+        match op {
+            Opcode::CondBranch => {
+                self.cond_pred.record(pred.taken == outcome.taken);
+                self.bp
+                    .resolve_cond(id, pc, pred.pht_index, outcome.taken, outcome.next_pc);
+            }
+            Opcode::Jump | Opcode::JumpInd | Opcode::Call => {
+                self.bp.resolve_uncond(id, pc, op, outcome.next_pc);
+            }
+            Opcode::Return => {}
+            other => unreachable!("{other} is not control"),
+        }
+        if mispredict {
+            self.squashes += 1;
+            self.squash_after(ti, seq);
+            if op == Opcode::CondBranch {
+                self.bp
+                    .repair_history(id, pred.history_before, outcome.taken);
+            } else {
+                self.bp.restore_history(id, pred.history_before);
+            }
+            let t = &mut self.threads[ti];
+            t.wrong_path = false;
+            t.fetch_pc = outcome.next_pc;
+            t.stall_until = self.cycle + 1;
+            t.icache_req = None;
+        }
+    }
+
+    /// Removes every instruction of thread `ti` younger than `seq`, undoing
+    /// their renames youngest-first and releasing their registers.
+    fn squash_after(&mut self, ti: usize, seq: u64) {
+        let t = &mut self.threads[ti];
+        while let Some(back) = t.rob.back() {
+            if back.seq <= seq {
+                break;
+            }
+            let dead = t.rob.pop_back().expect("just observed");
+            if let Some((class, p)) = dead.dest_phys {
+                if let (Some(d), Some((_, prev))) = (dead.inst.dest, dead.prev_phys) {
+                    t.map.redefine(d, prev);
+                }
+                self.regs[class.index()].release(p);
+            }
+            self.squashed_insts += 1;
+        }
+        // Everything still in the front end is younger than any resolvable
+        // branch (rename is in order), so the whole buffer dies.
+        t.frontend.clear();
+        for q in &mut self.iq {
+            q.retain(|&(qti, qseq)| qti != ti || qseq <= seq);
+        }
+        // Stale pending-load and I-miss completions are ignored on arrival:
+        // the load lookup fails and the request id no longer matches.
+    }
+
+    // ---- phase 3: in-order commit ------------------------------------
+
+    fn commit(&mut self) {
+        let mut budget = self.cfg.commit_width;
+        let n = self.threads.len();
+        let start = self.cycle as usize % n;
+        for k in 0..n {
+            let ti = (start + k) % n;
+            while budget > 0 {
+                let t = &mut self.threads[ti];
+                match t.rob.front() {
+                    Some(head) if head.state == InstState::Done => {
+                        debug_assert!(
+                            !head.wrong_path,
+                            "wrong-path instruction survived to the ROB head"
+                        );
+                        let head = t.rob.pop_front().expect("just observed");
+                        if let Some((class, prev)) = head.prev_phys {
+                            self.regs[class.index()].release(prev);
+                        }
+                        t.committed += 1;
+                        budget -= 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    // ---- phase 4: issue ----------------------------------------------
+
+    fn issue(&mut self) {
+        let cycle = self.cycle;
+        // Oldest unresolved branch per thread marks younger work speculative.
+        let oldest_branch: Vec<Option<u64>> = self
+            .threads
+            .iter()
+            .map(|t| {
+                t.rob
+                    .iter()
+                    .find(|i| i.inst.op.is_control() && i.state != InstState::Done)
+                    .map(|i| i.seq)
+            })
+            .collect();
+
+        let mut ranked: Vec<(i64, u64, usize)> = Vec::new();
+        for class in RegClass::ALL {
+            for &(ti, seq) in &self.iq[class.index()] {
+                let t = &self.threads[ti];
+                let idx = t.find(seq).expect("queue entries track live instructions");
+                let i = &t.rob[idx];
+                debug_assert_eq!(i.state, InstState::Queued);
+                let ready = i
+                    .srcs_phys
+                    .iter()
+                    .flatten()
+                    .all(|&(c, p)| self.regs[c.index()].is_ready(p));
+                if !ready {
+                    continue;
+                }
+                let optimistic = i.srcs_phys.iter().flatten().any(|&(c, p)| {
+                    self.regs[c.index()].woken_by_load_since(p, cycle.saturating_sub(1))
+                });
+                let cand = IssueCandidate {
+                    age: seq,
+                    thread: t.id,
+                    queue: class,
+                    is_branch: i.inst.op.is_control(),
+                    speculative: oldest_branch[ti].is_some_and(|b| seq > b),
+                    optimistic,
+                };
+                ranked.push((self.cfg.issue.priority(&cand), seq, ti));
+            }
+        }
+        ranked.sort_unstable();
+
+        let mut int_used = 0usize;
+        let mut ldst_used = 0usize;
+        let mut fp_used = 0usize;
+        let mut issued: Vec<(usize, u64)> = Vec::new();
+        for (_, seq, ti) in ranked {
+            if int_used == self.cfg.int_units && fp_used == self.cfg.fp_units {
+                break;
+            }
+            let id = self.threads[ti].id;
+            let idx = self.threads[ti].find(seq).expect("candidate is live");
+            let op = self.threads[ti].rob[idx].inst.op;
+            match op.fu_kind() {
+                FuKind::IntAlu if int_used < self.cfg.int_units => int_used += 1,
+                FuKind::LdSt
+                    if int_used < self.cfg.int_units && ldst_used < self.cfg.ldst_units =>
+                {
+                    int_used += 1;
+                    ldst_used += 1;
+                }
+                FuKind::Fp if fp_used < self.cfg.fp_units => fp_used += 1,
+                _ => continue, // no unit of the right kind left this cycle
+            }
+            let state = if op.is_mem() {
+                let addr = self.threads[ti].rob[idx].mem_addr;
+                match self.mem.dcache_access(id, addr, op.is_store()) {
+                    AccessResult::Hit => InstState::Executing { done_at: cycle + 1 },
+                    AccessResult::Miss(req) => {
+                        if op.is_load() {
+                            self.pending_loads.insert(req, (ti, seq));
+                            InstState::WaitingMem
+                        } else {
+                            // Stores retire into the write buffer; the miss
+                            // traffic still occupies the hierarchy.
+                            InstState::Executing { done_at: cycle + 1 }
+                        }
+                    }
+                    AccessResult::BankConflict => {
+                        // The issue slot is spent but the access must retry.
+                        self.i_stats.bank_conflicts += 1;
+                        continue;
+                    }
+                }
+            } else {
+                InstState::Executing {
+                    done_at: cycle + u64::from(op.latency().max(1)),
+                }
+            };
+            let i = &mut self.threads[ti].rob[idx];
+            i.state = state;
+            if i.wrong_path {
+                self.i_stats.wrong_path += 1;
+            } else {
+                self.i_stats.issued += 1;
+            }
+            issued.push((ti, seq));
+        }
+        for q in &mut self.iq {
+            q.retain(|e| !issued.contains(e));
+        }
+    }
+
+    // ---- phase 5a: rename / dispatch ---------------------------------
+
+    fn rename(&mut self) {
+        let cycle = self.cycle;
+        let mut budget = self.cfg.decode_width;
+        let n = self.threads.len();
+        let start = self.cycle as usize % n;
+        'threads: for k in 0..n {
+            let ti = (start + k) % n;
+            loop {
+                if budget == 0 {
+                    break 'threads;
+                }
+                let t = &mut self.threads[ti];
+                let Some(&seq) = t.frontend.front() else {
+                    break;
+                };
+                let idx = t
+                    .find(seq)
+                    .expect("front-end entries track live instructions");
+                let InstState::Decoding { ready_at } = t.rob[idx].state else {
+                    unreachable!("front-end instruction must be decoding")
+                };
+                if ready_at > cycle {
+                    break;
+                }
+                let class = t.rob[idx].inst.op.queue();
+                if self.iq[class.index()].len() >= self.cfg.iq_entries {
+                    break; // IQ full: dispatch stalls, fetch feels back-pressure
+                }
+                if let Some(d) = t.rob[idx].inst.dest {
+                    if self.regs[d.class().index()].free_count() == 0 {
+                        break; // out of renaming registers
+                    }
+                }
+                // Sources read the map before the destination redefines it.
+                let srcs = t.rob[idx].inst.srcs;
+                for (si, s) in srcs.iter().enumerate() {
+                    if let Some(r) = s {
+                        t.rob[idx].srcs_phys[si] = Some((r.class(), t.map.lookup(*r)));
+                    }
+                }
+                if let Some(d) = t.rob[idx].inst.dest {
+                    let p = self.regs[d.class().index()]
+                        .alloc()
+                        .expect("free count checked above");
+                    let prev = t.map.redefine(d, p);
+                    t.rob[idx].dest_phys = Some((d.class(), p));
+                    t.rob[idx].prev_phys = Some((d.class(), prev));
+                }
+                t.rob[idx].state = InstState::Queued;
+                t.frontend.pop_front();
+                self.iq[class.index()].push((ti, seq));
+                budget -= 1;
+            }
+        }
+    }
+
+    // ---- phase 5b: fetch ---------------------------------------------
+
+    fn fetch(&mut self) {
+        let cycle = self.cycle;
+        let n = self.threads.len();
+        for t in &mut self.threads {
+            t.refresh_counters();
+        }
+        let tpc = usize::from(self.cfg.partition.threads_per_cycle);
+        let ipt = u32::from(self.cfg.partition.insts_per_thread);
+        let fetchable: Vec<usize> = (0..n)
+            .filter(|&ti| {
+                let t = &self.threads[ti];
+                t.icache_req.is_none()
+                    && t.stall_until <= cycle
+                    && t.frontend.len() < self.cfg.frontend_depth
+            })
+            .collect();
+        let mut ranked: Vec<(i64, u64, usize)> = fetchable
+            .into_iter()
+            .map(|ti| {
+                let t = &self.threads[ti];
+                let view = ThreadFetchView {
+                    thread: t.id,
+                    thread_count: n as u8,
+                    in_flight: t.in_flight,
+                    unresolved_branches: t.unresolved_branches,
+                    outstanding_misses: t.outstanding_misses,
+                };
+                let rotation = crate::policy::rotating_rank(cycle, t.id, n as u8);
+                (self.cfg.fetch.priority(cycle, &view), rotation, ti)
+            })
+            .collect();
+        ranked.sort_unstable();
+
+        // As in the paper, the fetch unit takes the highest-priority
+        // threads whose fetch blocks sit in distinct, currently-available
+        // I-cache banks: a thread whose bank is busy is passed over in
+        // favour of the next-ranked thread rather than wasting the slot.
+        //
+        // Loss accounting: blockages only *candidate* slots for loss while
+        // fetching, because a slot one thread could not fill may still be
+        // filled by the next selected thread. At the end of the cycle the
+        // genuinely unused slots are attributed to the recorded causes in
+        // order of occurrence, so fetched + wrong-path + losses always sums
+        // to the 8-slot budget.
+        let mut total_left = FetchPartition::TOTAL_WIDTH;
+        let mut selected = 0usize;
+        let mut losses: Vec<(LossCause, u32)> = Vec::new();
+        for &(_, _, ti) in &ranked {
+            if selected == tpc || total_left == 0 {
+                break;
+            }
+            if !self.mem.icache_bank_free(self.threads[ti].fetch_pc) {
+                continue;
+            }
+            selected += 1;
+            let cap = ipt.min(total_left);
+            total_left -= self.fetch_block(ti, cap, &mut losses);
+        }
+        if selected < tpc {
+            losses.push((LossCause::NoThread, ipt * (tpc - selected) as u32));
+        }
+        let mut unused = total_left;
+        for (cause, amount) in losses {
+            if unused == 0 {
+                break;
+            }
+            let charged = u64::from(amount.min(unused));
+            unused -= amount.min(unused);
+            match cause {
+                LossCause::Icache => self.f_stats.lost_icache += charged,
+                LossCause::Bank => self.f_stats.lost_bank_conflict += charged,
+                LossCause::Fragmentation => self.f_stats.lost_fragmentation += charged,
+                LossCause::FrontendFull => self.f_stats.lost_frontend_full += charged,
+                LossCause::NoThread => self.f_stats.lost_no_thread += charged,
+            }
+        }
+    }
+
+    /// Fetches one thread's block of up to `cap` instructions; returns how
+    /// many were fetched, recording candidate slot losses in `losses`.
+    fn fetch_block(&mut self, ti: usize, cap: u32, losses: &mut Vec<(LossCause, u32)>) -> u32 {
+        let line_bytes = self.cfg.mem.icache.line_bytes as u64;
+        let block_pc = self.threads[ti].fetch_pc;
+        let id = self.threads[ti].id;
+        match self.mem.icache_fetch(id, block_pc) {
+            AccessResult::BankConflict => {
+                // Port or MSHR pressure: yield the fetch slot for a cycle so
+                // thread selection rotates instead of re-picking a thread
+                // that cannot start its access.
+                self.threads[ti].stall_until = self.cycle + 1;
+                losses.push((LossCause::Bank, cap));
+                return 0;
+            }
+            AccessResult::Miss(req) => {
+                self.threads[ti].icache_req = Some(req);
+                losses.push((LossCause::Icache, cap));
+                return 0;
+            }
+            AccessResult::Hit => {}
+        }
+        let line = block_pc / line_bytes;
+        let mut fetched = 0u32;
+        while fetched < cap {
+            if self.threads[ti].frontend.len() >= self.cfg.frontend_depth {
+                losses.push((LossCause::FrontendFull, cap - fetched));
+                break;
+            }
+            let pc = self.threads[ti].fetch_pc;
+            if pc / line_bytes != line {
+                losses.push((LossCause::Fragmentation, cap - fetched));
+                break;
+            }
+            let end_block = self.fetch_one(ti, pc);
+            fetched += 1;
+            if end_block {
+                if fetched < cap {
+                    losses.push((LossCause::Fragmentation, cap - fetched));
+                }
+                break;
+            }
+        }
+        fetched
+    }
+
+    /// Fetches the single instruction at `pc` for thread `ti`; returns
+    /// whether the fetch block ends here (taken control or misfetch stall).
+    fn fetch_one(&mut self, ti: usize, pc: Addr) -> bool {
+        let cycle = self.cycle;
+        let wrong_path = self.threads[ti].wrong_path;
+        let (inst, outcome) = if wrong_path {
+            (WrongPath::inst_at(&self.threads[ti].program, pc), None)
+        } else {
+            debug_assert_eq!(
+                self.threads[ti].oracle.pc(),
+                pc,
+                "fetch left the oracle's path"
+            );
+            let (inst, outcome) = self.threads[ti].oracle.step();
+            (inst, Some(outcome))
+        };
+
+        let mut mem_addr = 0;
+        if inst.op.is_mem() {
+            mem_addr = match outcome {
+                Some(o) => o.mem_addr,
+                None => {
+                    let t = &mut self.threads[ti];
+                    t.wp_salt = t.wp_salt.wrapping_add(1);
+                    WrongPath::mem_addr(&t.program, pc, t.wp_salt ^ cycle)
+                }
+            };
+        }
+
+        let mut pred = None;
+        let mut mispredict = false;
+        let mut end_block = false;
+        let mut misfetch = false;
+        let mut next_fetch = pc + INST_BYTES;
+
+        if inst.op.is_control() {
+            let id = self.threads[ti].id;
+            let p = self.bp.predict(id, pc, inst.op);
+            pred = Some(p);
+            match outcome {
+                Some(actual) => {
+                    let (goes_wrong, nf, ends, misses) = classify_prediction(
+                        &p,
+                        &actual,
+                        inst.op,
+                        pc,
+                        &self.threads[ti].program,
+                        inst,
+                    );
+                    mispredict = goes_wrong;
+                    next_fetch = nf;
+                    end_block = ends;
+                    misfetch = misses;
+                    if goes_wrong {
+                        self.threads[ti].wrong_path = true;
+                    }
+                }
+                None => {
+                    // Wrong path: simply follow the prediction.
+                    if p.taken {
+                        match p.target {
+                            Some(tgt) => {
+                                next_fetch = tgt;
+                                end_block = true;
+                            }
+                            None => {
+                                misfetch = true;
+                                next_fetch =
+                                    wrong_path_taken_target(&self.threads[ti].program, inst, pc);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if misfetch {
+            self.f_stats.misfetches += 1;
+            self.threads[ti].stall_until = cycle + 1 + self.cfg.misfetch_penalty;
+            end_block = true;
+        }
+
+        if wrong_path {
+            self.f_stats.wrong_path += 1;
+        } else {
+            self.f_stats.fetched += 1;
+        }
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let t = &mut self.threads[ti];
+        t.rob.push_back(DynInst {
+            seq,
+            pc,
+            inst,
+            outcome,
+            wrong_path,
+            pred,
+            mispredict,
+            mem_addr,
+            dest_phys: None,
+            prev_phys: None,
+            srcs_phys: [None, None],
+            state: InstState::Decoding {
+                ready_at: cycle + self.cfg.decode_cycles,
+            },
+        });
+        t.frontend.push_back(seq);
+        t.fetch_pc = next_fetch;
+        end_block
+    }
+}
+
+/// Compares one correct-path control prediction against its architectural
+/// outcome. Returns `(mispredict, next_fetch_pc, end_block, misfetch)`.
+fn classify_prediction(
+    p: &Prediction,
+    actual: &Outcome,
+    op: Opcode,
+    pc: Addr,
+    program: &Program,
+    inst: StaticInst,
+) -> (bool, Addr, bool, bool) {
+    let fallthrough = pc + INST_BYTES;
+    if op.is_cond_branch() {
+        if p.taken != actual.taken {
+            // Wrong direction: fetch follows the predicted (wrong) path.
+            if p.taken {
+                match p.target {
+                    Some(tgt) => (true, tgt, true, false),
+                    // Misfetch on the wrong path: decode computes the
+                    // (wrong-path) taken target.
+                    None => (true, wrong_path_taken_target(program, inst, pc), true, true),
+                }
+            } else {
+                (true, fallthrough, false, false)
+            }
+        } else if actual.taken {
+            match p.target {
+                Some(tgt) if tgt == actual.next_pc => (false, tgt, true, false),
+                // Stale BTB target: fetch goes to the wrong place.
+                Some(tgt) => (true, tgt, true, false),
+                // Direction right, no target: stall until decode computes it.
+                None => (false, actual.next_pc, true, true),
+            }
+        } else {
+            (false, fallthrough, false, false)
+        }
+    } else {
+        // Unconditional control: always taken; only the target can be wrong.
+        match p.target {
+            Some(tgt) if tgt == actual.next_pc => (false, tgt, true, false),
+            Some(tgt) => (true, tgt, true, false),
+            None => (false, actual.next_pc, true, true),
+        }
+    }
+}
+
+/// The statically-known taken target used when decode must compute a target
+/// on the wrong path (no architectural outcome exists to consult).
+fn wrong_path_taken_target(program: &Program, inst: StaticInst, pc: Addr) -> Addr {
+    if inst.op.is_control() && inst.op != Opcode::Return && inst.meta != smt_isa::NO_META {
+        let model = program.branch_model(inst.meta);
+        if let Some(&t) = model.targets.first() {
+            if inst.op == Opcode::JumpInd {
+                return t;
+            }
+        }
+        model.taken_target
+    } else {
+        pc + INST_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FetchPartition, RoundRobin};
+    use smt_workload::Benchmark;
+
+    fn tiny_config() -> SimConfig {
+        SimConfig::new().with_benchmarks(vec![Benchmark::Espresso, Benchmark::Eqntott], 11)
+    }
+
+    #[test]
+    fn simulator_makes_forward_progress() {
+        let mut sim = tiny_config().build();
+        let report = sim.run(3_000);
+        assert_eq!(report.cycles, 3_000);
+        assert!(report.total_committed() > 1_000, "IPC collapsed: {report}");
+        for t in &report.threads {
+            assert!(t.committed > 0, "thread {} starved: {report}", t.thread);
+        }
+    }
+
+    #[test]
+    fn committed_stream_matches_oracle_prefix() {
+        // Every committed instruction must be a correct-path instruction:
+        // replaying the oracle must yield exactly the committed count.
+        let mut sim = tiny_config().build();
+        let report = sim.run(2_000);
+        // The oracle inside the simulator has stepped exactly
+        // committed + in-flight correct-path instructions.
+        for (ti, t) in sim.threads.iter().enumerate() {
+            let in_flight_correct = t.rob.iter().filter(|i| !i.wrong_path).count() as u64;
+            assert_eq!(
+                t.oracle.executed(),
+                report.threads[ti].committed + in_flight_correct,
+                "oracle/commit divergence on thread {ti}"
+            );
+        }
+    }
+
+    #[test]
+    fn squashes_happen_and_recover() {
+        let mut sim = tiny_config().build();
+        let report = sim.run(4_000);
+        assert!(
+            report.squashes > 0,
+            "branchy workloads must mispredict sometimes"
+        );
+        assert!(report.cond_prediction.total > 0);
+        // Prediction accuracy should be sane (predictor learns loops).
+        assert!(
+            report.cond_prediction.percent() > 55.0,
+            "suspiciously poor prediction: {}",
+            report.cond_prediction
+        );
+    }
+
+    #[test]
+    fn wrong_path_work_is_fetched_but_never_committed() {
+        let mut sim = tiny_config().build();
+        let report = sim.run(4_000);
+        assert!(
+            report.fetch.wrong_path > 0,
+            "mispredicts must fetch wrong-path work"
+        );
+        // Total commits never exceed correct-path fetches.
+        assert!(report.total_committed() <= report.fetch.fetched);
+    }
+
+    #[test]
+    fn physical_registers_are_conserved() {
+        let mut sim = tiny_config().build();
+        let _ = sim.run(2_500);
+        for (ci, rf) in sim.regs.iter().enumerate() {
+            let live_dests: usize = sim
+                .threads
+                .iter()
+                .flat_map(|t| t.rob.iter())
+                .filter(|i| i.dest_phys.map(|(c, _)| c.index()) == Some(ci))
+                .count();
+            let mapped = smt_isa::LOGICAL_REGS * sim.threads.len();
+            let total = mapped + sim.cfg.extra_phys_regs;
+            assert_eq!(
+                rf.free_count() + live_dests + mapped,
+                total,
+                "register leak in class {ci}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_partitions_run_too() {
+        for partition in FetchPartition::all_schemes() {
+            let mut sim = tiny_config()
+                .with_fetch(Box::new(RoundRobin))
+                .with_partition(partition)
+                .build();
+            let report = sim.run(1_500);
+            assert!(
+                report.total_committed() > 300,
+                "{partition} stalled: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_slot_accounting_sums_to_budget() {
+        let mut sim = tiny_config().build();
+        let r = sim.run(2_000);
+        let lost = r.fetch.lost_icache
+            + r.fetch.lost_bank_conflict
+            + r.fetch.lost_fragmentation
+            + r.fetch.lost_frontend_full
+            + r.fetch.lost_no_thread;
+        assert_eq!(
+            r.fetch.fetched + r.fetch.wrong_path + lost,
+            u64::from(FetchPartition::TOTAL_WIDTH) * r.cycles,
+            "fetch slots must be fully accounted for: {r}"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || tiny_config().build().run(2_000);
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_committed(), b.total_committed());
+        assert_eq!(a.fetch, b.fetch);
+        assert_eq!(a.squashes, b.squashes);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-class physical register files and per-thread rename maps.
+//!
+//! The machine renames each [`RegClass`] into its own physical register
+//! file, sized `32 × contexts + extra` exactly as in the paper (Section 2:
+//! 356 physical registers for 8 contexts and 100 renaming registers).
+//! Running out of renaming registers stalls rename — one of the structural
+//! bottlenecks the ICOUNT fetch policy exists to relieve.
+
+use smt_isa::{Reg, RegClass, LOGICAL_REGS};
+
+/// One class's physical register file: a free list plus per-register
+/// scoreboard state.
+#[derive(Debug, Clone)]
+pub(crate) struct PhysRegFile {
+    free: Vec<u16>,
+    ready: Vec<bool>,
+    /// Cycle at which the register last became ready.
+    ready_at: Vec<u64>,
+    /// Whether the last writer was a load (drives OPT_LAST tagging).
+    by_load: Vec<bool>,
+}
+
+impl PhysRegFile {
+    pub(crate) fn new(total: usize) -> PhysRegFile {
+        assert!(
+            total >= LOGICAL_REGS,
+            "physical file smaller than one context's logical file"
+        );
+        PhysRegFile {
+            // Allocate low indices first: pop from the back for O(1).
+            free: (0..total as u16).rev().collect(),
+            ready: vec![true; total],
+            ready_at: vec![0; total],
+            by_load: vec![false; total],
+        }
+    }
+
+    pub(crate) fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a not-ready register, or `None` when the file is exhausted.
+    pub(crate) fn alloc(&mut self) -> Option<u16> {
+        let p = self.free.pop()?;
+        self.ready[p as usize] = false;
+        self.by_load[p as usize] = false;
+        Some(p)
+    }
+
+    /// Returns a register to the free list (commit of the previous mapping,
+    /// or squash of the instruction that allocated it).
+    pub(crate) fn release(&mut self, p: u16) {
+        debug_assert!(
+            !self.free.contains(&p),
+            "double free of physical register {p}"
+        );
+        self.ready[p as usize] = true;
+        self.free.push(p);
+    }
+
+    /// Marks a register's value available as of `cycle`.
+    pub(crate) fn set_ready(&mut self, p: u16, cycle: u64, by_load: bool) {
+        self.ready[p as usize] = true;
+        self.ready_at[p as usize] = cycle;
+        self.by_load[p as usize] = by_load;
+    }
+
+    pub(crate) fn is_ready(&self, p: u16) -> bool {
+        self.ready[p as usize]
+    }
+
+    /// Whether the register was written by a load that completed at or
+    /// after `cycle` — i.e. a consumer issuing now still rides the
+    /// load-hit-speculation window.
+    pub(crate) fn woken_by_load_since(&self, p: u16, cycle: u64) -> bool {
+        self.by_load[p as usize] && self.ready[p as usize] && self.ready_at[p as usize] >= cycle
+    }
+}
+
+/// One thread's rename maps, one per register class.
+#[derive(Debug, Clone)]
+pub(crate) struct RenameMap {
+    map: [[u16; LOGICAL_REGS]; 2],
+}
+
+impl RenameMap {
+    /// Builds the identity-free initial map by allocating one physical
+    /// register per logical register from each class's file. The initial
+    /// mappings are ready (architectural state exists at start).
+    pub(crate) fn new(files: &mut [PhysRegFile; 2]) -> RenameMap {
+        let mut map = [[0u16; LOGICAL_REGS]; 2];
+        for class in RegClass::ALL {
+            for slot in map[class.index()].iter_mut() {
+                let p = files[class.index()]
+                    .alloc()
+                    .expect("physical file must cover the architectural state");
+                files[class.index()].set_ready(p, 0, false);
+                *slot = p;
+            }
+        }
+        RenameMap { map }
+    }
+
+    /// Current physical register holding logical register `r`.
+    pub(crate) fn lookup(&self, r: Reg) -> u16 {
+        self.map[r.class().index()][r.index()]
+    }
+
+    /// Points logical register `r` at physical register `p`, returning the
+    /// previous mapping (freed when the renaming instruction commits, or
+    /// restored if it squashes).
+    pub(crate) fn redefine(&mut self, r: Reg, p: u16) -> u16 {
+        std::mem::replace(&mut self.map[r.class().index()][r.index()], p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_roundtrip() {
+        let mut f = PhysRegFile::new(40);
+        assert_eq!(f.free_count(), 40);
+        let p = f.alloc().unwrap();
+        assert!(!f.is_ready(p));
+        assert_eq!(f.free_count(), 39);
+        f.set_ready(p, 5, true);
+        assert!(f.is_ready(p));
+        assert!(f.woken_by_load_since(p, 5));
+        assert!(!f.woken_by_load_since(p, 6));
+        f.release(p);
+        assert_eq!(f.free_count(), 40);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut f = PhysRegFile::new(LOGICAL_REGS);
+        for _ in 0..LOGICAL_REGS {
+            assert!(f.alloc().is_some());
+        }
+        assert!(f.alloc().is_none());
+    }
+
+    #[test]
+    fn rename_map_tracks_redefinitions() {
+        let mut files = [PhysRegFile::new(64), PhysRegFile::new(64)];
+        let mut m = RenameMap::new(&mut files);
+        let r3 = Reg::int(3);
+        let old = m.lookup(r3);
+        let fresh = files[0].alloc().unwrap();
+        let prev = m.redefine(r3, fresh);
+        assert_eq!(prev, old);
+        assert_eq!(m.lookup(r3), fresh);
+        // FP namespace is independent.
+        assert_ne!(m.lookup(Reg::fp(3)), fresh);
+    }
+}

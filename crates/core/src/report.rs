@@ -1,0 +1,255 @@
+//! Simulation results: per-thread and machine-wide metrics.
+//!
+//! [`SimReport`] is what [`Simulator::run`](crate::Simulator::run) returns:
+//! IPC per thread and in total, the fetch slot-loss breakdown that the
+//! paper's Section 4 figures are built from, branch-prediction and memory
+//! statistics, all rendered through `smt-stats` so experiment binaries can
+//! print paper-style tables.
+
+use std::fmt;
+
+use smt_mem::MemStats;
+use smt_stats::{Ratio, TextTable};
+
+use crate::policy::FetchPartition;
+
+/// Results for one hardware context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadReport {
+    /// Context index.
+    pub thread: usize,
+    /// Benchmark the context ran.
+    pub benchmark: String,
+    /// Correct-path instructions committed.
+    pub committed: u64,
+    /// Per-thread IPC over the simulated window.
+    pub ipc: f64,
+}
+
+/// Where fetch bandwidth went: slots used, plus the loss breakdown the
+/// paper charts. All fields are in fetch slots; whenever the partition's
+/// `T × I` covers the 8-wide fetch bandwidth (true of all four paper
+/// schemes), `fetched + wrong_path + Σ lost_* == 8 × cycles` exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchBreakdown {
+    /// Correct-path instructions fetched.
+    pub fetched: u64,
+    /// Wrong-path instructions fetched (lost bandwidth discovered later).
+    pub wrong_path: u64,
+    /// Slots lost because a selected thread's fetch block missed in the
+    /// I-cache (or the thread was already waiting on an I-miss).
+    pub lost_icache: u64,
+    /// Slots lost to I-cache bank/port conflicts between threads.
+    pub lost_bank_conflict: u64,
+    /// Slots lost because the fetch block ended early (taken branch or
+    /// cache-line boundary fragmentation).
+    pub lost_fragmentation: u64,
+    /// Slots lost because the thread's front-end/queues were full (IQ-full
+    /// and register-exhaustion back-pressure).
+    pub lost_frontend_full: u64,
+    /// Slots lost because fewer than `T` threads were fetchable.
+    pub lost_no_thread: u64,
+    /// Misfetches: predicted-taken control without a target; fetch stalled
+    /// until decode produced one.
+    pub misfetches: u64,
+}
+
+/// Issue-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IssueBreakdown {
+    /// Correct-path instructions issued.
+    pub issued: u64,
+    /// Wrong-path instructions issued (the paper's wasted issue slots).
+    pub wrong_path: u64,
+    /// Issue attempts bounced by D-cache bank/port conflicts.
+    pub bank_conflicts: u64,
+}
+
+/// Complete results of one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Fetch policy name (e.g. `"ICOUNT"`).
+    pub fetch_policy: String,
+    /// Issue policy name (e.g. `"OLDEST_FIRST"`).
+    pub issue_policy: String,
+    /// Fetch partition used.
+    pub partition: FetchPartition,
+    /// Per-thread results.
+    pub threads: Vec<ThreadReport>,
+    /// Fetch bandwidth accounting.
+    pub fetch: FetchBreakdown,
+    /// Issue accounting.
+    pub issue: IssueBreakdown,
+    /// Conditional-branch direction prediction accuracy.
+    pub cond_prediction: Ratio,
+    /// Mispredictions that triggered a squash (any control kind).
+    pub squashes: u64,
+    /// Instructions flushed by squashes.
+    pub squashed_insts: u64,
+    /// Memory system statistics.
+    pub mem: MemStats,
+}
+
+impl SimReport {
+    /// The scheme label, e.g. `"ICOUNT.2.8"`.
+    pub fn scheme(&self) -> String {
+        format!("{}.{}", self.fetch_policy, self.partition)
+    }
+
+    /// Total correct-path instructions committed across all threads.
+    pub fn total_committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Machine throughput: committed instructions per cycle.
+    pub fn total_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of fetched instructions that were wrong-path.
+    pub fn wrong_path_fetch_fraction(&self) -> f64 {
+        let total = self.fetch.fetched + self.fetch.wrong_path;
+        if total == 0 {
+            0.0
+        } else {
+            self.fetch.wrong_path as f64 / total as f64
+        }
+    }
+
+    /// Per-thread results as a text table.
+    pub fn thread_table(&self) -> TextTable {
+        let mut t = TextTable::new();
+        t.header(vec![
+            "thread".into(),
+            "benchmark".into(),
+            "committed".into(),
+            "ipc".into(),
+        ]);
+        for tr in &self.threads {
+            t.row(vec![
+                format!("t{}", tr.thread),
+                tr.benchmark.clone(),
+                tr.committed.to_string(),
+                format!("{:.2}", tr.ipc),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} issue), {} threads, {} cycles: {:.2} IPC",
+            self.scheme(),
+            self.issue_policy,
+            self.threads.len(),
+            self.cycles,
+            self.total_ipc()
+        )?;
+        writeln!(f, "{}", self.thread_table())?;
+        writeln!(
+            f,
+            "fetch: {} useful, {} wrong-path ({:.1}%), lost: icache {}, bank {}, frag {}, \
+             queue-full {}, no-thread {}, misfetches {}",
+            self.fetch.fetched,
+            self.fetch.wrong_path,
+            self.wrong_path_fetch_fraction() * 100.0,
+            self.fetch.lost_icache,
+            self.fetch.lost_bank_conflict,
+            self.fetch.lost_fragmentation,
+            self.fetch.lost_frontend_full,
+            self.fetch.lost_no_thread,
+            self.fetch.misfetches,
+        )?;
+        writeln!(
+            f,
+            "issue: {} useful, {} wrong-path, {} D-bank bounces; cond-branch pred {}; \
+             {} squashes ({} insts)",
+            self.issue.issued,
+            self.issue.wrong_path,
+            self.issue.bank_conflicts,
+            self.cond_prediction,
+            self.squashes,
+            self.squashed_insts,
+        )?;
+        write!(
+            f,
+            "memory: I$ {:.1}% miss, D$ {:.1}% miss, L2 {:.1}% miss, L3 {:.1}% miss",
+            self.mem.icache.miss_rate(),
+            self.mem.dcache.miss_rate(),
+            self.mem.l2.miss_rate(),
+            self.mem.l3.miss_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            cycles: 1000,
+            fetch_policy: "ICOUNT".into(),
+            issue_policy: "OLDEST_FIRST".into(),
+            partition: FetchPartition::new(2, 8),
+            threads: vec![
+                ThreadReport {
+                    thread: 0,
+                    benchmark: "espresso".into(),
+                    committed: 3000,
+                    ipc: 3.0,
+                },
+                ThreadReport {
+                    thread: 1,
+                    benchmark: "tomcatv".into(),
+                    committed: 2000,
+                    ipc: 2.0,
+                },
+            ],
+            fetch: FetchBreakdown {
+                fetched: 6000,
+                wrong_path: 600,
+                ..Default::default()
+            },
+            issue: IssueBreakdown {
+                issued: 5200,
+                wrong_path: 300,
+                bank_conflicts: 10,
+            },
+            cond_prediction: Ratio {
+                hits: 900,
+                total: 1000,
+            },
+            squashes: 100,
+            squashed_insts: 700,
+            mem: MemStats::default(),
+        }
+    }
+
+    #[test]
+    fn totals_and_scheme_label() {
+        let r = report();
+        assert_eq!(r.total_committed(), 5000);
+        assert_eq!(r.total_ipc(), 5.0);
+        assert_eq!(r.scheme(), "ICOUNT.2.8");
+        assert!((r.wrong_path_fetch_fraction() - 600.0 / 6600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = report().to_string();
+        assert!(s.contains("ICOUNT.2.8"));
+        assert!(s.contains("5.00 IPC"));
+        assert!(s.contains("espresso"));
+        assert!(s.contains("misfetches"));
+    }
+}

@@ -1,1 +1,41 @@
-fn main(){}
+//! `smt_exp` — the policy-comparison CLI.
+//!
+//! ```text
+//! smt_exp --fetch icount --partition 2.8 --threads 8 --cycles 20000
+//! smt_exp --fetch all --partition all          # the full Section-4 matrix
+//! ```
+
+use std::process::ExitCode;
+
+use smt_experiments::{parse_args, run_matrix, ExpConfig, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg: ExpConfig = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg == USAGE => {
+            println!("{msg}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "SMT fetch/issue policy comparison — {} threads, {} cycles, seed {} ({} issue)",
+        cfg.threads, cfg.cycles, cfg.seed, cfg.issue_policy
+    );
+    println!();
+    let (table, reports) = run_matrix(&cfg);
+    println!("total IPC (committed instructions per cycle):");
+    println!("{table}");
+    if cfg.verbose {
+        for report in &reports {
+            println!("{report}");
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}

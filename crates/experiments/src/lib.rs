@@ -1,1 +1,268 @@
-// placeholder
+//! Experiment harness for the fetch/issue policy studies.
+//!
+//! This crate drives `smt-core` the way the paper's Sections 4 and 5 do:
+//! sweep fetch policies and partitions over a fixed multiprogrammed mix and
+//! tabulate total throughput. The `smt_exp` binary is a thin CLI over
+//! [`ExpConfig`] and [`run_matrix`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use smt_core::{fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport};
+use smt_stats::TextTable;
+use smt_workload::{standard_mix, Benchmark, Program};
+
+/// One experiment sweep: which policies and partitions to run, on what
+/// workload, for how long.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Fetch policies to sweep (shipped-policy names).
+    pub fetch_policies: Vec<String>,
+    /// Issue policy (one per sweep; the paper's issue-policy deltas are
+    /// small, so the sweep axis is fetch).
+    pub issue_policy: String,
+    /// Partitions to sweep.
+    pub partitions: Vec<FetchPartition>,
+    /// Number of hardware contexts (cycles through the standard mix).
+    pub threads: usize,
+    /// Cycles per simulation.
+    pub cycles: u64,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Print the full per-run report instead of just the summary table.
+    pub verbose: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> ExpConfig {
+        ExpConfig {
+            fetch_policies: vec![
+                "rr".to_string(),
+                "icount".to_string(),
+                "brcount".to_string(),
+                "misscount".to_string(),
+            ],
+            issue_policy: "oldest".to_string(),
+            partitions: vec![FetchPartition::new(2, 8)],
+            threads: 8,
+            cycles: 20_000,
+            seed: 42,
+            verbose: false,
+        }
+    }
+}
+
+/// The workload for `threads` contexts: the standard mix, cycled.
+pub fn mix_for(threads: usize) -> Vec<Benchmark> {
+    let mix = standard_mix();
+    (0..threads).map(|i| mix[i % mix.len()]).collect()
+}
+
+/// Generates the sweep's program images once. Every cell of a sweep runs
+/// the identical workload, so images are generated here and shared
+/// (`Arc`-cloned) across cells instead of being regenerated per run.
+pub fn generate_programs(cfg: &ExpConfig) -> Vec<Arc<Program>> {
+    mix_for(cfg.threads)
+        .iter()
+        .enumerate()
+        .map(|(slot, b)| Arc::new(b.generate(cfg.seed, slot as u32)))
+        .collect()
+}
+
+/// Runs one `(fetch policy, partition)` cell on pre-generated images from
+/// [`generate_programs`].
+///
+/// # Panics
+///
+/// Panics if a policy name is unknown — the CLI validates names first.
+pub fn run_cell(
+    cfg: &ExpConfig,
+    fetch: &str,
+    partition: FetchPartition,
+    programs: &[Arc<Program>],
+) -> SimReport {
+    SimConfig::new()
+        .with_programs(programs.to_vec())
+        .with_seed(cfg.seed)
+        .with_fetch(fetch_policy_by_name(fetch).expect("validated fetch policy"))
+        .with_issue(issue_policy_by_name(&cfg.issue_policy).expect("validated issue policy"))
+        .with_partition(partition)
+        .build()
+        .run(cfg.cycles)
+}
+
+/// Runs the full sweep and renders the Section-4-style throughput table:
+/// one row per partition, one column per fetch policy, cells in IPC.
+pub fn run_matrix(cfg: &ExpConfig) -> (TextTable, Vec<SimReport>) {
+    let programs = generate_programs(cfg);
+    let mut table = TextTable::new();
+    let mut header = vec!["partition".to_string()];
+    header.extend(cfg.fetch_policies.iter().map(|p| p.to_uppercase()));
+    table.header(header);
+    let mut reports = Vec::new();
+    for &partition in &cfg.partitions {
+        let mut row = vec![partition.to_string()];
+        for fetch in &cfg.fetch_policies {
+            let report = run_cell(cfg, fetch, partition, &programs);
+            row.push(format!("{:.2}", report.total_ipc()));
+            reports.push(report);
+        }
+        table.row(row);
+    }
+    (table, reports)
+}
+
+/// Parses CLI arguments (everything after the program name).
+///
+/// # Errors
+///
+/// Returns a usage-style message on unknown flags, bad values or unknown
+/// policy names.
+pub fn parse_args(args: &[String]) -> Result<ExpConfig, String> {
+    let mut cfg = ExpConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--fetch" => {
+                let v = value("--fetch")?;
+                if v.eq_ignore_ascii_case("all") {
+                    cfg.fetch_policies = ExpConfig::default().fetch_policies;
+                } else {
+                    for name in v.split(',') {
+                        if fetch_policy_by_name(name).is_none() {
+                            return Err(format!("unknown fetch policy '{name}'"));
+                        }
+                    }
+                    cfg.fetch_policies = v.split(',').map(str::to_string).collect();
+                }
+            }
+            "--issue" => {
+                let v = value("--issue")?;
+                if issue_policy_by_name(&v).is_none() {
+                    return Err(format!("unknown issue policy '{v}'"));
+                }
+                cfg.issue_policy = v;
+            }
+            "--partition" => {
+                let v = value("--partition")?;
+                if v.eq_ignore_ascii_case("all") {
+                    cfg.partitions = FetchPartition::all_schemes().to_vec();
+                } else {
+                    cfg.partitions = v
+                        .split(',')
+                        .map(|s| {
+                            FetchPartition::parse(s)
+                                .ok_or_else(|| format!("bad partition '{s}' (expected T.I)"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a number".to_string())?;
+                if cfg.threads == 0 || cfg.threads > smt_core::MAX_THREADS {
+                    return Err(format!("--threads must be 1..={}", smt_core::MAX_THREADS));
+                }
+            }
+            "--cycles" => {
+                cfg.cycles = value("--cycles")?
+                    .parse()
+                    .map_err(|_| "--cycles expects a number".to_string())?;
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?;
+            }
+            "--verbose" | "-v" => cfg.verbose = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+usage: smt_exp [--fetch rr,icount,brcount,misscount|all] [--issue oldest|opt_last|spec_last|branch_first]
+               [--partition T.I[,T.I...]|all] [--threads N] [--cycles N] [--seed N] [--verbose]
+
+Reproduces the throughput comparisons of Tullsen et al., ISCA 1996 (Sections 4/5):
+one row per fetch partition, one column per fetch policy, cells in total IPC.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_covers_the_papers_policies() {
+        let cfg = ExpConfig::default();
+        assert_eq!(cfg.fetch_policies.len(), 4);
+        assert_eq!(cfg.partitions, vec![FetchPartition::new(2, 8)]);
+    }
+
+    #[test]
+    fn parse_args_roundtrip() {
+        let args: Vec<String> = [
+            "--fetch",
+            "icount",
+            "--partition",
+            "2.8,1.8",
+            "--threads",
+            "4",
+            "--cycles",
+            "500",
+            "--seed",
+            "9",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert_eq!(cfg.fetch_policies, vec!["icount"]);
+        assert_eq!(cfg.partitions.len(), 2);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.cycles, 500);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_policy() {
+        let args = vec!["--fetch".to_string(), "nonesuch".to_string()];
+        assert!(parse_args(&args).is_err());
+        let args = vec!["--partition".to_string(), "0.8".to_string()];
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn small_matrix_runs_and_renders() {
+        let cfg = ExpConfig {
+            fetch_policies: vec!["rr".into(), "icount".into()],
+            partitions: vec![FetchPartition::new(2, 8)],
+            threads: 2,
+            cycles: 400,
+            ..ExpConfig::default()
+        };
+        let (table, reports) = run_matrix(&cfg);
+        assert_eq!(reports.len(), 2);
+        let rendered = table.to_string();
+        assert!(rendered.contains("RR"));
+        assert!(rendered.contains("ICOUNT"));
+        assert!(rendered.contains("2.8"));
+    }
+
+    #[test]
+    fn mix_cycles_when_threads_exceed_benchmarks() {
+        let m = mix_for(10);
+        assert_eq!(m.len(), 10);
+        assert_eq!(m[0], m[8]);
+    }
+}

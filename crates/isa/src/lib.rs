@@ -97,7 +97,10 @@ impl Reg {
     /// Panics if `idx >= 32`.
     #[inline]
     pub fn int(idx: u8) -> Reg {
-        assert!((idx as usize) < LOGICAL_REGS, "integer register index out of range");
+        assert!(
+            (idx as usize) < LOGICAL_REGS,
+            "integer register index out of range"
+        );
         Reg(idx)
     }
 
@@ -108,7 +111,10 @@ impl Reg {
     /// Panics if `idx >= 32`.
     #[inline]
     pub fn fp(idx: u8) -> Reg {
-        assert!((idx as usize) < LOGICAL_REGS, "fp register index out of range");
+        assert!(
+            (idx as usize) < LOGICAL_REGS,
+            "fp register index out of range"
+        );
         Reg(idx | 0x80)
     }
 
@@ -231,11 +237,9 @@ impl Opcode {
             Opcode::FpDivDouble => 30,
             Opcode::Load | Opcode::FpLoad => 1,
             Opcode::Store | Opcode::FpStore => 1,
-            Opcode::CondBranch
-            | Opcode::Jump
-            | Opcode::JumpInd
-            | Opcode::Call
-            | Opcode::Return => 1,
+            Opcode::CondBranch | Opcode::Jump | Opcode::JumpInd | Opcode::Call | Opcode::Return => {
+                1
+            }
         }
     }
 
@@ -299,7 +303,10 @@ impl Opcode {
     /// regardless of prediction).
     #[inline]
     pub fn is_uncond_control(self) -> bool {
-        matches!(self, Opcode::Jump | Opcode::JumpInd | Opcode::Call | Opcode::Return)
+        matches!(
+            self,
+            Opcode::Jump | Opcode::JumpInd | Opcode::Call | Opcode::Return
+        )
     }
 }
 
@@ -352,17 +359,32 @@ pub struct StaticInst {
 impl StaticInst {
     /// A no-destination, no-source instruction of class `op`.
     pub fn op0(op: Opcode) -> StaticInst {
-        StaticInst { op, dest: None, srcs: [None, None], meta: NO_META }
+        StaticInst {
+            op,
+            dest: None,
+            srcs: [None, None],
+            meta: NO_META,
+        }
     }
 
     /// `dest <- op src` (one source).
     pub fn op2(op: Opcode, dest: Reg, src: Reg) -> StaticInst {
-        StaticInst { op, dest: Some(dest), srcs: [Some(src), None], meta: NO_META }
+        StaticInst {
+            op,
+            dest: Some(dest),
+            srcs: [Some(src), None],
+            meta: NO_META,
+        }
     }
 
     /// `dest <- src1 op src2`.
     pub fn op3(op: Opcode, dest: Reg, src1: Reg, src2: Reg) -> StaticInst {
-        StaticInst { op, dest: Some(dest), srcs: [Some(src1), Some(src2)], meta: NO_META }
+        StaticInst {
+            op,
+            dest: Some(dest),
+            srcs: [Some(src1), Some(src2)],
+            meta: NO_META,
+        }
     }
 
     /// Attaches a side-table index, builder style.
@@ -413,7 +435,11 @@ pub struct Outcome {
 impl Outcome {
     /// A fall-through outcome for a non-control, non-memory instruction at `pc`.
     pub fn fallthrough(pc: Addr) -> Outcome {
-        Outcome { next_pc: pc + INST_BYTES, taken: false, mem_addr: 0 }
+        Outcome {
+            next_pc: pc + INST_BYTES,
+            taken: false,
+            mem_addr: 0,
+        }
     }
 }
 

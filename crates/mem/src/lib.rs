@@ -242,7 +242,10 @@ struct TagArray {
 impl TagArray {
     fn new(p: &CacheParams) -> TagArray {
         let sets = p.sets();
-        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "cache set count must be a power of two"
+        );
         TagArray {
             sets,
             assoc: p.assoc,
@@ -325,7 +328,12 @@ impl TagArray {
                 l.lru = l.lru.saturating_add(1).min(self.assoc as u8 - 1);
             }
         }
-        self.lines[base + victim] = Line { valid: true, dirty, tag, lru: 0 };
+        self.lines[base + victim] = Line {
+            valid: true,
+            dirty,
+            tag,
+            lru: 0,
+        };
         wb
     }
 }
@@ -340,7 +348,11 @@ struct Tlb {
 
 impl Tlb {
     fn new(capacity: usize, page_bytes: u64) -> Tlb {
-        Tlb { entries: Vec::with_capacity(capacity), capacity, page_bytes }
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            page_bytes,
+        }
     }
 
     /// Returns true on hit; on miss the translation is installed (the miss
@@ -525,10 +537,11 @@ impl MemoryHierarchy {
     }
 
     fn mshr_key(m: &Mshr) -> u64 {
-        m.line ^ match m.side {
-            Side::Instr => 0x8000_0000_0000_0000,
-            Side::Data => 0,
-        }
+        m.line
+            ^ match m.side {
+                Side::Instr => 0x8000_0000_0000_0000,
+                Side::Data => 0,
+            }
     }
 
     fn install_chain(&mut self, side: Side, line: Addr) {
@@ -557,8 +570,7 @@ impl MemoryHierarchy {
         if let Some(_wb3) = self.l3.install(line, false) {
             self.stats.writebacks += 1;
             if !self.cfg.infinite_bandwidth {
-                self.bus_mem_free =
-                    self.bus_mem_free.max(self.cycle) + self.cfg.l3.transfer_cycles;
+                self.bus_mem_free = self.bus_mem_free.max(self.cycle) + self.cfg.l3.transfer_cycles;
             }
         }
     }
@@ -649,8 +661,14 @@ impl MemoryHierarchy {
         }
         let start = self.cycle + 1 + extra_delay;
         let complete_at = self.service_miss(side, line, start);
-        let m = Mshr { line, side, complete_at, waiters: vec![req] };
-        self.completions.push(Reverse((complete_at, Self::mshr_key(&m))));
+        let m = Mshr {
+            line,
+            side,
+            complete_at,
+            waiters: vec![req],
+        };
+        self.completions
+            .push(Reverse((complete_at, Self::mshr_key(&m))));
         self.pending_fills.push((complete_at, side, line));
         self.mshrs.push(m);
         self.next_req += 1;
@@ -865,7 +883,10 @@ mod tests {
         };
         let t3 = drain_until(&mut m, r3, 2000);
         let l2_latency = t3 - (t2 + 1);
-        assert!(l2_latency < 20, "L2 hit should be ~7-10 cycles, got {l2_latency}");
+        assert!(
+            l2_latency < 20,
+            "L2 hit should be ~7-10 cycles, got {l2_latency}"
+        );
     }
 
     #[test]
@@ -883,7 +904,10 @@ mod tests {
         assert_eq!(ok, 4);
         // Next cycle the ports are free again.
         m.begin_cycle(1);
-        assert!(!matches!(m.dcache_access(T0, 0x50_0000, false), AccessResult::BankConflict));
+        assert!(!matches!(
+            m.dcache_access(T0, 0x50_0000, false),
+            AccessResult::BankConflict
+        ));
     }
 
     #[test]
@@ -893,7 +917,10 @@ mod tests {
         let a = 0x60_0000;
         let same_bank = a + 8 * 64; // 8 banks * 64B line => same bank, different line
         let _ = m.dcache_access(T0, a, false);
-        assert_eq!(m.dcache_access(T0, same_bank, false), AccessResult::BankConflict);
+        assert_eq!(
+            m.dcache_access(T0, same_bank, false),
+            AccessResult::BankConflict
+        );
         assert!(m.stats().bank_conflicts >= 1);
     }
 
@@ -964,7 +991,9 @@ mod tests {
         assert_eq!(m.stats().icache.accesses, before);
         // After a fill, probe sees the line.
         m.begin_cycle(0);
-        let AccessResult::Miss(req) = m.icache_fetch(T0, 0x1000) else { panic!() };
+        let AccessResult::Miss(req) = m.icache_fetch(T0, 0x1000) else {
+            panic!()
+        };
         let done = drain_until(&mut m, req, 1000);
         m.begin_cycle(done + 1);
         assert!(m.icache_probe(0x1000));
@@ -975,7 +1004,9 @@ mod tests {
         let mut m = mem();
         m.begin_cycle(0);
         // First access: TLB miss + cold cache miss.
-        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x100_0000, false) else { panic!() };
+        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x100_0000, false) else {
+            panic!()
+        };
         let t1 = drain_until(&mut m, r1, 2000);
         assert!(
             t1 >= 2 * m.full_memory_latency(),
@@ -997,7 +1028,9 @@ mod tests {
         let mut m = mem();
         // Write a line (write-allocate), then evict it with a conflicting line.
         m.begin_cycle(0);
-        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x30_0000, true) else { panic!() };
+        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x30_0000, true) else {
+            panic!()
+        };
         let t1 = drain_until(&mut m, r1, 2000);
         m.begin_cycle(t1 + 1);
         // Dirty the line now that it is resident.
@@ -1007,12 +1040,18 @@ mod tests {
             panic!()
         };
         let _ = drain_until(&mut m, r2, 3000);
-        assert!(m.stats().writebacks >= 1, "dirty eviction must count a writeback");
+        assert!(
+            m.stats().writebacks >= 1,
+            "dirty eviction must count a writeback"
+        );
     }
 
     #[test]
     fn level_stats_miss_rate() {
-        let s = LevelStats { accesses: 200, misses: 5 };
+        let s = LevelStats {
+            accesses: 200,
+            misses: 5,
+        };
         assert_eq!(s.miss_rate(), 2.5);
         assert_eq!(LevelStats::default().miss_rate(), 0.0);
     }
@@ -1021,7 +1060,9 @@ mod tests {
     fn reset_stats_preserves_contents() {
         let mut m = mem();
         m.begin_cycle(0);
-        let AccessResult::Miss(req) = m.dcache_access(T0, 0x10_0000, false) else { panic!() };
+        let AccessResult::Miss(req) = m.dcache_access(T0, 0x10_0000, false) else {
+            panic!()
+        };
         let done = drain_until(&mut m, req, 1000);
         m.reset_stats();
         assert_eq!(m.stats().dcache.accesses, 0);
@@ -1045,11 +1086,18 @@ mod tests {
         // Two cold misses to different L3 lines close in time: the second
         // must queue behind the first at the single L3 bank.
         m.begin_cycle(0);
-        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x800_0000, false) else { panic!() };
+        let AccessResult::Miss(r1) = m.dcache_access(T0, 0x800_0000, false) else {
+            panic!()
+        };
         // Different L1 bank (line + 64) so both accesses start this cycle.
-        let AccessResult::Miss(r2) = m.dcache_access(T0, 0x900_0040, false) else { panic!() };
+        let AccessResult::Miss(r2) = m.dcache_access(T0, 0x900_0040, false) else {
+            panic!()
+        };
         let t1 = drain_until(&mut m, r1, 4000);
         let t2 = drain_until(&mut m, r2, 4000);
-        assert!(t2 > t1, "second miss must queue behind the first in L3/memory");
+        assert!(
+            t2 > t1,
+            "second miss must queue behind the first in L3/memory"
+        );
     }
 }

@@ -129,7 +129,9 @@ impl Histogram {
     /// Creates a histogram covering values `0..=max`; larger values land in
     /// the final (overflow) bucket.
     pub fn new(max: usize) -> Histogram {
-        Histogram { buckets: vec![0; max + 2] }
+        Histogram {
+            buckets: vec![0; max + 2],
+        }
     }
 
     /// Records one sample.
@@ -177,7 +179,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series with the given name.
     pub fn new(name: impl Into<String>) -> Series {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends one point.
@@ -266,7 +271,8 @@ impl TextTable {
 
     /// Appends a row from string slices.
     pub fn row_strs(&mut self, cells: &[&str]) -> &mut TextTable {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

@@ -1,0 +1,522 @@
+//! Benchmark parameter sets modeled on the paper's workload.
+//!
+//! The paper (Table 3) runs seven SPEC92 benchmarks plus TeX. Each
+//! [`Benchmark`] here is a [`ProfileParams`] tuned to the qualitative
+//! character of the original program: `espresso`/`eqntott` are branchy
+//! integer codes, `xlisp` is call/return and pointer-chasing heavy,
+//! `compress` streams through a large buffer, while the FP codes
+//! (`alvinn`, `tomcatv`, `su2cor`, `swm256`) stream arrays with long
+//! basic blocks and `doduc`/`fpppp` mix in divides and very high ILP.
+
+use crate::gen::{PatternSpec, ProfileParams, RegionSpec};
+use crate::program::Program;
+
+/// One synthetic benchmark (a named [`ProfileParams`] preset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// SPEC92 `espresso`: PLA minimization; branchy integer code.
+    Espresso,
+    /// SPEC92 `eqntott`: boolean equation translation; predictable branches.
+    Eqntott,
+    /// SPEC92 `xlisp`: lisp interpreter; calls, returns, pointer chasing.
+    Xlisp,
+    /// SPEC92 `compress`: LZW compression; streaming plus a hot hash table.
+    Compress,
+    /// SPEC92 `alvinn`: neural-net training; FP array streaming.
+    Alvinn,
+    /// SPEC92 `doduc`: Monte-Carlo nuclear simulation; FP with divides.
+    Doduc,
+    /// SPEC92 `fpppp`: quantum chemistry; huge blocks, very high ILP.
+    Fpppp,
+    /// SPEC92 `tomcatv`: vectorized mesh generation; large-array FP streams.
+    Tomcatv,
+    /// SPEC92 `su2cor`: quantum physics; FP over large lattices.
+    Su2cor,
+    /// SPEC92 `swm256`: shallow-water model; FP stencil streams.
+    Swm256,
+    /// `TeX`: typesetting; large code footprint, irregular integer work.
+    Tex,
+}
+
+impl Benchmark {
+    /// All benchmarks, in a stable order.
+    pub const ALL: [Benchmark; 11] = [
+        Benchmark::Espresso,
+        Benchmark::Eqntott,
+        Benchmark::Xlisp,
+        Benchmark::Compress,
+        Benchmark::Alvinn,
+        Benchmark::Doduc,
+        Benchmark::Fpppp,
+        Benchmark::Tomcatv,
+        Benchmark::Su2cor,
+        Benchmark::Swm256,
+        Benchmark::Tex,
+    ];
+
+    /// The benchmark's name, as used in reports and on the command line.
+    pub fn name(&self) -> &'static str {
+        self.params().name
+    }
+
+    /// Looks a benchmark up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Generates this benchmark's program image for context slot `slot`.
+    pub fn generate(&self, seed: u64, slot: u32) -> Program {
+        self.params().generate(seed, slot)
+    }
+
+    /// The parameter set behind this benchmark.
+    pub fn params(&self) -> ProfileParams {
+        let kb = 1024u64;
+        match self {
+            Benchmark::Espresso => ProfileParams {
+                name: "espresso",
+                blocks: 100,
+                block_len: (3, 9),
+                load_milli: 230,
+                store_milli: 80,
+                fp_milli: 0,
+                int_mul_milli: 10,
+                fp_div_milli: 0,
+                loop_milli: 360,
+                call_milli: 70,
+                jump_milli: 50,
+                indirect_milli: 20,
+                trip: (32, 384),
+                taken_milli: 380,
+                dep_window: 5,
+                functions: 10,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 192 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Eqntott => ProfileParams {
+                name: "eqntott",
+                blocks: 90,
+                block_len: (3, 7),
+                load_milli: 250,
+                store_milli: 50,
+                fp_milli: 0,
+                int_mul_milli: 5,
+                fp_div_milli: 0,
+                loop_milli: 420,
+                call_milli: 40,
+                jump_milli: 40,
+                indirect_milli: 10,
+                trip: (64, 768),
+                taken_milli: 250,
+                dep_window: 4,
+                functions: 6,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Stride(4),
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 128 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Xlisp => ProfileParams {
+                name: "xlisp",
+                blocks: 150,
+                block_len: (2, 6),
+                load_milli: 280,
+                store_milli: 120,
+                fp_milli: 0,
+                int_mul_milli: 5,
+                fp_div_milli: 0,
+                loop_milli: 250,
+                call_milli: 180,
+                jump_milli: 60,
+                indirect_milli: 60,
+                trip: (16, 96),
+                taken_milli: 450,
+                dep_window: 3,
+                functions: 24,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 512 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 1,
+                    },
+                    RegionSpec {
+                        size: 32 * kb,
+                        pattern: PatternSpec::Stride(16),
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Compress => ProfileParams {
+                name: "compress",
+                blocks: 80,
+                block_len: (4, 9),
+                load_milli: 260,
+                store_milli: 140,
+                fp_milli: 0,
+                int_mul_milli: 15,
+                fp_div_milli: 0,
+                loop_milli: 400,
+                call_milli: 30,
+                jump_milli: 30,
+                indirect_milli: 10,
+                trip: (64, 1024),
+                taken_milli: 300,
+                dep_window: 4,
+                functions: 4,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 512 * kb,
+                        pattern: PatternSpec::Stride(1),
+                        weight: 1,
+                    },
+                    RegionSpec {
+                        size: 256 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Alvinn => ProfileParams {
+                name: "alvinn",
+                blocks: 60,
+                block_len: (8, 18),
+                load_milli: 240,
+                store_milli: 90,
+                fp_milli: 550,
+                int_mul_milli: 5,
+                fp_div_milli: 5,
+                loop_milli: 480,
+                call_milli: 30,
+                jump_milli: 20,
+                indirect_milli: 0,
+                trip: (256, 2048),
+                taken_milli: 200,
+                dep_window: 9,
+                functions: 3,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 128 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Doduc => ProfileParams {
+                name: "doduc",
+                blocks: 110,
+                block_len: (5, 13),
+                load_milli: 230,
+                store_milli: 70,
+                fp_milli: 500,
+                int_mul_milli: 10,
+                fp_div_milli: 60,
+                loop_milli: 380,
+                call_milli: 90,
+                jump_milli: 40,
+                indirect_milli: 10,
+                trip: (64, 768),
+                taken_milli: 320,
+                dep_window: 6,
+                functions: 12,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 128 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 1,
+                    },
+                    RegionSpec {
+                        size: 128 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Fpppp => ProfileParams {
+                name: "fpppp",
+                blocks: 50,
+                block_len: (14, 30),
+                load_milli: 220,
+                store_milli: 100,
+                fp_milli: 650,
+                int_mul_milli: 5,
+                fp_div_milli: 25,
+                loop_milli: 400,
+                call_milli: 40,
+                jump_milli: 20,
+                indirect_milli: 0,
+                trip: (128, 1024),
+                taken_milli: 150,
+                dep_window: 12,
+                functions: 5,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 96 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 1,
+                    },
+                    RegionSpec {
+                        size: 64 * kb,
+                        pattern: PatternSpec::Stride(24),
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Tomcatv => ProfileParams {
+                name: "tomcatv",
+                blocks: 50,
+                block_len: (9, 20),
+                load_milli: 270,
+                store_milli: 110,
+                fp_milli: 600,
+                int_mul_milli: 5,
+                fp_div_milli: 15,
+                loop_milli: 520,
+                call_milli: 10,
+                jump_milli: 20,
+                indirect_milli: 0,
+                trip: (256, 2048),
+                taken_milli: 150,
+                dep_window: 8,
+                functions: 2,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 128 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 1,
+                    },
+                    RegionSpec {
+                        size: 128 * kb,
+                        pattern: PatternSpec::Stride(64),
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Su2cor => ProfileParams {
+                name: "su2cor",
+                blocks: 100,
+                block_len: (7, 16),
+                load_milli: 250,
+                store_milli: 100,
+                fp_milli: 550,
+                int_mul_milli: 10,
+                fp_div_milli: 20,
+                loop_milli: 440,
+                call_milli: 50,
+                jump_milli: 30,
+                indirect_milli: 0,
+                trip: (128, 1536),
+                taken_milli: 200,
+                dep_window: 7,
+                functions: 8,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Stride(16),
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 384 * kb,
+                        pattern: PatternSpec::Stride(16),
+                        weight: 1,
+                    },
+                    RegionSpec {
+                        size: 128 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Swm256 => ProfileParams {
+                name: "swm256",
+                blocks: 45,
+                block_len: (10, 22),
+                load_milli: 280,
+                store_milli: 120,
+                fp_milli: 620,
+                int_mul_milli: 5,
+                fp_div_milli: 5,
+                loop_milli: 520,
+                call_milli: 10,
+                jump_milli: 10,
+                indirect_milli: 0,
+                trip: (256, 2048),
+                taken_milli: 120,
+                dep_window: 10,
+                functions: 2,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 256 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 1,
+                    },
+                ],
+            },
+            Benchmark::Tex => ProfileParams {
+                name: "tex",
+                blocks: 250,
+                block_len: (3, 8),
+                load_milli: 240,
+                store_milli: 110,
+                fp_milli: 0,
+                int_mul_milli: 10,
+                fp_div_milli: 0,
+                loop_milli: 320,
+                call_milli: 120,
+                jump_milli: 70,
+                indirect_milli: 40,
+                trip: (24, 192),
+                taken_milli: 420,
+                dep_window: 4,
+                functions: 20,
+                regions: vec![
+                    RegionSpec {
+                        size: 8 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 10,
+                    },
+                    RegionSpec {
+                        size: 256 * kb,
+                        pattern: PatternSpec::Random,
+                        weight: 1,
+                    },
+                    RegionSpec {
+                        size: 128 * kb,
+                        pattern: PatternSpec::Stride(8),
+                        weight: 1,
+                    },
+                ],
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The standard 8-thread multiprogrammed mix used by the headline
+/// experiments: four integer and four FP benchmarks, mirroring the paper's
+/// practice of filling contexts with distinct programs.
+pub fn standard_mix() -> Vec<Benchmark> {
+    vec![
+        Benchmark::Espresso,
+        Benchmark::Xlisp,
+        Benchmark::Eqntott,
+        Benchmark::Compress,
+        Benchmark::Alvinn,
+        Benchmark::Tomcatv,
+        Benchmark::Doduc,
+        Benchmark::Fpppp,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_generate_valid_programs() {
+        for b in Benchmark::ALL {
+            let p = b.generate(3, 0);
+            assert_eq!(p.validate(), Ok(()), "{b} generated an invalid program");
+            assert_eq!(p.name(), b.name());
+            assert!(p.code_bytes() > 1024, "{b} footprint suspiciously small");
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_contain_fp_work() {
+        let p = Benchmark::Tomcatv.generate(1, 0);
+        let hist = p.class_histogram();
+        let fp: usize = hist
+            .iter()
+            .filter(|(op, _)| matches!(op.queue(), smt_isa::RegClass::Fp))
+            .map(|&(_, c)| c)
+            .sum();
+        assert!(fp > p.len() / 10, "tomcatv must be FP-heavy");
+        let int_only = Benchmark::Eqntott.generate(1, 0);
+        let fp_int: usize = int_only
+            .class_histogram()
+            .iter()
+            .filter(|(op, _)| matches!(op.queue(), smt_isa::RegClass::Fp))
+            .map(|&(_, c)| c)
+            .sum();
+        assert_eq!(fp_int, 0, "eqntott is an integer benchmark");
+    }
+
+    #[test]
+    fn standard_mix_is_eight_distinct_threads() {
+        let mix = standard_mix();
+        assert_eq!(mix.len(), 8);
+        let mut names: Vec<_> = mix.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "mix must not repeat a benchmark");
+    }
+
+    #[test]
+    fn by_name_roundtrips() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::by_name(b.name()), Some(b));
+            assert_eq!(Benchmark::by_name(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(Benchmark::by_name("nonesuch"), None);
+    }
+}

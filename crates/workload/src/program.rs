@@ -123,7 +123,7 @@ impl Program {
     pub fn contains(&self, pc: Addr) -> bool {
         pc >= self.code_base
             && pc < self.code_base + self.code_bytes()
-            && (pc - self.code_base) % INST_BYTES == 0
+            && (pc - self.code_base).is_multiple_of(INST_BYTES)
     }
 
     /// The instruction at `pc`, if `pc` is a valid code address.
@@ -177,7 +177,7 @@ impl Program {
             *counts.entry(inst.op).or_default() += 1;
         }
         let mut v: Vec<_> = counts.into_iter().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         v
     }
 
@@ -198,12 +198,17 @@ impl Program {
             let pc = self.code_base + i as u64 * INST_BYTES;
             if inst.op.is_control() && !matches!(inst.op, smt_isa::Opcode::Return) {
                 if inst.meta == smt_isa::NO_META {
-                    return Err(format!("control instruction at {pc:#x} lacks a branch model"));
+                    return Err(format!(
+                        "control instruction at {pc:#x} lacks a branch model"
+                    ));
                 }
                 let model = self
                     .branches
                     .get(inst.meta as usize)
                     .ok_or_else(|| format!("branch meta out of range at {pc:#x}"))?;
+                if matches!(model.behavior, BranchBehavior::Loop { trip: 0 }) {
+                    return Err(format!("loop branch at {pc:#x} has a zero trip count"));
+                }
                 if matches!(inst.op, smt_isa::Opcode::JumpInd) {
                     if model.targets.is_empty() {
                         return Err(format!("indirect jump at {pc:#x} has no targets"));
@@ -275,7 +280,10 @@ mod tests {
                 },
             ],
             mems: vec![],
-            regions: vec![Region { base: 0x10_0000, size: 4096 }],
+            regions: vec![Region {
+                base: 0x10_0000,
+                size: 4096,
+            }],
             entry: 0x1000,
         }
     }
@@ -315,7 +323,10 @@ mod tests {
 
     #[test]
     fn region_contains() {
-        let r = Region { base: 0x100, size: 0x10 };
+        let r = Region {
+            base: 0x100,
+            size: 0x10,
+        };
         assert!(r.contains(0x100));
         assert!(r.contains(0x10f));
         assert!(!r.contains(0x110));
