@@ -4,34 +4,61 @@
 //! ICOUNT.2.8 configuration and reports the best (least-noisy) rate.
 //!
 //! ```text
-//! smt_bench [CYCLES]   # default 200000 simulated cycles per measurement
+//! smt_bench [CYCLES] [--json PATH]
 //! ```
+//!
+//! `CYCLES` defaults to 200000 simulated cycles per measurement; `--json`
+//! additionally writes the machine-readable `"smt-bench"` document.
 
-use smt_bench::run_reference;
+use smt_bench::{bench_to_json, run_reference, BenchResult};
 
 fn main() {
-    let cycles: u64 = match std::env::args().nth(1) {
-        None => 200_000,
-        Some(s) => match s.parse() {
-            Ok(n) => n,
-            Err(_) => {
-                eprintln!("usage: smt_bench [CYCLES]   (CYCLES must be a number, got '{s}')");
-                std::process::exit(1);
+    let mut cycles: u64 = 200_000;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path");
+                    std::process::exit(1);
+                }
             }
-        },
-    };
+        } else {
+            match arg.parse() {
+                Ok(n) => cycles = n,
+                Err(_) => {
+                    eprintln!(
+                        "usage: smt_bench [CYCLES] [--json PATH]   \
+                         (CYCLES must be a number, got '{arg}')"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 
     // Warmup: touch code paths and the allocator.
     let _ = run_reference(cycles / 10);
 
-    let mut best: Option<smt_bench::BenchResult> = None;
+    let mut runs: Vec<BenchResult> = Vec::with_capacity(3);
     for i in 1..=3 {
         let r = run_reference(cycles);
         println!("run {i}: {r}");
-        if best.is_none_or(|b| r.ips() > b.ips()) {
-            best = Some(r);
-        }
+        runs.push(r);
     }
-    let best = best.expect("three runs completed");
+    let best = *runs
+        .iter()
+        .max_by(|a, b| a.ips().total_cmp(&b.ips()))
+        .expect("three runs completed");
     println!("best: {best}");
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, bench_to_json(&runs, &best).render_pretty()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
 }

@@ -3,7 +3,22 @@
 //! Measures how fast the simulator itself runs: simulated instructions
 //! committed per wall-clock second for the reference ICOUNT.2.8
 //! configuration on the standard 8-thread mix. Later performance PRs report
-//! against this baseline via the `smt_bench` binary.
+//! against this baseline via the `smt_bench` binary; `smt_bench --json`
+//! emits the machine-readable `"smt-bench"` document (same
+//! `schema_version` convention as `smt_exp --json`) for BENCH_*.json
+//! trajectory tracking.
+//!
+//! # Examples
+//!
+//! ```
+//! use smt_bench::{bench_to_json, run_reference};
+//!
+//! let result = run_reference(400);
+//! assert_eq!(result.cycles, 400);
+//! assert!(result.ips() > 0.0);
+//! let doc = bench_to_json(&[result], &result);
+//! assert!(doc.render().contains("\"kind\":\"smt-bench\""));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,6 +26,7 @@
 use std::time::{Duration, Instant};
 
 use smt_core::SimConfig;
+use smt_stats::json::Json;
 use smt_workload::standard_mix;
 
 /// Result of one timed simulation run.
@@ -34,6 +50,34 @@ impl BenchResult {
     pub fn cps(&self) -> f64 {
         self.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
     }
+
+    /// This measurement as a JSON object (one entry of the `runs` array in
+    /// the `"smt-bench"` document).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("cycles", Json::from(self.cycles)),
+            ("committed", Json::from(self.committed)),
+            ("wall_seconds", Json::from(self.wall.as_secs_f64())),
+            ("insts_per_second", Json::from(self.ips())),
+            ("cycles_per_second", Json::from(self.cps())),
+        ])
+    }
+}
+
+/// Version of the `"smt-bench"` JSON document; kept in lockstep with the
+/// experiment schema so one consumer can read both.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+/// The machine-readable benchmark document: every timed run plus the best
+/// (least-noisy) one. `smt_bench --json` writes this, pretty-rendered.
+pub fn bench_to_json(runs: &[BenchResult], best: &BenchResult) -> Json {
+    Json::object([
+        ("schema_version", Json::from(JSON_SCHEMA_VERSION)),
+        ("kind", Json::from("smt-bench")),
+        ("reference", Json::from("ICOUNT.2.8/standard-mix")),
+        ("runs", Json::array(runs.iter().map(BenchResult::to_json))),
+        ("best", best.to_json()),
+    ])
 }
 
 impl std::fmt::Display for BenchResult {
@@ -77,5 +121,23 @@ mod tests {
         assert!(r.ips() > 0.0);
         let s = r.to_string();
         assert!(s.contains("committed"));
+    }
+
+    #[test]
+    fn bench_json_parses_and_carries_runs() {
+        let r = run_reference(400);
+        let doc = bench_to_json(&[r, r], &r);
+        let back = Json::parse(&doc.render_pretty()).expect("bench JSON must parse");
+        assert_eq!(back.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(back.get("kind").and_then(Json::as_str), Some("smt-bench"));
+        assert_eq!(
+            back.get("runs").and_then(Json::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert!(back
+            .get("best")
+            .and_then(|b| b.get("insts_per_second"))
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v > 0.0));
     }
 }

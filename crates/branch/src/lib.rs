@@ -86,6 +86,37 @@ impl PredictorConfig {
     }
 }
 
+/// Prediction-unit activity counters.
+///
+/// Accumulated by [`BranchPredictor::predict`]; cleared by
+/// [`BranchPredictor::reset_stats`] (e.g. at the end of a warmup window)
+/// without touching the BTB, PHT, RAS or history state, so measurement
+/// windows start with trained tables but clean counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Control-instruction predictions made (all kinds).
+    pub predictions: u64,
+    /// BTB lookups performed (taken conditionals and non-return jumps).
+    pub btb_lookups: u64,
+    /// BTB lookups that produced a target.
+    pub btb_hits: u64,
+    /// Return predictions attempted via the RAS.
+    pub ras_predictions: u64,
+    /// Return predictions that found the stack empty (misfetch at fetch).
+    pub ras_underflows: u64,
+}
+
+impl PredictorStats {
+    /// Fraction of BTB lookups that hit (0.0 when none were made).
+    pub fn btb_hit_rate(&self) -> f64 {
+        if self.btb_lookups == 0 {
+            0.0
+        } else {
+            self.btb_hits as f64 / self.btb_lookups as f64
+        }
+    }
+}
+
 /// The outcome of consulting the predictor for one control instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prediction {
@@ -333,6 +364,7 @@ pub struct BranchPredictor {
     ras: Vec<Ras>,
     history: Vec<u16>,
     history_mask: u16,
+    stats: PredictorStats,
 }
 
 impl BranchPredictor {
@@ -352,12 +384,24 @@ impl BranchPredictor {
             ras,
             history: vec![0; threads],
             history_mask,
+            stats: PredictorStats::default(),
         }
     }
 
     /// The configuration this predictor was built with.
     pub fn config(&self) -> &PredictorConfig {
         &self.cfg
+    }
+
+    /// Accumulated prediction-unit counters.
+    pub fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    /// Clears the activity counters (e.g. at the end of a warmup window).
+    /// The BTB, PHT, return stacks and global histories are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats = PredictorStats::default();
     }
 
     #[inline]
@@ -382,12 +426,16 @@ impl BranchPredictor {
     /// wrong-path activity corrupts them, as in hardware).
     pub fn predict(&mut self, thread: ThreadId, pc: Addr, op: Opcode) -> Prediction {
         let history_before = self.history[thread.index()];
+        self.stats.predictions += 1;
         match op {
             Opcode::CondBranch => {
                 let idx = self.pht_index(thread, pc);
                 let taken = self.pht.predict(idx);
                 let target = if taken {
-                    self.btb.lookup(thread, pc)
+                    let t = self.btb.lookup(thread, pc);
+                    self.stats.btb_lookups += 1;
+                    self.stats.btb_hits += u64::from(t.is_some());
+                    t
                 } else {
                     None
                 };
@@ -403,6 +451,8 @@ impl BranchPredictor {
             }
             Opcode::Jump | Opcode::JumpInd => {
                 let target = self.btb.lookup(thread, pc);
+                self.stats.btb_lookups += 1;
+                self.stats.btb_hits += u64::from(target.is_some());
                 Prediction {
                     taken: true,
                     target,
@@ -412,6 +462,8 @@ impl BranchPredictor {
             }
             Opcode::Call => {
                 let target = self.btb.lookup(thread, pc);
+                self.stats.btb_lookups += 1;
+                self.stats.btb_hits += u64::from(target.is_some());
                 let ras = self.ras_index(thread);
                 self.ras[ras].push(pc + smt_isa::INST_BYTES);
                 Prediction {
@@ -424,6 +476,8 @@ impl BranchPredictor {
             Opcode::Return => {
                 let ras = self.ras_index(thread);
                 let target = self.ras[ras].pop();
+                self.stats.ras_predictions += 1;
+                self.stats.ras_underflows += u64::from(target.is_none());
                 Prediction {
                     taken: true,
                     target,
@@ -683,6 +737,32 @@ mod tests {
     fn predicting_non_control_panics() {
         let mut bp = predictor();
         bp.predict(T0, 0x1000, Opcode::IntAlu);
+    }
+
+    #[test]
+    fn stats_count_and_reset_preserves_tables() {
+        let mut bp = predictor();
+        for _ in 0..3 {
+            let p = bp.predict(T0, 0x4000, Opcode::CondBranch);
+            bp.resolve_cond(T0, 0x4000, p.pht_index, true, 0x9000);
+        }
+        bp.predict(T0, 0x1000, Opcode::Call);
+        let p = bp.predict(T0, 0x2000, Opcode::Return);
+        assert!(p.target.is_some());
+        let p = bp.predict(T0, 0x2004, Opcode::Return);
+        assert!(p.target.is_none(), "second pop underflows");
+        let s = *bp.stats();
+        assert_eq!(s.predictions, 6);
+        assert!(s.btb_lookups >= 1 && s.btb_hits >= 1);
+        assert_eq!(s.ras_predictions, 2);
+        assert_eq!(s.ras_underflows, 1);
+        assert!(s.btb_hit_rate() > 0.0);
+
+        bp.reset_stats();
+        assert_eq!(*bp.stats(), PredictorStats::default());
+        // Trained state survives: the taken branch still predicts its target.
+        let p = bp.predict(T0, 0x4000, Opcode::CondBranch);
+        assert_eq!(p.target, Some(0x9000), "reset_stats must not clear the BTB");
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct SimConfig {
     /// Cycles fetch stalls after a misfetch (taken branch without a target
     /// until decode computes it).
     pub misfetch_penalty: u64,
+    /// Cycles simulated before the measurement window opens. The first call
+    /// to [`Simulator::run`] simulates this many cycles, then calls
+    /// [`Simulator::reset_stats`] so caches, predictor tables and queues are
+    /// warm but every reported counter starts from zero. `0` (the default)
+    /// measures from the cold start.
+    pub warmup_cycles: u64,
 }
 
 impl SimConfig {
@@ -99,7 +105,16 @@ impl SimConfig {
             frontend_depth: 8,
             decode_cycles: 2,
             misfetch_penalty: 2,
+            warmup_cycles: 0,
         }
+    }
+
+    /// Sets the warmup window: cycles simulated (and then discarded from the
+    /// statistics) before measurement begins. See
+    /// [`Simulator::reset_stats`].
+    pub fn with_warmup(mut self, cycles: u64) -> SimConfig {
+        self.warmup_cycles = cycles;
+        self
     }
 
     /// Replaces the fetch policy.
@@ -229,11 +244,13 @@ mod tests {
         let c = SimConfig::new()
             .with_fetch(Box::new(crate::policy::RoundRobin))
             .with_partition(FetchPartition::new(1, 8))
+            .with_warmup(5_000)
             .with_benchmarks(vec![Benchmark::Espresso, Benchmark::Tomcatv], 7);
         assert_eq!(c.fetch.name(), "RR");
         assert_eq!(c.partition.to_string(), "1.8");
         assert_eq!(c.threads(), 2);
         assert_eq!(c.seed, 7);
+        assert_eq!(c.warmup_cycles, 5_000);
     }
 
     #[test]

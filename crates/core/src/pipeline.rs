@@ -116,6 +116,9 @@ struct Thread {
     /// Salt for wrong-path address synthesis.
     wp_salt: u64,
     committed: u64,
+    /// `committed` snapshot at the last `reset_stats` (reports measure the
+    /// window since then).
+    committed_base: u64,
     // Per-cycle policy counters, refreshed before fetch.
     in_flight: u32,
     unresolved_branches: u32,
@@ -156,6 +159,9 @@ impl Thread {
 pub struct Simulator {
     cfg: SimConfig,
     cycle: u64,
+    /// Cycle at which the current measurement window opened (the last
+    /// `reset_stats`; 0 if statistics were never reset).
+    stats_base_cycle: u64,
     next_seq: u64,
     threads: Vec<Thread>,
     regs: [PhysRegFile; 2],
@@ -208,6 +214,7 @@ impl Simulator {
                 icache_req: None,
                 wp_salt: 0,
                 committed: 0,
+                committed_base: 0,
                 in_flight: 0,
                 unresolved_branches: 0,
                 outstanding_misses: 0,
@@ -216,6 +223,7 @@ impl Simulator {
         Simulator {
             cfg,
             cycle: 0,
+            stats_base_cycle: 0,
             next_seq: 0,
             threads: thread_state,
             regs,
@@ -241,12 +249,56 @@ impl Simulator {
         self.cycle
     }
 
-    /// Simulates `cycles` further cycles and returns the cumulative report.
+    /// Simulates `cycles` further cycles and returns the report for the
+    /// current measurement window.
+    ///
+    /// If the configuration carries a warmup window
+    /// ([`SimConfig::with_warmup`]) and nothing has been simulated yet, the
+    /// warmup cycles are simulated first and [`reset_stats`] is called
+    /// before the measured cycles begin, so the report covers exactly
+    /// `cycles` warmed-up cycles.
+    ///
+    /// [`reset_stats`]: Simulator::reset_stats
     pub fn run(&mut self, cycles: u64) -> SimReport {
+        if self.cycle == 0 && self.cfg.warmup_cycles > 0 {
+            for _ in 0..self.cfg.warmup_cycles {
+                self.step_cycle();
+            }
+            self.reset_stats();
+        }
         for _ in 0..cycles {
             self.step_cycle();
         }
         self.report()
+    }
+
+    /// Opens a fresh measurement window: zeroes every statistic — fetch
+    /// slot-loss accounting, issue counters, branch-prediction ratios and
+    /// predictor activity, squash counts, and the memory-hierarchy stats —
+    /// while leaving all architectural and microarchitectural state (ROBs,
+    /// rename maps, in-flight misses, cache/TLB contents, BTB/PHT/RAS,
+    /// oracle positions) untouched. Subsequent [`report`](Simulator::report)
+    /// calls cover only the window since this call.
+    pub fn reset_stats(&mut self) {
+        self.stats_base_cycle = self.cycle;
+        for t in &mut self.threads {
+            t.committed_base = t.committed;
+        }
+        self.f_stats = FetchBreakdown::default();
+        self.i_stats = IssueBreakdown::default();
+        self.cond_pred = Ratio::new();
+        self.squashes = 0;
+        self.squashed_insts = 0;
+        self.mem.reset_stats();
+        self.bp.reset_stats();
+    }
+
+    /// Correct-path instructions committed since construction, across all
+    /// threads — unaffected by [`reset_stats`](Simulator::reset_stats)
+    /// (which only re-bases what reports show). Lets tests verify that
+    /// statistics resets leave architectural progress untouched.
+    pub fn lifetime_committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
     }
 
     /// Advances the machine by one cycle.
@@ -261,10 +313,13 @@ impl Simulator {
         self.fetch();
     }
 
-    /// The cumulative report for everything simulated so far.
+    /// The report for the current measurement window (everything since the
+    /// last [`reset_stats`](Simulator::reset_stats), or since construction).
     pub fn report(&self) -> SimReport {
+        let window = self.cycle - self.stats_base_cycle;
         SimReport {
-            cycles: self.cycle,
+            cycles: window,
+            warmup_cycles: self.stats_base_cycle,
             fetch_policy: self.cfg.fetch.name().to_string(),
             issue_policy: self.cfg.issue.name().to_string(),
             partition: self.cfg.partition,
@@ -272,20 +327,24 @@ impl Simulator {
                 .threads
                 .iter()
                 .enumerate()
-                .map(|(i, t)| ThreadReport {
-                    thread: i,
-                    benchmark: t.program.name().to_string(),
-                    committed: t.committed,
-                    ipc: if self.cycle == 0 {
-                        0.0
-                    } else {
-                        t.committed as f64 / self.cycle as f64
-                    },
+                .map(|(i, t)| {
+                    let committed = t.committed - t.committed_base;
+                    ThreadReport {
+                        thread: i,
+                        benchmark: t.program.name().to_string(),
+                        committed,
+                        ipc: if window == 0 {
+                            0.0
+                        } else {
+                            committed as f64 / window as f64
+                        },
+                    }
                 })
                 .collect(),
             fetch: self.f_stats,
             issue: self.i_stats,
             cond_prediction: self.cond_pred,
+            pred: *self.bp.stats(),
             squashes: self.squashes,
             squashed_insts: self.squashed_insts,
             mem: *self.mem.stats(),
@@ -1024,6 +1083,60 @@ mod tests {
             u64::from(FetchPartition::TOTAL_WIDTH) * r.cycles,
             "fetch slots must be fully accounted for: {r}"
         );
+    }
+
+    #[test]
+    fn reset_stats_preserves_architectural_state() {
+        // Simulating W+M cycles straight through and simulating W cycles of
+        // warmup (stats discarded) followed by M measured cycles must leave
+        // the machine in the identical architectural state: same lifetime
+        // commit counts, because reset_stats only re-bases the counters.
+        const WARM: u64 = 1_000;
+        const MEASURE: u64 = 2_000;
+        let mut cold = tiny_config().build();
+        let cold_report = cold.run(WARM + MEASURE);
+        let mut warm = tiny_config().with_warmup(WARM).build();
+        let warm_report = warm.run(MEASURE);
+
+        assert_eq!(
+            cold.lifetime_committed(),
+            warm.lifetime_committed(),
+            "reset_stats disturbed architectural state"
+        );
+        assert_eq!(cold_report.total_committed(), cold.lifetime_committed());
+        assert_eq!(warm_report.warmup_cycles, WARM);
+        assert_eq!(warm_report.cycles, MEASURE);
+        assert_eq!(cold_report.warmup_cycles, 0);
+        // The measured window reports only post-warmup commits.
+        assert!(warm_report.total_committed() < warm.lifetime_committed());
+
+        // Slot accounting still balances over the measured window alone.
+        let lost = warm_report.fetch.lost_icache
+            + warm_report.fetch.lost_bank_conflict
+            + warm_report.fetch.lost_fragmentation
+            + warm_report.fetch.lost_frontend_full
+            + warm_report.fetch.lost_no_thread;
+        assert_eq!(
+            warm_report.fetch.fetched + warm_report.fetch.wrong_path + lost,
+            u64::from(FetchPartition::TOTAL_WIDTH) * warm_report.cycles,
+            "post-reset slot accounting must balance: {warm_report}"
+        );
+    }
+
+    #[test]
+    fn mid_run_reset_stats_rebase_reports() {
+        let mut sim = tiny_config().build();
+        let _ = sim.run(1_500);
+        sim.reset_stats();
+        let r = sim.report();
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.total_committed(), 0);
+        assert_eq!(r.fetch, FetchBreakdown::default());
+        assert_eq!(r.squashes, 0);
+        let r = sim.run(500);
+        assert_eq!(r.cycles, 500);
+        assert_eq!(r.warmup_cycles, 1_500);
+        assert!(r.total_committed() > 0);
     }
 
     #[test]

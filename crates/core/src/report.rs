@@ -8,7 +8,9 @@
 
 use std::fmt;
 
+use smt_branch::PredictorStats;
 use smt_mem::MemStats;
+use smt_stats::json::Json;
 use smt_stats::{Ratio, TextTable};
 
 use crate::policy::FetchPartition;
@@ -68,8 +70,13 @@ pub struct IssueBreakdown {
 /// Complete results of one simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
-    /// Cycles simulated.
+    /// Cycles in the measurement window (excludes any warmup).
     pub cycles: u64,
+    /// Cycles simulated before the measurement window opened (warmup plus
+    /// any earlier measured runs discarded by
+    /// [`reset_stats`](crate::Simulator::reset_stats)); `0` for a
+    /// cold-start measurement.
+    pub warmup_cycles: u64,
     /// Fetch policy name (e.g. `"ICOUNT"`).
     pub fetch_policy: String,
     /// Issue policy name (e.g. `"OLDEST_FIRST"`).
@@ -84,6 +91,8 @@ pub struct SimReport {
     pub issue: IssueBreakdown,
     /// Conditional-branch direction prediction accuracy.
     pub cond_prediction: Ratio,
+    /// Prediction-unit activity (BTB/RAS counters).
+    pub pred: PredictorStats,
     /// Mispredictions that triggered a squash (any control kind).
     pub squashes: u64,
     /// Instructions flushed by squashes.
@@ -122,6 +131,86 @@ impl SimReport {
         }
     }
 
+    /// The report as a JSON object (the `report` sub-object of the
+    /// machine-readable schema emitted by `smt_exp --json`; see the
+    /// `smt-experiments` crate docs for the full schema).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("scheme", Json::from(self.scheme())),
+            ("fetch_policy", Json::from(self.fetch_policy.clone())),
+            ("issue_policy", Json::from(self.issue_policy.clone())),
+            ("partition", Json::from(self.partition.to_string())),
+            ("cycles", Json::from(self.cycles)),
+            ("warmup_cycles", Json::from(self.warmup_cycles)),
+            ("total_ipc", Json::from(self.total_ipc())),
+            ("total_committed", Json::from(self.total_committed())),
+            (
+                "threads",
+                Json::array(self.threads.iter().map(|t| {
+                    Json::object([
+                        ("thread", Json::from(t.thread)),
+                        ("benchmark", Json::from(t.benchmark.clone())),
+                        ("committed", Json::from(t.committed)),
+                        ("ipc", Json::from(t.ipc)),
+                    ])
+                })),
+            ),
+            (
+                "fetch",
+                Json::object([
+                    ("fetched", Json::from(self.fetch.fetched)),
+                    ("wrong_path", Json::from(self.fetch.wrong_path)),
+                    ("lost_icache", Json::from(self.fetch.lost_icache)),
+                    (
+                        "lost_bank_conflict",
+                        Json::from(self.fetch.lost_bank_conflict),
+                    ),
+                    (
+                        "lost_fragmentation",
+                        Json::from(self.fetch.lost_fragmentation),
+                    ),
+                    (
+                        "lost_frontend_full",
+                        Json::from(self.fetch.lost_frontend_full),
+                    ),
+                    ("lost_no_thread", Json::from(self.fetch.lost_no_thread)),
+                    ("misfetches", Json::from(self.fetch.misfetches)),
+                ]),
+            ),
+            (
+                "issue",
+                Json::object([
+                    ("issued", Json::from(self.issue.issued)),
+                    ("wrong_path", Json::from(self.issue.wrong_path)),
+                    ("bank_conflicts", Json::from(self.issue.bank_conflicts)),
+                ]),
+            ),
+            (
+                "branch",
+                Json::object([
+                    ("cond_hit_pct", Json::from(self.cond_prediction.percent())),
+                    ("cond_predictions", Json::from(self.cond_prediction.total)),
+                    ("btb_hit_pct", Json::from(self.pred.btb_hit_rate() * 100.0)),
+                    ("ras_underflows", Json::from(self.pred.ras_underflows)),
+                    ("squashes", Json::from(self.squashes)),
+                    ("squashed_insts", Json::from(self.squashed_insts)),
+                ]),
+            ),
+            (
+                "mem",
+                Json::object([
+                    ("icache_miss_pct", Json::from(self.mem.icache.miss_rate())),
+                    ("dcache_miss_pct", Json::from(self.mem.dcache.miss_rate())),
+                    ("l2_miss_pct", Json::from(self.mem.l2.miss_rate())),
+                    ("l3_miss_pct", Json::from(self.mem.l3.miss_rate())),
+                    ("writebacks", Json::from(self.mem.writebacks)),
+                    ("bank_conflicts", Json::from(self.mem.bank_conflicts)),
+                    ("mshr_merges", Json::from(self.mem.mshr_merges)),
+                ]),
+            ),
+        ])
+    }
+
     /// Per-thread results as a text table.
     pub fn thread_table(&self) -> TextTable {
         let mut t = TextTable::new();
@@ -147,11 +236,16 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} ({} issue), {} threads, {} cycles: {:.2} IPC",
+            "{} ({} issue), {} threads, {} cycles{}: {:.2} IPC",
             self.scheme(),
             self.issue_policy,
             self.threads.len(),
             self.cycles,
+            if self.warmup_cycles > 0 {
+                format!(" (+{} warmup)", self.warmup_cycles)
+            } else {
+                String::new()
+            },
             self.total_ipc()
         )?;
         writeln!(f, "{}", self.thread_table())?;
@@ -198,6 +292,7 @@ mod tests {
     fn report() -> SimReport {
         SimReport {
             cycles: 1000,
+            warmup_cycles: 0,
             fetch_policy: "ICOUNT".into(),
             issue_policy: "OLDEST_FIRST".into(),
             partition: FetchPartition::new(2, 8),
@@ -229,6 +324,7 @@ mod tests {
                 hits: 900,
                 total: 1000,
             },
+            pred: PredictorStats::default(),
             squashes: 100,
             squashed_insts: 700,
             mem: MemStats::default(),
@@ -242,6 +338,28 @@ mod tests {
         assert_eq!(r.total_ipc(), 5.0);
         assert_eq!(r.scheme(), "ICOUNT.2.8");
         assert!((r.wrong_path_fetch_fraction() - 600.0 / 6600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trips_with_key_fields() {
+        let doc = report().to_json();
+        let text = doc.render();
+        let back = Json::parse(&text).expect("report JSON must parse");
+        assert_eq!(
+            back.get("scheme").and_then(Json::as_str),
+            Some("ICOUNT.2.8")
+        );
+        assert_eq!(back.get("total_ipc").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(
+            back.get("threads").and_then(Json::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            back.get("fetch")
+                .and_then(|f| f.get("fetched"))
+                .and_then(Json::as_u64),
+            Some(6000)
+        );
     }
 
     #[test]

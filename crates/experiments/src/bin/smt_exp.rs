@@ -2,17 +2,19 @@
 //!
 //! ```text
 //! smt_exp --fetch icount --partition 2.8 --threads 8 --cycles 20000
-//! smt_exp --fetch all --partition all          # the full Section-4 matrix
+//! smt_exp --fetch all --partition all            # the full Section-4 matrix
+//! smt_exp --study issue --json out.json          # the Section-5 issue study
 //! ```
 
 use std::process::ExitCode;
 
-use smt_experiments::{parse_args, run_matrix, ExpConfig, USAGE};
+use smt_experiments::study::run_study;
+use smt_experiments::{matrix_to_json, parse_cli, run_matrix, Command, USAGE};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg: ExpConfig = match parse_args(&args) {
-        Ok(cfg) => cfg,
+    let cmd = match parse_cli(&args) {
+        Ok(cmd) => cmd,
         Err(msg) if msg == USAGE => {
             println!("{msg}");
             return ExitCode::SUCCESS;
@@ -23,18 +25,70 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "SMT fetch/issue policy comparison — {} threads, {} cycles, seed {} ({} issue)",
-        cfg.threads, cfg.cycles, cfg.seed, cfg.issue_policy
-    );
-    println!();
-    let (table, reports) = run_matrix(&cfg);
-    println!("total IPC (committed instructions per cycle):");
-    println!("{table}");
-    if cfg.verbose {
-        for report in &reports {
-            println!("{report}");
+    match cmd {
+        Command::Matrix(cfg) => {
+            println!(
+                "SMT fetch/issue policy comparison — {} threads, {} cycles (+{} warmup), \
+                 seed {} ({} issue)",
+                cfg.threads, cfg.cycles, cfg.warmup, cfg.seed, cfg.issue_policy
+            );
             println!();
+            let (table, reports) = run_matrix(&cfg);
+            println!("total IPC (committed instructions per cycle):");
+            println!("{table}");
+            if cfg.verbose {
+                for report in &reports {
+                    println!("{report}");
+                    println!();
+                }
+            }
+            if let Some(path) = &cfg.json {
+                if let Err(e) = std::fs::write(path, matrix_to_json(&cfg, &reports).render_pretty())
+                {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+        }
+        Command::Study { cfg, json } => {
+            println!(
+                "Section-5 issue-policy study — {} cells ({} issue × {} fetch × {} partition \
+                 × {} mix × {} seed), {} cycles each (+{} warmup)",
+                cfg.cell_count(),
+                cfg.issue_policies.len(),
+                cfg.fetch_policies.len(),
+                cfg.partitions.len(),
+                cfg.mixes.len(),
+                cfg.seeds.len(),
+                cfg.cycles,
+                cfg.warmup,
+            );
+            println!();
+            let study = match run_study(&cfg) {
+                Ok(study) => study,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("total IPC by issue policy:");
+            println!("{}", study.summary_table());
+            for (name, ipc) in study.mean_ipc_by_issue() {
+                println!("  {name:<13} mean {ipc:.3} IPC");
+            }
+            println!(
+                "issue-policy IPC spread {:.3} vs fetch-policy IPC spread {:.3}",
+                study.issue_ipc_spread(),
+                study.fetch_ipc_spread()
+            );
+            if let Some(path) = json {
+                if let Err(e) = std::fs::write(&path, study.to_json().render_pretty()) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
         }
     }
     ExitCode::SUCCESS

@@ -1,18 +1,95 @@
 //! Experiment harness for the fetch/issue policy studies.
 //!
-//! This crate drives `smt-core` the way the paper's Sections 4 and 5 do:
-//! sweep fetch policies and partitions over a fixed multiprogrammed mix and
-//! tabulate total throughput. The `smt_exp` binary is a thin CLI over
-//! [`ExpConfig`] and [`run_matrix`].
+//! This crate drives `smt-core` the way the paper's Sections 4 and 5 do,
+//! and is the repo's standard experiment entry point:
+//!
+//! * **Matrix mode** (Section 4): sweep fetch policies × partitions over a
+//!   fixed multiprogrammed mix and tabulate total throughput —
+//!   [`run_matrix`].
+//! * **Study mode** (Section 5): sweep issue policies × fetch policies ×
+//!   partitions over several workload mixes and seeds, behind a warmup
+//!   window, in parallel across OS threads — [`study::run_study`].
+//!
+//! The `smt_exp` binary is a thin CLI over both ([`parse_cli`]).
+//!
+//! # Examples
+//!
+//! Run a miniature Section-5 study and inspect the qualitative result
+//! (issue policy moves IPC far less than fetch policy does):
+//!
+//! ```
+//! use smt_experiments::study::{run_study, StudyConfig};
+//!
+//! let study = run_study(&StudyConfig {
+//!     fetch_policies: vec!["rr".into(), "icount".into()],
+//!     issue_policies: vec!["oldest".into(), "spec_last".into()],
+//!     mixes: vec!["mixed4".into()],
+//!     seeds: vec![42],
+//!     cycles: 400,
+//!     warmup: 100,
+//!     ..StudyConfig::default()
+//! })
+//! .unwrap();
+//! assert_eq!(study.cells.len(), 4);
+//! let json = study.to_json().render();
+//! assert!(json.contains("\"schema_version\""));
+//! ```
+//!
+//! # JSON schema (version 1)
+//!
+//! `smt_exp --study issue --json out.json` writes one pretty-rendered JSON
+//! object ([`study::Study::to_json`]); `--json` in matrix mode writes the
+//! analogous `"smt-exp-matrix"` document. Consumers should accept unknown
+//! fields and check `schema_version`.
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,                // bumped on breaking changes
+//!   "kind": "smt-exp-study",            // or "smt-exp-matrix"
+//!   "study": "issue",                   // study mode only
+//!   "config": {
+//!     "cycles": u64, "warmup_cycles": u64,
+//!     "fetch_policies": [str], "issue_policies": [str],
+//!     "partitions": ["T.I"], "mixes": [str], "seeds": [u64]
+//!   },
+//!   "cells": [{
+//!     "fetch": str, "issue": str, "partition": "T.I",
+//!     "mix": str, "seed": u64,
+//!     "total_ipc": f64,
+//!     "delta_vs_oldest": f64 | null,    // vs the OLDEST_FIRST cell with
+//!                                       // the same fetch/partition/mix/seed
+//!     "report": { ... }                 // SimReport::to_json(): scheme,
+//!                                       // cycles, warmup_cycles, threads[],
+//!                                       // fetch/issue/branch/mem breakdowns
+//!   }],
+//!   "summary": {
+//!     "baseline_issue": "OLDEST_FIRST",
+//!     "issue_policies": [{"issue": str, "mean_ipc": f64,
+//!                         "mean_delta_vs_oldest": f64}],
+//!     "fetch_policies": [{"fetch": str, "mean_ipc": f64}],
+//!     "issue_ipc_spread": f64,          // max-min of issue-policy means
+//!     "fetch_ipc_spread": f64           // max-min of fetch-policy means
+//!   }
+//! }
+//! ```
+//!
+//! `smt_bench --json` emits a sibling `"smt-bench"` document with the same
+//! `schema_version` convention, so BENCH_*.json trajectory tooling can
+//! consume both.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod study;
+
 use std::sync::Arc;
 
 use smt_core::{fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport};
+use smt_stats::json::Json;
 use smt_stats::TextTable;
 use smt_workload::{standard_mix, Benchmark, Program};
+
+use crate::study::{StudyConfig, JSON_SCHEMA_VERSION, STUDY_MIXES};
 
 /// One experiment sweep: which policies and partitions to run, on what
 /// workload, for how long.
@@ -20,19 +97,22 @@ use smt_workload::{standard_mix, Benchmark, Program};
 pub struct ExpConfig {
     /// Fetch policies to sweep (shipped-policy names).
     pub fetch_policies: Vec<String>,
-    /// Issue policy (one per sweep; the paper's issue-policy deltas are
-    /// small, so the sweep axis is fetch).
+    /// Issue policy (one per sweep; issue is a study-mode axis).
     pub issue_policy: String,
     /// Partitions to sweep.
     pub partitions: Vec<FetchPartition>,
     /// Number of hardware contexts (cycles through the standard mix).
     pub threads: usize,
-    /// Cycles per simulation.
+    /// Measured cycles per simulation.
     pub cycles: u64,
+    /// Warmup cycles excluded from statistics (0 = cold-start measurement).
+    pub warmup: u64,
     /// Workload generation seed.
     pub seed: u64,
     /// Print the full per-run report instead of just the summary table.
     pub verbose: bool,
+    /// Write the machine-readable result document here.
+    pub json: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -48,8 +128,10 @@ impl Default for ExpConfig {
             partitions: vec![FetchPartition::new(2, 8)],
             threads: 8,
             cycles: 20_000,
+            warmup: 0,
             seed: 42,
             verbose: false,
+            json: None,
         }
     }
 }
@@ -89,6 +171,7 @@ pub fn run_cell(
         .with_fetch(fetch_policy_by_name(fetch).expect("validated fetch policy"))
         .with_issue(issue_policy_by_name(&cfg.issue_policy).expect("validated issue policy"))
         .with_partition(partition)
+        .with_warmup(cfg.warmup)
         .build()
         .run(cfg.cycles)
 }
@@ -114,14 +197,76 @@ pub fn run_matrix(cfg: &ExpConfig) -> (TextTable, Vec<SimReport>) {
     (table, reports)
 }
 
-/// Parses CLI arguments (everything after the program name).
+/// The machine-readable document for a matrix run (`kind:
+/// "smt-exp-matrix"`, same schema conventions as the study document).
+pub fn matrix_to_json(cfg: &ExpConfig, reports: &[SimReport]) -> Json {
+    Json::object([
+        ("schema_version", Json::from(JSON_SCHEMA_VERSION)),
+        ("kind", Json::from("smt-exp-matrix")),
+        (
+            "config",
+            Json::object([
+                ("cycles", Json::from(cfg.cycles)),
+                ("warmup_cycles", Json::from(cfg.warmup)),
+                (
+                    "fetch_policies",
+                    Json::array(cfg.fetch_policies.iter().map(String::as_str)),
+                ),
+                ("issue_policy", Json::from(cfg.issue_policy.as_str())),
+                (
+                    "partitions",
+                    Json::array(cfg.partitions.iter().map(|p| p.to_string())),
+                ),
+                ("threads", Json::from(cfg.threads)),
+                ("seeds", Json::array([cfg.seed])),
+            ]),
+        ),
+        (
+            "cells",
+            Json::array(reports.iter().map(|r| {
+                Json::object([
+                    ("fetch", Json::from(r.fetch_policy.clone())),
+                    ("issue", Json::from(r.issue_policy.clone())),
+                    ("partition", Json::from(r.partition.to_string())),
+                    ("total_ipc", Json::from(r.total_ipc())),
+                    ("report", r.to_json()),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// What the CLI asked for: a Section-4 matrix or a Section-5 study.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Fetch-policy × partition sweep on one mix ([`run_matrix`]).
+    Matrix(ExpConfig),
+    /// Issue × fetch × partition × mix × seed sweep
+    /// ([`study::run_study`]).
+    Study {
+        /// The sweep to run.
+        cfg: StudyConfig,
+        /// Where `--json` asked the result document to be written.
+        json: Option<String>,
+    },
+}
+
+/// Parses CLI arguments (everything after the program name) into a
+/// [`Command`].
 ///
 /// # Errors
 ///
 /// Returns a usage-style message on unknown flags, bad values or unknown
-/// policy names.
-pub fn parse_args(args: &[String]) -> Result<ExpConfig, String> {
-    let mut cfg = ExpConfig::default();
+/// policy/mix names. `--help` returns [`USAGE`] as the error message.
+pub fn parse_cli(args: &[String]) -> Result<Command, String> {
+    let mut exp = ExpConfig::default();
+    let mut study_kind: Option<String> = None;
+    let mut issue_list: Option<Vec<String>> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut mixes: Option<Vec<String>> = None;
+    let mut warmup: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -130,32 +275,47 @@ pub fn parse_args(args: &[String]) -> Result<ExpConfig, String> {
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
+            "--study" => {
+                let v = value("--study")?;
+                if v != "issue" {
+                    return Err(format!("unknown study '{v}' (known: issue)"));
+                }
+                study_kind = Some(v);
+            }
             "--fetch" => {
                 let v = value("--fetch")?;
                 if v.eq_ignore_ascii_case("all") {
-                    cfg.fetch_policies = ExpConfig::default().fetch_policies;
+                    exp.fetch_policies = ExpConfig::default().fetch_policies;
                 } else {
                     for name in v.split(',') {
                         if fetch_policy_by_name(name).is_none() {
                             return Err(format!("unknown fetch policy '{name}'"));
                         }
                     }
-                    cfg.fetch_policies = v.split(',').map(str::to_string).collect();
+                    exp.fetch_policies = v.split(',').map(str::to_string).collect();
                 }
             }
             "--issue" => {
                 let v = value("--issue")?;
-                if issue_policy_by_name(&v).is_none() {
-                    return Err(format!("unknown issue policy '{v}'"));
-                }
-                cfg.issue_policy = v;
+                let list: Vec<String> = if v.eq_ignore_ascii_case("all") {
+                    StudyConfig::default().issue_policies
+                } else {
+                    for name in v.split(',') {
+                        if issue_policy_by_name(name).is_none() {
+                            return Err(format!("unknown issue policy '{name}'"));
+                        }
+                    }
+                    v.split(',').map(str::to_string).collect()
+                };
+                exp.issue_policy = list[0].clone();
+                issue_list = Some(list);
             }
             "--partition" => {
                 let v = value("--partition")?;
                 if v.eq_ignore_ascii_case("all") {
-                    cfg.partitions = FetchPartition::all_schemes().to_vec();
+                    exp.partitions = FetchPartition::all_schemes().to_vec();
                 } else {
-                    cfg.partitions = v
+                    exp.partitions = v
                         .split(',')
                         .map(|s| {
                             FetchPartition::parse(s)
@@ -164,54 +324,168 @@ pub fn parse_args(args: &[String]) -> Result<ExpConfig, String> {
                         .collect::<Result<_, _>>()?;
                 }
             }
+            "--mixes" => {
+                let v = value("--mixes")?;
+                let list: Vec<String> = if v.eq_ignore_ascii_case("all") {
+                    STUDY_MIXES.iter().map(|s| s.to_string()).collect()
+                } else {
+                    for name in v.split(',') {
+                        if study::mix_by_name(name).is_none() {
+                            return Err(format!(
+                                "unknown mix '{name}' (known: {})",
+                                STUDY_MIXES.join(", ")
+                            ));
+                        }
+                    }
+                    v.split(',').map(str::to_string).collect()
+                };
+                mixes = Some(list);
+            }
             "--threads" => {
-                cfg.threads = value("--threads")?
+                exp.threads = value("--threads")?
                     .parse()
                     .map_err(|_| "--threads expects a number".to_string())?;
-                if cfg.threads == 0 || cfg.threads > smt_core::MAX_THREADS {
+                if exp.threads == 0 || exp.threads > smt_core::MAX_THREADS {
                     return Err(format!("--threads must be 1..={}", smt_core::MAX_THREADS));
                 }
             }
             "--cycles" => {
-                cfg.cycles = value("--cycles")?
+                exp.cycles = value("--cycles")?
                     .parse()
                     .map_err(|_| "--cycles expects a number".to_string())?;
             }
+            "--warmup" => {
+                warmup = Some(
+                    value("--warmup")?
+                        .parse()
+                        .map_err(|_| "--warmup expects a number".to_string())?,
+                );
+            }
             "--seed" => {
-                cfg.seed = value("--seed")?
+                exp.seed = value("--seed")?
                     .parse()
                     .map_err(|_| "--seed expects a number".to_string())?;
             }
-            "--verbose" | "-v" => cfg.verbose = true,
+            "--seeds" => {
+                let v = value("--seeds")?;
+                let parsed: Result<Vec<u64>, _> = v.split(',').map(str::parse).collect();
+                seeds = Some(
+                    parsed.map_err(|_| "--seeds expects comma-separated numbers".to_string())?,
+                );
+            }
+            "--jobs" => {
+                jobs = Some(
+                    value("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs expects a number".to_string())?,
+                );
+            }
+            "--json" => exp.json = Some(value("--json")?),
+            "--verbose" | "-v" => exp.verbose = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
     }
-    Ok(cfg)
+
+    if let Some(w) = warmup {
+        exp.warmup = w;
+    }
+    match study_kind {
+        None => {
+            // Reject study-only flags so a forgotten '--study issue' fails
+            // loudly instead of silently running a different experiment.
+            for (given, flag) in [
+                (mixes.is_some(), "--mixes"),
+                (seeds.is_some(), "--seeds"),
+                (jobs.is_some(), "--jobs"),
+            ] {
+                if given {
+                    return Err(format!("{flag} requires --study issue"));
+                }
+            }
+            if issue_list.as_ref().is_some_and(|l| l.len() > 1) {
+                return Err("matrix mode takes a single --issue policy; \
+                     use --study issue to sweep issue policies"
+                    .to_string());
+            }
+            Ok(Command::Matrix(exp))
+        }
+        Some(_) => {
+            // Matrix-only flags have no effect in study mode; reject them
+            // rather than yield results the user did not ask for.
+            if args.iter().any(|a| a == "--threads") {
+                return Err("--threads applies to matrix mode; study thread counts \
+                     come from --mixes"
+                    .to_string());
+            }
+            if exp.verbose {
+                return Err("--verbose applies to matrix mode only".to_string());
+            }
+            let defaults = StudyConfig::default();
+            let cfg = StudyConfig {
+                fetch_policies: if args.iter().any(|a| a == "--fetch") {
+                    exp.fetch_policies
+                } else {
+                    defaults.fetch_policies
+                },
+                issue_policies: issue_list.unwrap_or(defaults.issue_policies),
+                partitions: exp.partitions,
+                mixes: mixes.unwrap_or(defaults.mixes),
+                seeds: seeds.unwrap_or_else(|| {
+                    if args.iter().any(|a| a == "--seed") {
+                        vec![exp.seed]
+                    } else {
+                        defaults.seeds
+                    }
+                }),
+                cycles: exp.cycles,
+                warmup: warmup.unwrap_or(defaults.warmup),
+                jobs: jobs.unwrap_or(0),
+            };
+            cfg.validate()?;
+            Ok(Command::Study {
+                cfg,
+                json: exp.json,
+            })
+        }
+    }
 }
 
 /// CLI usage text.
 pub const USAGE: &str = "\
 usage: smt_exp [--fetch rr,icount,brcount,misscount|all] [--issue oldest|opt_last|spec_last|branch_first]
-               [--partition T.I[,T.I...]|all] [--threads N] [--cycles N] [--seed N] [--verbose]
+               [--partition T.I[,T.I...]|all] [--threads N] [--cycles N] [--warmup N]
+               [--seed N] [--verbose] [--json PATH]
+       smt_exp --study issue [--fetch LIST] [--issue LIST|all] [--partition LIST|all]
+               [--mixes standard,int8,fp8,mixed4|all] [--seeds N,N,...] [--cycles N]
+               [--warmup N] [--jobs N] [--json PATH]
 
-Reproduces the throughput comparisons of Tullsen et al., ISCA 1996 (Sections 4/5):
-one row per fetch partition, one column per fetch policy, cells in total IPC.";
+Reproduces the throughput comparisons of Tullsen et al., ISCA 1996. The default
+mode is the Section-4 matrix (one row per fetch partition, one column per fetch
+policy, cells in total IPC). '--study issue' runs the Section-5 issue-policy
+comparison: every issue policy against every fetch policy, partition, workload
+mix and seed, behind a warmup window, parallelized across CPU cores; '--json'
+writes the versioned machine-readable result document.";
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
 
     #[test]
     fn default_sweep_covers_the_papers_policies() {
         let cfg = ExpConfig::default();
         assert_eq!(cfg.fetch_policies.len(), 4);
         assert_eq!(cfg.partitions, vec![FetchPartition::new(2, 8)]);
+        assert_eq!(cfg.warmup, 0, "matrix mode defaults to cold-start");
     }
 
     #[test]
-    fn parse_args_roundtrip() {
-        let args: Vec<String> = [
+    fn parse_cli_matrix_roundtrip() {
+        let args = argv(&[
             "--fetch",
             "icount",
             "--partition",
@@ -220,26 +494,103 @@ mod tests {
             "4",
             "--cycles",
             "500",
+            "--warmup",
+            "250",
             "--seed",
             "9",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        let cfg = parse_args(&args).unwrap();
+            "--json",
+            "out.json",
+        ]);
+        let Command::Matrix(cfg) = parse_cli(&args).unwrap() else {
+            panic!("expected matrix mode");
+        };
         assert_eq!(cfg.fetch_policies, vec!["icount"]);
         assert_eq!(cfg.partitions.len(), 2);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.cycles, 500);
+        assert_eq!(cfg.warmup, 250);
         assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.json.as_deref(), Some("out.json"));
     }
 
     #[test]
-    fn parse_rejects_unknown_policy() {
-        let args = vec!["--fetch".to_string(), "nonesuch".to_string()];
-        assert!(parse_args(&args).is_err());
-        let args = vec!["--partition".to_string(), "0.8".to_string()];
-        assert!(parse_args(&args).is_err());
+    fn parse_cli_study_roundtrip() {
+        let args = argv(&[
+            "--study",
+            "issue",
+            "--issue",
+            "all",
+            "--fetch",
+            "icount",
+            "--mixes",
+            "standard,fp8",
+            "--seeds",
+            "1,2,3",
+            "--cycles",
+            "800",
+            "--warmup",
+            "400",
+            "--jobs",
+            "3",
+        ]);
+        let Command::Study { cfg, json } = parse_cli(&args).unwrap() else {
+            panic!("expected study mode");
+        };
+        assert_eq!(json, None);
+        assert_eq!(cfg.issue_policies.len(), 4);
+        assert_eq!(cfg.fetch_policies, vec!["icount"]);
+        assert_eq!(cfg.mixes, vec!["standard", "fp8"]);
+        assert_eq!(cfg.seeds, vec![1, 2, 3]);
+        assert_eq!(cfg.cycles, 800);
+        assert_eq!(cfg.warmup, 400);
+        assert_eq!(cfg.jobs, 3);
+    }
+
+    #[test]
+    fn parse_cli_study_defaults() {
+        let Command::Study { cfg, .. } = parse_cli(&argv(&["--study", "issue"])).unwrap() else {
+            panic!("expected study mode");
+        };
+        let d = StudyConfig::default();
+        assert_eq!(cfg.issue_policies, d.issue_policies);
+        assert_eq!(cfg.fetch_policies, d.fetch_policies);
+        assert_eq!(cfg.seeds, d.seeds);
+        assert_eq!(cfg.warmup, d.warmup);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names() {
+        assert!(parse_cli(&argv(&["--fetch", "nonesuch"])).is_err());
+        assert!(parse_cli(&argv(&["--partition", "0.8"])).is_err());
+        assert!(parse_cli(&argv(&["--study", "fetch"])).is_err());
+        assert!(parse_cli(&argv(&["--study", "issue", "--mixes", "nonesuch"])).is_err());
+        assert!(parse_cli(&argv(&["--issue", "nonesuch"])).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_flags_from_the_other_mode() {
+        // Study-only flags without --study must fail loudly, not silently
+        // run a different experiment.
+        for flags in [
+            &["--mixes", "int8"][..],
+            &["--seeds", "1,2"][..],
+            &["--jobs", "2"][..],
+            &["--issue", "all"][..],
+            &["--issue", "oldest,opt_last"][..],
+        ] {
+            assert!(
+                parse_cli(&argv(flags)).is_err(),
+                "matrix mode accepted {flags:?}"
+            );
+        }
+        // Matrix-only flags are rejected in study mode.
+        assert!(parse_cli(&argv(&["--study", "issue", "--threads", "4"])).is_err());
+        assert!(parse_cli(&argv(&["--study", "issue", "--verbose"])).is_err());
+        // A single --issue is still fine in matrix mode.
+        let Command::Matrix(cfg) = parse_cli(&argv(&["--issue", "spec_last"])).unwrap() else {
+            panic!("expected matrix mode");
+        };
+        assert_eq!(cfg.issue_policy, "spec_last");
     }
 
     #[test]
@@ -257,6 +608,31 @@ mod tests {
         assert!(rendered.contains("RR"));
         assert!(rendered.contains("ICOUNT"));
         assert!(rendered.contains("2.8"));
+        // The matrix JSON document parses and carries every cell.
+        let doc = matrix_to_json(&cfg, &reports);
+        let back = Json::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(
+            back.get("kind").and_then(Json::as_str),
+            Some("smt-exp-matrix")
+        );
+        assert_eq!(
+            back.get("cells").and_then(Json::as_array).map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn matrix_honours_warmup() {
+        let cfg = ExpConfig {
+            fetch_policies: vec!["icount".into()],
+            threads: 2,
+            cycles: 300,
+            warmup: 150,
+            ..ExpConfig::default()
+        };
+        let (_, reports) = run_matrix(&cfg);
+        assert_eq!(reports[0].cycles, 300);
+        assert_eq!(reports[0].warmup_cycles, 150);
     }
 
     #[test]

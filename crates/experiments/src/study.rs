@@ -1,0 +1,597 @@
+//! The Section-5 issue-policy study: a warmed-up, multi-mix, multi-seed
+//! sweep of the full issue-policy × fetch-policy × partition matrix.
+//!
+//! The paper's Section 5 finds that once ICOUNT fetch keeps the queues full
+//! of *good* instructions, the issue-policy choice (OLDEST_FIRST vs
+//! OPT_LAST / SPEC_LAST / BRANCH_FIRST) barely moves total throughput —
+//! issue bandwidth is no longer the bottleneck. [`run_study`] reproduces
+//! that comparison: every cell runs behind a warmup window (so cold-start
+//! cache effects do not drown the small issue-policy deltas), cells are
+//! independent simulations and run in parallel across OS threads, and the
+//! result renders as a table or as the versioned JSON document described in
+//! the crate docs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use smt_core::{fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport};
+use smt_stats::json::Json;
+use smt_stats::TextTable;
+use smt_workload::{standard_mix, Benchmark, Program};
+
+/// Version of the JSON document emitted by [`Study::to_json`] (and by
+/// `smt_exp --json`). Bump on any breaking change to the schema.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+/// The issue policy every delta is measured against.
+pub const BASELINE_ISSUE: &str = "OLDEST_FIRST";
+
+/// Workload mixes the studies sweep, by name.
+///
+/// * `standard` — the paper's 8-thread mix (4 integer + 4 FP benchmarks),
+/// * `int8` — eight integer-heavy contexts (branchy, pointer-chasing),
+/// * `fp8` — eight FP-heavy contexts (streaming, high ILP),
+/// * `mixed4` — a four-thread half-machine mix.
+pub fn mix_by_name(name: &str) -> Option<Vec<Benchmark>> {
+    use Benchmark::*;
+    match name {
+        "standard" => Some(standard_mix()),
+        "int8" => Some(vec![
+            Espresso, Eqntott, Xlisp, Compress, Espresso, Eqntott, Xlisp, Compress,
+        ]),
+        "fp8" => Some(vec![
+            Alvinn, Tomcatv, Doduc, Fpppp, Su2cor, Swm256, Alvinn, Tomcatv,
+        ]),
+        "mixed4" => Some(vec![Espresso, Xlisp, Alvinn, Tomcatv]),
+        _ => None,
+    }
+}
+
+/// The named mixes [`mix_by_name`] knows, for CLI validation and help text.
+pub const STUDY_MIXES: [&str; 4] = ["standard", "int8", "fp8", "mixed4"];
+
+/// Configuration of one study sweep.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Fetch policies to cross with the issue policies.
+    pub fetch_policies: Vec<String>,
+    /// Issue policies under study.
+    pub issue_policies: Vec<String>,
+    /// Fetch partitions to sweep.
+    pub partitions: Vec<FetchPartition>,
+    /// Workload mixes by name (see [`mix_by_name`]).
+    pub mixes: Vec<String>,
+    /// Workload-generation seeds; every cell runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Measured cycles per cell (after warmup).
+    pub cycles: u64,
+    /// Warmup cycles excluded from every cell's statistics.
+    pub warmup: u64,
+    /// Worker threads for the sweep; `0` means one per available core.
+    pub jobs: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> StudyConfig {
+        StudyConfig {
+            fetch_policies: vec!["rr".into(), "icount".into()],
+            issue_policies: vec![
+                "oldest".into(),
+                "opt_last".into(),
+                "spec_last".into(),
+                "branch_first".into(),
+            ],
+            partitions: vec![FetchPartition::new(2, 8)],
+            mixes: vec!["standard".into(), "int8".into(), "fp8".into()],
+            seeds: vec![42, 1337],
+            cycles: 20_000,
+            warmup: 10_000,
+            jobs: 0,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// Validates every policy, partition and mix name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message naming the first unknown entry.
+    pub fn validate(&self) -> Result<(), String> {
+        for f in &self.fetch_policies {
+            if fetch_policy_by_name(f).is_none() {
+                return Err(format!("unknown fetch policy '{f}'"));
+            }
+        }
+        for i in &self.issue_policies {
+            if issue_policy_by_name(i).is_none() {
+                return Err(format!("unknown issue policy '{i}'"));
+            }
+        }
+        for m in &self.mixes {
+            if mix_by_name(m).is_none() {
+                return Err(format!(
+                    "unknown mix '{m}' (known: {})",
+                    STUDY_MIXES.join(", ")
+                ));
+            }
+        }
+        if self.fetch_policies.is_empty()
+            || self.issue_policies.is_empty()
+            || self.partitions.is_empty()
+            || self.mixes.is_empty()
+            || self.seeds.is_empty()
+        {
+            return Err("study sweep axes must all be non-empty".to_string());
+        }
+        Ok(())
+    }
+
+    /// Number of cells the sweep will run.
+    pub fn cell_count(&self) -> usize {
+        self.fetch_policies.len()
+            * self.issue_policies.len()
+            * self.partitions.len()
+            * self.mixes.len()
+            * self.seeds.len()
+    }
+}
+
+/// One completed cell of the study matrix.
+#[derive(Debug, Clone)]
+pub struct StudyCell {
+    /// Canonical fetch-policy name (e.g. `"ICOUNT"`).
+    pub fetch: String,
+    /// Canonical issue-policy name (e.g. `"OPT_LAST"`).
+    pub issue: String,
+    /// Fetch partition this cell ran.
+    pub partition: FetchPartition,
+    /// Workload-mix name.
+    pub mix: String,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// The full simulation report for the measured window.
+    pub report: SimReport,
+}
+
+/// Results of one sweep: the configuration plus every cell.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// The sweep configuration that produced these cells.
+    pub config: StudyConfig,
+    /// One entry per matrix cell, in deterministic
+    /// (mix, seed, partition, fetch, issue) order.
+    pub cells: Vec<StudyCell>,
+}
+
+/// Runs the full study matrix, parallelized across OS threads. Each cell is
+/// an independent [`Simulator`](smt_core::Simulator), so the sweep scales to
+/// the available cores; program images are generated once per (mix, seed)
+/// and shared between the cells that use them.
+///
+/// # Errors
+///
+/// Returns the [`StudyConfig::validate`] message for bad names.
+pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
+    cfg.validate()?;
+
+    // Program images, generated once per (mix, seed).
+    let mut images: HashMap<(String, u64), Vec<Arc<Program>>> = HashMap::new();
+    for mix in &cfg.mixes {
+        let benchmarks = mix_by_name(mix).expect("validated above");
+        for &seed in &cfg.seeds {
+            images.entry((mix.clone(), seed)).or_insert_with(|| {
+                benchmarks
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, b)| Arc::new(b.generate(seed, slot as u32)))
+                    .collect()
+            });
+        }
+    }
+
+    // The work list: one spec per cell, in deterministic order.
+    struct Spec<'a> {
+        fetch: &'a str,
+        issue: &'a str,
+        partition: FetchPartition,
+        mix: &'a str,
+        seed: u64,
+    }
+    let mut specs = Vec::with_capacity(cfg.cell_count());
+    for mix in &cfg.mixes {
+        for &seed in &cfg.seeds {
+            for &partition in &cfg.partitions {
+                for fetch in &cfg.fetch_policies {
+                    for issue in &cfg.issue_policies {
+                        specs.push(Spec {
+                            fetch,
+                            issue,
+                            partition,
+                            mix,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let workers = if cfg.jobs > 0 {
+        cfg.jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+    .min(specs.len())
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let cells: Mutex<Vec<Option<StudyCell>>> = Mutex::new(vec![None; specs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let programs = images[&(spec.mix.to_string(), spec.seed)].clone();
+                let report = SimConfig::new()
+                    .with_programs(programs)
+                    .with_seed(spec.seed)
+                    .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
+                    .with_issue(issue_policy_by_name(spec.issue).expect("validated"))
+                    .with_partition(spec.partition)
+                    .with_warmup(cfg.warmup)
+                    .build()
+                    .run(cfg.cycles);
+                let cell = StudyCell {
+                    fetch: report.fetch_policy.clone(),
+                    issue: report.issue_policy.clone(),
+                    partition: spec.partition,
+                    mix: spec.mix.to_string(),
+                    seed: spec.seed,
+                    report,
+                };
+                cells.lock().expect("no panics while holding the lock")[i] = Some(cell);
+            });
+        }
+    });
+
+    let cells = cells
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|c| c.expect("every spec index was processed"))
+        .collect();
+    Ok(Study {
+        config: cfg.clone(),
+        cells,
+    })
+}
+
+impl Study {
+    /// The cell's IPC delta against the OLDEST_FIRST cell with the same
+    /// fetch policy, partition, mix and seed (`None` when the baseline was
+    /// not part of the sweep; `0.0` for baseline cells themselves).
+    pub fn delta_vs_baseline(&self, cell: &StudyCell) -> Option<f64> {
+        let base = self.cells.iter().find(|c| {
+            c.issue == BASELINE_ISSUE
+                && c.fetch == cell.fetch
+                && c.partition == cell.partition
+                && c.mix == cell.mix
+                && c.seed == cell.seed
+        })?;
+        Some(cell.report.total_ipc() - base.report.total_ipc())
+    }
+
+    /// Mean total IPC per issue policy, averaged over every fetch policy,
+    /// partition, mix and seed, in first-seen order.
+    pub fn mean_ipc_by_issue(&self) -> Vec<(String, f64)> {
+        mean_by(&self.cells, |c| c.issue.clone())
+    }
+
+    /// Mean total IPC per fetch policy, restricted to the baseline issue
+    /// policy so the comparison is not diluted by issue-policy variation.
+    pub fn mean_ipc_by_fetch(&self) -> Vec<(String, f64)> {
+        let base: Vec<StudyCell> = self
+            .cells
+            .iter()
+            .filter(|c| c.issue == BASELINE_ISSUE)
+            .cloned()
+            .collect();
+        if base.is_empty() {
+            mean_by(&self.cells, |c| c.fetch.clone())
+        } else {
+            mean_by(&base, |c| c.fetch.clone())
+        }
+    }
+
+    /// Max-minus-min of the per-issue-policy mean IPCs: how much the issue
+    /// policy choice moves throughput.
+    pub fn issue_ipc_spread(&self) -> f64 {
+        spread(&self.mean_ipc_by_issue())
+    }
+
+    /// Max-minus-min of the per-fetch-policy mean IPCs: how much the fetch
+    /// policy choice moves throughput.
+    pub fn fetch_ipc_spread(&self) -> f64 {
+        spread(&self.mean_ipc_by_fetch())
+    }
+
+    /// A Section-5-style table: one row per (partition, mix, seed, fetch),
+    /// one column per issue policy, cells in total IPC.
+    pub fn summary_table(&self) -> TextTable {
+        let mut issues: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !issues.contains(&c.issue) {
+                issues.push(c.issue.clone());
+            }
+        }
+        let mut table = TextTable::new();
+        let mut header = vec!["scheme/mix/seed".to_string()];
+        header.extend(issues.iter().cloned());
+        table.header(header);
+        let mut seen: Vec<(String, FetchPartition, String, u64)> = Vec::new();
+        for c in &self.cells {
+            let key = (c.fetch.clone(), c.partition, c.mix.clone(), c.seed);
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let mut row = vec![format!("{}.{}/{}/{}", c.fetch, c.partition, c.mix, c.seed)];
+            for issue in &issues {
+                let ipc = self
+                    .cells
+                    .iter()
+                    .find(|x| {
+                        x.issue == *issue
+                            && x.fetch == c.fetch
+                            && x.partition == c.partition
+                            && x.mix == c.mix
+                            && x.seed == c.seed
+                    })
+                    .map(|x| x.report.total_ipc());
+                row.push(match ipc {
+                    Some(ipc) => format!("{ipc:.2}"),
+                    None => "-".to_string(),
+                });
+            }
+            table.row(row);
+        }
+        table
+    }
+
+    /// The versioned machine-readable document (see the crate docs for the
+    /// schema). `smt_exp --study issue --json out.json` writes exactly this,
+    /// pretty-rendered.
+    pub fn to_json(&self) -> Json {
+        let cfg = &self.config;
+        let config = Json::object([
+            ("cycles", Json::from(cfg.cycles)),
+            ("warmup_cycles", Json::from(cfg.warmup)),
+            (
+                "fetch_policies",
+                Json::array(cfg.fetch_policies.iter().map(String::as_str)),
+            ),
+            (
+                "issue_policies",
+                Json::array(cfg.issue_policies.iter().map(String::as_str)),
+            ),
+            (
+                "partitions",
+                Json::array(cfg.partitions.iter().map(|p| p.to_string())),
+            ),
+            ("mixes", Json::array(cfg.mixes.iter().map(String::as_str))),
+            ("seeds", Json::array(cfg.seeds.iter().copied())),
+        ]);
+        let cells = Json::array(self.cells.iter().map(|c| {
+            Json::object([
+                ("fetch", Json::from(c.fetch.clone())),
+                ("issue", Json::from(c.issue.clone())),
+                ("partition", Json::from(c.partition.to_string())),
+                ("mix", Json::from(c.mix.clone())),
+                ("seed", Json::from(c.seed)),
+                ("total_ipc", Json::from(c.report.total_ipc())),
+                (
+                    "delta_vs_oldest",
+                    match self.delta_vs_baseline(c) {
+                        Some(d) => Json::from(d),
+                        None => Json::Null,
+                    },
+                ),
+                ("report", c.report.to_json()),
+            ])
+        }));
+        let issue_summary = Json::array(self.mean_ipc_by_issue().into_iter().map(|(name, ipc)| {
+            let mean_delta: f64 = {
+                let deltas: Vec<f64> = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.issue == name)
+                    .filter_map(|c| self.delta_vs_baseline(c))
+                    .collect();
+                if deltas.is_empty() {
+                    0.0
+                } else {
+                    deltas.iter().sum::<f64>() / deltas.len() as f64
+                }
+            };
+            Json::object([
+                ("issue", Json::from(name)),
+                ("mean_ipc", Json::from(ipc)),
+                ("mean_delta_vs_oldest", Json::from(mean_delta)),
+            ])
+        }));
+        let fetch_summary = Json::array(self.mean_ipc_by_fetch().into_iter().map(|(name, ipc)| {
+            Json::object([("fetch", Json::from(name)), ("mean_ipc", Json::from(ipc))])
+        }));
+        Json::object([
+            ("schema_version", Json::from(JSON_SCHEMA_VERSION)),
+            ("kind", Json::from("smt-exp-study")),
+            ("study", Json::from("issue")),
+            ("config", config),
+            ("cells", cells),
+            (
+                "summary",
+                Json::object([
+                    ("baseline_issue", Json::from(BASELINE_ISSUE)),
+                    ("issue_policies", issue_summary),
+                    ("fetch_policies", fetch_summary),
+                    ("issue_ipc_spread", Json::from(self.issue_ipc_spread())),
+                    ("fetch_ipc_spread", Json::from(self.fetch_ipc_spread())),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn mean_by(cells: &[StudyCell], key: impl Fn(&StudyCell) -> String) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: HashMap<String, (f64, usize)> = HashMap::new();
+    for c in cells {
+        let k = key(c);
+        if !order.contains(&k) {
+            order.push(k.clone());
+        }
+        let e = sums.entry(k).or_insert((0.0, 0));
+        e.0 += c.report.total_ipc();
+        e.1 += 1;
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let (sum, n) = sums[&k];
+            (k, sum / n as f64)
+        })
+        .collect()
+}
+
+fn spread(means: &[(String, f64)]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &(_, ipc) in means {
+        min = min.min(ipc);
+        max = max.max(ipc);
+    }
+    if means.is_empty() {
+        0.0
+    } else {
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_study() -> StudyConfig {
+        StudyConfig {
+            fetch_policies: vec!["rr".into(), "icount".into()],
+            issue_policies: vec!["oldest".into(), "spec_last".into()],
+            mixes: vec!["mixed4".into()],
+            seeds: vec![42],
+            cycles: 600,
+            warmup: 200,
+            jobs: 2,
+            ..StudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid_and_sized() {
+        let cfg = StudyConfig::default();
+        cfg.validate().unwrap();
+        // 2 fetch × 4 issue × 1 partition × 3 mixes × 2 seeds.
+        assert_eq!(cfg.cell_count(), 48);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_names() {
+        let cfg = StudyConfig {
+            mixes: vec!["nonesuch".into()],
+            ..StudyConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = StudyConfig {
+            issue_policies: vec!["nonesuch".into()],
+            ..StudyConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = StudyConfig {
+            seeds: Vec::new(),
+            ..StudyConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn every_named_mix_resolves() {
+        for name in STUDY_MIXES {
+            let mix = mix_by_name(name).unwrap();
+            assert!(!mix.is_empty(), "{name} is empty");
+        }
+        assert!(mix_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn tiny_study_runs_all_cells_with_warmup() {
+        let cfg = tiny_study();
+        let study = run_study(&cfg).unwrap();
+        assert_eq!(study.cells.len(), cfg.cell_count());
+        for c in &study.cells {
+            assert_eq!(c.report.cycles, cfg.cycles);
+            assert_eq!(c.report.warmup_cycles, cfg.warmup);
+            assert!(c.report.total_committed() > 0, "cell made no progress");
+        }
+        // Baseline cells have exactly zero delta; every cell has one.
+        for c in &study.cells {
+            let d = study.delta_vs_baseline(c).expect("baseline in sweep");
+            if c.issue == BASELINE_ISSUE {
+                assert_eq!(d, 0.0);
+            }
+        }
+        // Parallel scheduling must not perturb results: rerun serially.
+        let serial = run_study(&StudyConfig {
+            jobs: 1,
+            ..cfg.clone()
+        })
+        .unwrap();
+        for (a, b) in study.cells.iter().zip(serial.cells.iter()) {
+            assert_eq!(a.report.total_committed(), b.report.total_committed());
+            assert_eq!(
+                (a.fetch.clone(), a.issue.clone()),
+                (b.fetch.clone(), b.issue.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn study_json_round_trips_and_carries_summary() {
+        let study = run_study(&tiny_study()).unwrap();
+        let doc = study.to_json();
+        let text = doc.render_pretty();
+        let back = Json::parse(&text).expect("study JSON must parse");
+        assert_eq!(
+            back.get("schema_version").and_then(Json::as_u64),
+            Some(JSON_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            back.get("kind").and_then(Json::as_str),
+            Some("smt-exp-study")
+        );
+        let cells = back.get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(cells.len(), study.cells.len());
+        let summary = back.get("summary").unwrap();
+        assert!(summary
+            .get("issue_ipc_spread")
+            .and_then(Json::as_f64)
+            .is_some());
+        assert_eq!(
+            summary.get("baseline_issue").and_then(Json::as_str),
+            Some(BASELINE_ISSUE)
+        );
+        // The table renders one row per (fetch, partition, mix, seed).
+        let table = study.summary_table().to_string();
+        assert!(table.contains("OLDEST_FIRST"));
+        assert!(table.contains("SPEC_LAST"));
+    }
+}

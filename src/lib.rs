@@ -39,6 +39,27 @@
 //! assert!(icount.total_committed() > 0 && rr.total_committed() > 0);
 //! ```
 //!
+//! # Measuring properly
+//!
+//! Cold-start cache effects depress short measurements. For absolute
+//! numbers, open the measurement window after a warmup:
+//!
+//! ```
+//! use smt::{standard_mix, SimConfig};
+//!
+//! let report = SimConfig::new()
+//!     .with_benchmarks(standard_mix(), 42)
+//!     .with_warmup(1_000) // simulated, then excluded from the stats
+//!     .build()
+//!     .run(1_000);
+//! assert_eq!(report.warmup_cycles, 1_000);
+//! assert_eq!(report.cycles, 1_000);
+//! ```
+//!
+//! The `smt-experiments` crate (binary `smt_exp`) is the standard sweep
+//! harness: the Section-4 fetch matrix, the Section-5 issue-policy study,
+//! and versioned machine-readable JSON output.
+//!
 //! # Extending the simulator
 //!
 //! New fetch or issue heuristics implement [`FetchPolicy`] or

@@ -1,0 +1,43 @@
+//! Warmup-window coverage on the standard 8-thread mix: a measurement
+//! window that opens after the caches and predictor have warmed up must not
+//! report worse throughput than the same window measured from a cold start
+//! (cold-start compulsory misses depress early IPC — the effect the warmup
+//! plumbing exists to exclude).
+
+use smt::{standard_mix, SimConfig};
+
+const WARMUP: u64 = 10_000;
+const MEASURE: u64 = 10_000;
+const SEED: u64 = 42;
+
+#[test]
+fn warmed_up_ipc_not_below_cold_ipc_on_standard_mix() {
+    let cold = SimConfig::new()
+        .with_benchmarks(standard_mix(), SEED)
+        .build()
+        .run(MEASURE);
+    let warm = SimConfig::new()
+        .with_benchmarks(standard_mix(), SEED)
+        .with_warmup(WARMUP)
+        .build()
+        .run(MEASURE);
+
+    assert_eq!(cold.warmup_cycles, 0);
+    assert_eq!(warm.warmup_cycles, WARMUP);
+    assert_eq!(cold.cycles, MEASURE);
+    assert_eq!(warm.cycles, MEASURE);
+    assert!(
+        warm.total_ipc() >= cold.total_ipc(),
+        "warmed-up window slower than cold start: warm {:.3} IPC vs cold {:.3} IPC\n\n{warm}\n\n{cold}",
+        warm.total_ipc(),
+        cold.total_ipc(),
+    );
+    // The warm window must also see a lower I-cache miss rate than the cold
+    // window — that is the mechanism behind the IPC ordering.
+    assert!(
+        warm.mem.icache.miss_rate() <= cold.mem.icache.miss_rate(),
+        "warm I$ miss rate {:.2}% vs cold {:.2}%",
+        warm.mem.icache.miss_rate(),
+        cold.mem.icache.miss_rate(),
+    );
+}
