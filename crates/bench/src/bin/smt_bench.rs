@@ -4,39 +4,51 @@
 //! ICOUNT.2.8 configuration and reports the best (least-noisy) rate.
 //!
 //! ```text
-//! smt_bench [CYCLES] [--json PATH]
+//! smt_bench [CYCLES] [--json PATH] [--baseline PATH [--max-regress FRAC]]
 //! ```
 //!
 //! `CYCLES` defaults to 200000 simulated cycles per measurement; `--json`
 //! additionally writes the machine-readable `"smt-bench"` document.
+//! `--baseline` reads a previously written document (e.g. the committed
+//! `BENCH_*.json` trajectory files) and prints the speedup factor against
+//! it; with `--max-regress FRAC` the run exits non-zero when throughput
+//! fell more than `FRAC` (e.g. `0.30`) below the baseline — the CI
+//! throughput guard.
 
-use smt_bench::{bench_to_json, run_reference, BenchResult};
+use smt_bench::{baseline_ips, bench_to_json, run_reference, BenchResult};
 
 fn main() {
     let mut cycles: u64 = 200_000;
     let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regress: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--json" {
-            match args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
                 Some(path) => json_path = Some(path),
-                None => {
-                    eprintln!("--json requires a path");
-                    std::process::exit(1);
-                }
-            }
-        } else {
-            match arg.parse() {
+                None => die("--json requires a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = Some(path),
+                None => die("--baseline requires a path"),
+            },
+            "--max-regress" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(frac) if (0.0..1.0).contains(&frac) => max_regress = Some(frac),
+                _ => die("--max-regress requires a fraction in [0, 1)"),
+            },
+            _ => match arg.parse() {
                 Ok(n) => cycles = n,
-                Err(_) => {
-                    eprintln!(
-                        "usage: smt_bench [CYCLES] [--json PATH]   \
-                         (CYCLES must be a number, got '{arg}')"
-                    );
-                    std::process::exit(1);
-                }
-            }
+                Err(_) => die(&format!(
+                    "usage: smt_bench [CYCLES] [--json PATH] \
+                     [--baseline PATH [--max-regress FRAC]]   \
+                     (CYCLES must be a number, got '{arg}')"
+                )),
+            },
         }
+    }
+    if max_regress.is_some() && baseline_path.is_none() {
+        die("--max-regress requires --baseline");
     }
 
     // Warmup: touch code paths and the allocator.
@@ -56,9 +68,44 @@ fn main() {
 
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, bench_to_json(&runs, &best).render_pretty()) {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
+            die(&format!("failed to write {path}: {e}"));
         }
         println!("wrote {path}");
     }
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("failed to read baseline {path}: {e}")));
+        let base = baseline_ips(&text)
+            .unwrap_or_else(|| die(&format!("{path} is not an smt-bench document")));
+        let speedup = best.ips() / base;
+        println!(
+            "speedup vs {path}: {speedup:.2}x ({:.0} kinsts/s -> {:.0} kinsts/s)",
+            base / 1e3,
+            best.ips() / 1e3
+        );
+        if let Some(frac) = max_regress {
+            let floor = base * (1.0 - frac);
+            if best.ips() < floor {
+                eprintln!(
+                    "THROUGHPUT REGRESSION: {:.0} kinsts/s is more than {:.0}% below \
+                     the baseline's {:.0} kinsts/s",
+                    best.ips() / 1e3,
+                    frac * 100.0,
+                    base / 1e3
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "throughput guard: OK ({:.0} kinsts/s >= floor {:.0} kinsts/s)",
+                best.ips() / 1e3,
+                floor / 1e3
+            );
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
 }

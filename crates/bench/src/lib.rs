@@ -70,14 +70,35 @@ pub const JSON_SCHEMA_VERSION: u64 = 1;
 
 /// The machine-readable benchmark document: every timed run plus the best
 /// (least-noisy) one. `smt_bench --json` writes this, pretty-rendered.
+/// The top-level `insts_per_sec` field is the headline number baselines and
+/// the CI throughput guard compare against.
 pub fn bench_to_json(runs: &[BenchResult], best: &BenchResult) -> Json {
     Json::object([
         ("schema_version", Json::from(JSON_SCHEMA_VERSION)),
         ("kind", Json::from("smt-bench")),
         ("reference", Json::from("ICOUNT.2.8/standard-mix")),
+        ("insts_per_sec", Json::from(best.ips())),
         ("runs", Json::array(runs.iter().map(BenchResult::to_json))),
         ("best", best.to_json()),
     ])
+}
+
+/// Extracts the headline insts/s rate from a rendered `"smt-bench"`
+/// document, accepting both the current schema (top-level `insts_per_sec`)
+/// and the original one (only `best.insts_per_second`).
+pub fn baseline_ips(text: &str) -> Option<f64> {
+    let doc = Json::parse(text).ok()?;
+    if doc.get("kind").and_then(Json::as_str) != Some("smt-bench") {
+        return None;
+    }
+    doc.get("insts_per_sec")
+        .and_then(Json::as_f64)
+        .or_else(|| {
+            doc.get("best")
+                .and_then(|b| b.get("insts_per_second"))
+                .and_then(Json::as_f64)
+        })
+        .filter(|v| *v > 0.0)
 }
 
 impl std::fmt::Display for BenchResult {
@@ -121,6 +142,23 @@ mod tests {
         assert!(r.ips() > 0.0);
         let s = r.to_string();
         assert!(s.contains("committed"));
+    }
+
+    #[test]
+    fn baseline_ips_reads_both_schemas() {
+        let r = run_reference(300);
+        let doc = bench_to_json(&[r], &r);
+        let ips = baseline_ips(&doc.render_pretty()).expect("current schema must parse");
+        assert!((ips - r.ips()).abs() < 1e-9);
+        // Original schema: no top-level field, only best.insts_per_second.
+        let old = Json::object([
+            ("schema_version", Json::from(1u64)),
+            ("kind", Json::from("smt-bench")),
+            ("best", r.to_json()),
+        ]);
+        assert!(baseline_ips(&old.render()).is_some());
+        assert!(baseline_ips("{\"kind\":\"other\"}").is_none());
+        assert!(baseline_ips("not json").is_none());
     }
 
     #[test]

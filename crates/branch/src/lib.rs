@@ -183,7 +183,9 @@ impl Btb {
 
     #[inline]
     fn tag(&self, pc: Addr) -> u64 {
-        (pc >> 2) / self.sets as u64
+        // Set count is a power of two (asserted at construction): shift,
+        // not divide, on the per-prediction hot path.
+        (pc >> 2) >> self.sets.trailing_zeros()
     }
 
     /// Looks up a target for `pc` fetched by `thread`. Updates LRU on hit.

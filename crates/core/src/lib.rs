@@ -47,6 +47,38 @@
 //! assert_eq!(report.fetch_policy, "MISS_THEN_ICOUNT");
 //! assert!(report.total_committed() > 0);
 //! ```
+//!
+//! # The event-driven scheduler
+//!
+//! The simulator's hot loop is event-driven, not scan-based: no phase of
+//! [`Simulator::step_cycle`] walks the reorder buffers. Three structures
+//! carry scheduling state forward between cycles:
+//!
+//! * **Register wakeup lists** — every physical register carries the list
+//!   of dispatched instructions waiting on it; the writeback that produces
+//!   the value drains the list and decrements each consumer's
+//!   outstanding-operand count.
+//! * **The ready set** — an instruction enters exactly once (at dispatch
+//!   when its operands are all available, or when its last operand's
+//!   writeback wakes it) and leaves when issued, so an [`IssuePolicy`]
+//!   ranks only genuinely-ready instructions. The set is kept in age
+//!   order, which makes the default OLDEST_FIRST ranking a no-op sort.
+//! * **Writeback events** — issue schedules each instruction's completion
+//!   into a calendar ring; the writeback phase drains one bucket per
+//!   cycle. Cache-miss completions arrive from `smt-mem` the same way, as
+//!   events scheduled when the miss began.
+//!
+//! The per-thread ICOUNT/BRCOUNT/MISSCOUNT counters the fetch policies
+//! read are maintained incrementally at the same state transitions.
+//! Policies are consulted in one batched call per cycle
+//! ([`FetchPolicy::priority_batch`], [`IssuePolicy::priority_batch`]), so
+//! boxed policies cost one dynamic dispatch per cycle, not per candidate.
+//! The pipeline stages live in dedicated modules under `pipeline/`
+//! (`fetch`, `rename`, `issue`, `commit`, `scheduler`), with the wakeup
+//! machinery in `scheduler` and the cycle driver in `pipeline` itself.
+//! A golden-equivalence suite (`tests/golden.rs` at the workspace root)
+//! pins the scheduler's output byte-for-byte to the scan-based
+//! implementation it replaced.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,41 @@
+//! In-order commit: per-thread retirement from the ROB head.
+
+use super::{InstState, Simulator};
+
+impl Simulator {
+    // ---- phase 3: in-order commit ------------------------------------
+
+    /// Retires up to `commit_width` completed instructions across all
+    /// threads, rotating the starting thread each cycle for fairness.
+    /// Committing a renaming instruction frees the physical register its
+    /// destination previously mapped to — by then every consumer of that
+    /// old mapping has itself committed, so no wakeup list can reference
+    /// it.
+    pub(super) fn commit(&mut self) {
+        let mut budget = self.cfg.commit_width;
+        let n = self.threads.len();
+        let start = self.cycle as usize % n;
+        for k in 0..n {
+            let ti = (start + k) % n;
+            while budget > 0 {
+                let t = &mut self.threads[ti];
+                match t.rob.front() {
+                    Some(head) if head.state == InstState::Done => {
+                        debug_assert!(
+                            !head.wrong_path,
+                            "wrong-path instruction survived to the ROB head"
+                        );
+                        let head = t.rob.pop_front().expect("just observed");
+                        t.popped_front += 1;
+                        if let Some((class, prev)) = head.prev_phys {
+                            self.regs[class.index()].release(prev);
+                        }
+                        t.committed += 1;
+                        budget -= 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+}

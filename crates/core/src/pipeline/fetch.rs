@@ -1,0 +1,365 @@
+//! Fetch: the [`FetchPolicy`](crate::FetchPolicy) picks which threads fill
+//! the 8-wide fetch bandwidth under the active
+//! [`FetchPartition`](crate::FetchPartition).
+//!
+//! The policy counters each [`ThreadFetchView`] carries (ICOUNT / BRCOUNT /
+//! MISSCOUNT) are the live values the scheduler maintains at state
+//! transitions — ranking reads them in O(1) instead of recounting the ROBs
+//! every cycle. Wrong-path fetch streams contend for I-cache banks and
+//! ports exactly like correct-path ones; the
+//! `wrong_path_fetch_conflicts` counter records how often they were turned
+//! away.
+
+use smt_isa::{Addr, Opcode, Outcome, StaticInst, INST_BYTES};
+use smt_mem::AccessResult;
+use smt_workload::{Program, WrongPath};
+
+use crate::policy::{FetchPartition, ThreadFetchView};
+use smt_branch::Prediction;
+
+use super::{DynInst, InstState, Simulator};
+
+/// Why a fetch slot could not be filled this cycle (candidate loss causes,
+/// settled against the actually-unused slots at end of cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum LossCause {
+    Icache,
+    Bank,
+    Fragmentation,
+    FrontendFull,
+    NoThread,
+}
+
+impl Simulator {
+    // ---- phase 5b: fetch ---------------------------------------------
+
+    pub(super) fn fetch(&mut self) {
+        let cycle = self.cycle;
+        let n = self.threads.len();
+        let tpc = usize::from(self.cfg.partition.threads_per_cycle);
+        let ipt = u32::from(self.cfg.partition.insts_per_thread);
+        // Collect the fetchable threads' views, rank them in ONE policy
+        // call (see `FetchPolicy::priority_batch`), then sort.
+        let n64 = n as u64;
+        let rot_base = cycle % n64;
+        let mut views = std::mem::take(&mut self.fetch_view_scratch);
+        views.clear();
+        let mut ranked = std::mem::take(&mut self.fetch_rank_scratch);
+        ranked.clear();
+        for ti in 0..n {
+            let t = &self.threads[ti];
+            let fetchable = t.icache_req.is_none()
+                && t.stall_until <= cycle
+                && t.frontend.len() < self.cfg.frontend_depth;
+            if !fetchable {
+                continue;
+            }
+            views.push(ThreadFetchView {
+                thread: t.id,
+                thread_count: n as u8,
+                in_flight: t.in_flight,
+                unresolved_branches: t.unresolved_ctrl.len() as u32,
+                outstanding_misses: t.outstanding_misses,
+            });
+            // `rotating_rank(cycle, id, n)` with the `cycle % n` hoisted
+            // out of the loop (thread + n - base < 2n, so one conditional
+            // subtraction replaces the second modulo).
+            let mut rotation = u64::from(t.id.0) + n64 - rot_base;
+            if rotation >= n64 {
+                rotation -= n64;
+            }
+            debug_assert_eq!(rotation, crate::policy::rotating_rank(cycle, t.id, n as u8));
+            ranked.push((0, rotation, ti));
+        }
+        let mut keys = std::mem::take(&mut self.fetch_key_scratch);
+        keys.clear();
+        self.cfg.fetch.priority_batch(cycle, &views, &mut keys);
+        for (slot, &key) in ranked.iter_mut().zip(&keys) {
+            slot.0 = key;
+        }
+        self.fetch_view_scratch = views;
+        self.fetch_key_scratch = keys;
+        ranked.sort_unstable();
+
+        // As in the paper, the fetch unit takes the highest-priority
+        // threads whose fetch blocks sit in distinct, currently-available
+        // I-cache banks: a thread whose bank is busy is passed over in
+        // favour of the next-ranked thread rather than wasting the slot.
+        //
+        // Loss accounting: blockages only *candidate* slots for loss while
+        // fetching, because a slot one thread could not fill may still be
+        // filled by the next selected thread. At the end of the cycle the
+        // genuinely unused slots are attributed to the recorded causes in
+        // order of occurrence, so fetched + wrong-path + losses always sums
+        // to the 8-slot budget.
+        let mut total_left = FetchPartition::TOTAL_WIDTH;
+        let mut selected = 0usize;
+        let mut losses = std::mem::take(&mut self.loss_scratch);
+        losses.clear();
+        for &(_, _, ti) in &ranked {
+            if selected == tpc || total_left == 0 {
+                break;
+            }
+            if !self.mem.icache_bank_free(self.threads[ti].fetch_pc) {
+                if self.threads[ti].wrong_path {
+                    self.f_stats.wrong_path_fetch_conflicts += 1;
+                }
+                continue;
+            }
+            selected += 1;
+            let cap = ipt.min(total_left);
+            total_left -= self.fetch_block(ti, cap, &mut losses);
+        }
+        self.fetch_rank_scratch = ranked;
+        if selected < tpc {
+            losses.push((LossCause::NoThread, ipt * (tpc - selected) as u32));
+        }
+        let mut unused = total_left;
+        for &(cause, amount) in &losses {
+            if unused == 0 {
+                break;
+            }
+            let charged = u64::from(amount.min(unused));
+            unused -= amount.min(unused);
+            match cause {
+                LossCause::Icache => self.f_stats.lost_icache += charged,
+                LossCause::Bank => self.f_stats.lost_bank_conflict += charged,
+                LossCause::Fragmentation => self.f_stats.lost_fragmentation += charged,
+                LossCause::FrontendFull => self.f_stats.lost_frontend_full += charged,
+                LossCause::NoThread => self.f_stats.lost_no_thread += charged,
+            }
+        }
+        self.loss_scratch = losses;
+    }
+
+    /// Fetches one thread's block of up to `cap` instructions; returns how
+    /// many were fetched, recording candidate slot losses in `losses`.
+    fn fetch_block(&mut self, ti: usize, cap: u32, losses: &mut Vec<(LossCause, u32)>) -> u32 {
+        // Power-of-two line size: line membership is a shift, not a
+        // division, on this per-instruction loop.
+        let line_shift = (self.cfg.mem.icache.line_bytes as u64).trailing_zeros();
+        let block_pc = self.threads[ti].fetch_pc;
+        let id = self.threads[ti].id;
+        match self.mem.icache_fetch(id, block_pc) {
+            AccessResult::BankConflict => {
+                // Port or MSHR pressure: yield the fetch slot for a cycle so
+                // thread selection rotates instead of re-picking a thread
+                // that cannot start its access.
+                self.threads[ti].stall_until = self.cycle + 1;
+                if self.threads[ti].wrong_path {
+                    self.f_stats.wrong_path_fetch_conflicts += 1;
+                }
+                losses.push((LossCause::Bank, cap));
+                return 0;
+            }
+            AccessResult::Miss(req) => {
+                self.threads[ti].icache_req = Some(req);
+                losses.push((LossCause::Icache, cap));
+                return 0;
+            }
+            AccessResult::Hit => {}
+        }
+        let line = block_pc >> line_shift;
+        let mut fetched = 0u32;
+        while fetched < cap {
+            if self.threads[ti].frontend.len() >= self.cfg.frontend_depth {
+                losses.push((LossCause::FrontendFull, cap - fetched));
+                break;
+            }
+            let pc = self.threads[ti].fetch_pc;
+            if pc >> line_shift != line {
+                losses.push((LossCause::Fragmentation, cap - fetched));
+                break;
+            }
+            let end_block = self.fetch_one(ti, pc);
+            fetched += 1;
+            if end_block {
+                if fetched < cap {
+                    losses.push((LossCause::Fragmentation, cap - fetched));
+                }
+                break;
+            }
+        }
+        fetched
+    }
+
+    /// Fetches the single instruction at `pc` for thread `ti`; returns
+    /// whether the fetch block ends here (taken control or misfetch stall).
+    fn fetch_one(&mut self, ti: usize, pc: Addr) -> bool {
+        let cycle = self.cycle;
+        let wrong_path = self.threads[ti].wrong_path;
+        let (inst, outcome) = if wrong_path {
+            (WrongPath::inst_at(&self.threads[ti].program, pc), None)
+        } else {
+            debug_assert_eq!(
+                self.threads[ti].oracle.pc(),
+                pc,
+                "fetch left the oracle's path"
+            );
+            let (inst, outcome) = self.threads[ti].oracle.step();
+            (inst, Some(outcome))
+        };
+
+        let mut mem_addr = 0;
+        if inst.op.is_mem() {
+            mem_addr = match outcome {
+                Some(o) => o.mem_addr,
+                None => {
+                    let t = &mut self.threads[ti];
+                    t.wp_salt = t.wp_salt.wrapping_add(1);
+                    WrongPath::mem_addr(&t.program, pc, t.wp_salt ^ cycle)
+                }
+            };
+        }
+
+        let mut pred = None;
+        let mut mispredict = false;
+        let mut end_block = false;
+        let mut misfetch = false;
+        let mut next_fetch = pc + INST_BYTES;
+
+        if inst.op.is_control() {
+            let id = self.threads[ti].id;
+            let p = self.bp.predict(id, pc, inst.op);
+            pred = Some(p);
+            match outcome {
+                Some(actual) => {
+                    let (goes_wrong, nf, ends, misses) = classify_prediction(
+                        &p,
+                        &actual,
+                        inst.op,
+                        pc,
+                        &self.threads[ti].program,
+                        inst,
+                    );
+                    mispredict = goes_wrong;
+                    next_fetch = nf;
+                    end_block = ends;
+                    misfetch = misses;
+                    if goes_wrong {
+                        self.threads[ti].wrong_path = true;
+                    }
+                }
+                None => {
+                    // Wrong path: simply follow the prediction.
+                    if p.taken {
+                        match p.target {
+                            Some(tgt) => {
+                                next_fetch = tgt;
+                                end_block = true;
+                            }
+                            None => {
+                                misfetch = true;
+                                next_fetch =
+                                    wrong_path_taken_target(&self.threads[ti].program, inst, pc);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if misfetch {
+            self.f_stats.misfetches += 1;
+            self.threads[ti].stall_until = cycle + 1 + self.cfg.misfetch_penalty;
+            end_block = true;
+        }
+
+        if wrong_path {
+            self.f_stats.wrong_path += 1;
+        } else {
+            self.f_stats.fetched += 1;
+        }
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let t = &mut self.threads[ti];
+        let pos = t.next_pos();
+        t.rob.push_back(DynInst {
+            seq,
+            pc,
+            inst,
+            outcome,
+            wrong_path,
+            pred,
+            mispredict,
+            mem_addr,
+            dest_phys: None,
+            prev_phys: None,
+            srcs_phys: [None, None],
+            pending_srcs: 0,
+            state: InstState::Decoding {
+                ready_at: cycle + self.cfg.decode_cycles,
+            },
+        });
+        t.frontend.push_back((seq, pos));
+        t.in_flight += 1;
+        if inst.op.is_control() {
+            // Fetch order is age order: appending keeps the list sorted.
+            t.unresolved_ctrl.push(seq);
+        }
+        t.fetch_pc = next_fetch;
+        end_block
+    }
+}
+
+/// Compares one correct-path control prediction against its architectural
+/// outcome. Returns `(mispredict, next_fetch_pc, end_block, misfetch)`.
+fn classify_prediction(
+    p: &Prediction,
+    actual: &Outcome,
+    op: Opcode,
+    pc: Addr,
+    program: &Program,
+    inst: StaticInst,
+) -> (bool, Addr, bool, bool) {
+    let fallthrough = pc + INST_BYTES;
+    if op.is_cond_branch() {
+        if p.taken != actual.taken {
+            // Wrong direction: fetch follows the predicted (wrong) path.
+            if p.taken {
+                match p.target {
+                    Some(tgt) => (true, tgt, true, false),
+                    // Misfetch on the wrong path: decode computes the
+                    // (wrong-path) taken target.
+                    None => (true, wrong_path_taken_target(program, inst, pc), true, true),
+                }
+            } else {
+                (true, fallthrough, false, false)
+            }
+        } else if actual.taken {
+            match p.target {
+                Some(tgt) if tgt == actual.next_pc => (false, tgt, true, false),
+                // Stale BTB target: fetch goes to the wrong place.
+                Some(tgt) => (true, tgt, true, false),
+                // Direction right, no target: stall until decode computes it.
+                None => (false, actual.next_pc, true, true),
+            }
+        } else {
+            (false, fallthrough, false, false)
+        }
+    } else {
+        // Unconditional control: always taken; only the target can be wrong.
+        match p.target {
+            Some(tgt) if tgt == actual.next_pc => (false, tgt, true, false),
+            Some(tgt) => (true, tgt, true, false),
+            None => (false, actual.next_pc, true, true),
+        }
+    }
+}
+
+/// The statically-known taken target used when decode must compute a target
+/// on the wrong path (no architectural outcome exists to consult).
+fn wrong_path_taken_target(program: &Program, inst: StaticInst, pc: Addr) -> Addr {
+    if inst.op.is_control() && inst.op != Opcode::Return && inst.meta != smt_isa::NO_META {
+        let model = program.branch_model(inst.meta);
+        if let Some(&t) = model.targets.first() {
+            if inst.op == Opcode::JumpInd {
+                return t;
+            }
+        }
+        model.taken_target
+    } else {
+        pc + INST_BYTES
+    }
+}

@@ -1,0 +1,167 @@
+//! Issue: the [`IssuePolicy`](crate::IssuePolicy) ranks the ready set onto
+//! the functional units.
+//!
+//! The candidates come straight off the per-class ready queues — every
+//! entry is a live, Queued instruction whose operands are all available
+//! (the wakeup scheduler put it there exactly once), so no readiness is
+//! re-checked here. Each [`ReadyEntry`] caches the opcode and renamed
+//! sources, so ranking and functional-unit matching touch no ROB at all;
+//! only instructions that actually win a unit are looked up (O(1) via
+//! their stable position) to take their state transition.
+//!
+//! Ranking sorts on `(policy key, seq, …)`; sequence numbers are globally
+//! unique, so the order — and therefore every downstream counter — is
+//! identical to the scan-based simulator's, which built the same set by
+//! polling the instruction queues.
+
+use smt_isa::FuKind;
+use smt_mem::AccessResult;
+
+use crate::config::MAX_THREADS;
+use crate::policy::IssueCandidate;
+
+use super::{InstState, Simulator};
+
+impl Simulator {
+    // ---- phase 4: issue ----------------------------------------------
+
+    pub(super) fn issue(&mut self) {
+        let cycle = self.cycle;
+        // Oldest unresolved branch per thread marks younger work
+        // speculative (maintained incrementally; the sorted list's front
+        // is its minimum).
+        let mut oldest_branch = [None; MAX_THREADS];
+        for (ti, t) in self.threads.iter().enumerate() {
+            oldest_branch[ti] = t.unresolved_ctrl.first().copied();
+        }
+
+        // Build the candidate batch off the age-sorted ready set, rank it
+        // in ONE policy call (see `IssuePolicy::priority_batch`), then
+        // sort. Because candidates arrive in ascending `seq`, age-keyed
+        // policies (OLDEST_FIRST) produce an already-sorted array and the
+        // sort below is a single O(n) ascending-run check.
+        let mut cands = std::mem::take(&mut self.issue_cand_scratch);
+        cands.clear();
+        for e in &self.ready_q {
+            debug_assert!(
+                self.threads[e.ti]
+                    .locate(e.seq, e.pos)
+                    .map(|idx| &self.threads[e.ti].rob[idx])
+                    .is_some_and(|i| {
+                        i.state == InstState::Queued
+                            && i.srcs_phys
+                                .iter()
+                                .flatten()
+                                .all(|&(c, p)| self.regs[c.index()].is_ready(p))
+                            && e.opt_until == super::opt_until_of(&self.regs, &i.srcs_phys)
+                    }),
+                "ready set holds a stale or not-ready instruction"
+            );
+            // One compare replaces the per-cycle scoreboard probes: the
+            // entry cached its load-speculation window bound on creation.
+            let optimistic = cycle <= e.opt_until;
+            cands.push(IssueCandidate {
+                age: e.seq,
+                // Thread ids are the thread indexes by construction.
+                thread: smt_isa::ThreadId(e.ti as u8),
+                queue: e.op.queue(),
+                is_branch: e.op.is_control(),
+                speculative: oldest_branch[e.ti].is_some_and(|b| e.seq > b),
+                optimistic,
+            });
+        }
+        let mut keys = std::mem::take(&mut self.issue_key_scratch);
+        keys.clear();
+        self.cfg.issue.priority_batch(&cands, &mut keys);
+        let mut ranked = std::mem::take(&mut self.issue_rank_scratch);
+        ranked.clear();
+        for (qi, (&key, cand)) in keys.iter().zip(&cands).enumerate() {
+            ranked.push((key, cand.age, qi as u32));
+        }
+        self.issue_cand_scratch = cands;
+        self.issue_key_scratch = keys;
+        ranked.sort_unstable();
+
+        // Issued entries are tombstoned in place (sequence numbers never
+        // reach `u64::MAX`) and swept after the loop — no allocation.
+        const ISSUED: u64 = u64::MAX;
+        let mut int_used = 0usize;
+        let mut ldst_used = 0usize;
+        let mut fp_used = 0usize;
+        for &(_, seq, qi) in &ranked {
+            if int_used == self.cfg.int_units && fp_used == self.cfg.fp_units {
+                break;
+            }
+            let e = self.ready_q[qi as usize];
+            let op = e.op;
+            match op.fu_kind() {
+                FuKind::IntAlu if int_used < self.cfg.int_units => int_used += 1,
+                FuKind::LdSt
+                    if int_used < self.cfg.int_units && ldst_used < self.cfg.ldst_units =>
+                {
+                    int_used += 1;
+                    ldst_used += 1;
+                }
+                FuKind::Fp if fp_used < self.cfg.fp_units => fp_used += 1,
+                _ => continue, // no unit of the right kind left this cycle
+            }
+            let ti = e.ti;
+            let id = self.threads[ti].id;
+            let idx = self.threads[ti]
+                .locate(seq, e.pos)
+                .expect("candidate is live");
+            debug_assert_eq!(self.threads[ti].rob[idx].state, InstState::Queued);
+            debug_assert_eq!(self.threads[ti].rob[idx].pending_srcs, 0);
+            let state = if op.is_mem() {
+                let addr = self.threads[ti].rob[idx].mem_addr;
+                match self.mem.dcache_access(id, addr, op.is_store()) {
+                    AccessResult::Hit => InstState::Executing { done_at: cycle + 1 },
+                    AccessResult::Miss(req) => {
+                        if op.is_load() {
+                            self.pending_loads.insert(req, (ti, seq, e.pos));
+                            InstState::WaitingMem
+                        } else {
+                            // Stores retire into the write buffer; the miss
+                            // traffic still occupies the hierarchy.
+                            InstState::Executing { done_at: cycle + 1 }
+                        }
+                    }
+                    AccessResult::BankConflict => {
+                        // The issue slot is spent but the access must retry:
+                        // the instruction stays Queued and therefore stays
+                        // in its ready queue for next cycle.
+                        self.i_stats.bank_conflicts += 1;
+                        continue;
+                    }
+                }
+            } else {
+                InstState::Executing {
+                    done_at: cycle + u64::from(op.latency().max(1)),
+                }
+            };
+            // Leaving the instruction queue: schedule the writeback event
+            // (a WaitingMem load schedules it on miss completion instead).
+            if let InstState::Executing { done_at } = state {
+                self.schedule_writeback(done_at, seq, ti, e.pos);
+            } else {
+                self.threads[ti].outstanding_misses += 1;
+            }
+            self.iq_len[op.queue().index()] -= 1;
+            self.ready_q[qi as usize].seq = ISSUED;
+            let t = &mut self.threads[ti];
+            t.in_flight -= 1;
+            let i = &mut t.rob[idx];
+            i.state = state;
+            if i.wrong_path {
+                self.i_stats.wrong_path += 1;
+            } else {
+                self.i_stats.issued += 1;
+            }
+        }
+        self.issue_rank_scratch = ranked;
+        // Sweep issued entries out of the ready set; bank-conflict bounces
+        // were never tombstoned and stay ready for next cycle. (Retain
+        // preserves order, so the set stays age-sorted.)
+        self.ready_q.retain(|e| e.seq != ISSUED);
+    }
+}

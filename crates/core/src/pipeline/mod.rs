@@ -1,0 +1,745 @@
+//! The cycle-level SMT pipeline, built around an **event-driven scheduler**.
+//!
+//! Eight logical stages on the paper's machine collapse here into five
+//! simulated phases per cycle, processed oldest-work-first so data flows
+//! one cycle per stage without double-stepping:
+//!
+//! 1. **completions** — drain finished cache misses (I-side unblocks fetch,
+//!    D-side wakes waiting loads), delivered by `smt-mem` as scheduled
+//!    events rather than discovered by polling,
+//! 2. **writeback** — finished instructions make their results available;
+//!    correct-path branches resolve, train the predictor, and squash on a
+//!    mispredict,
+//! 3. **commit** — per-thread in-order retirement, freeing renaming
+//!    registers,
+//! 4. **issue** — the [`IssuePolicy`](crate::IssuePolicy) orders the ready
+//!    set onto the 6 integer (4 load/store-capable) and 3 FP units;
+//!    loads/stores arbitrate for D-cache banks,
+//! 5. **rename/dispatch** then **fetch** — the front end: decoded
+//!    instructions claim renaming registers and queue slots, and the
+//!    [`FetchPolicy`](crate::FetchPolicy) picks which threads fill the
+//!    8-wide fetch bandwidth under the active
+//!    [`FetchPartition`](crate::FetchPartition).
+//!
+//! # The event-driven scheduler
+//!
+//! Nothing in the hot loop re-scans the ROBs. Three structures carry all
+//! scheduling state forward:
+//!
+//! * **Wakeup lists** (`smt-core::regfile`): a dispatched instruction whose
+//!   operands are not all ready registers itself on each outstanding
+//!   physical register; writeback drains the list and decrements the
+//!   consumer's outstanding-operand count.
+//! * **The ready set** (`ready_q`, kept sorted by age): an instruction
+//!   enters exactly once — at dispatch when every operand is already ready,
+//!   or when its last operand's writeback wakes it — and leaves when
+//!   issued. The [`IssuePolicy`](crate::IssuePolicy) therefore ranks only
+//!   genuinely-ready instructions, and age-keyed policies see a pre-sorted
+//!   candidate array.
+//! * **Writeback events** (`exec_done`, a calendar ring over the next
+//!   [`EXEC_RING`] cycles): issue schedules each instruction's writeback
+//!   into the bucket of its completion cycle; the writeback phase drains
+//!   exactly one bucket per cycle instead of scanning for
+//!   `done_at <= cycle`.
+//!
+//! Per-thread policy counters (ICOUNT / BRCOUNT / MISSCOUNT) are maintained
+//! incrementally at the same transitions, so fetch ranking reads them in
+//! O(1). The stage phases live in sibling modules ([`fetch`], [`rename`],
+//! [`issue`], [`commit`], [`scheduler`]); this module owns the machine
+//! state and the cycle driver.
+//!
+//! Fetch follows *predicted* paths: the per-thread oracle supplies the
+//! correct path, the predictor supplies choices, and any disagreement sends
+//! the thread down a synthesized wrong path until the offending branch
+//! resolves and squashes it — so wrong-path instructions consume fetch
+//! slots, rename registers, queue entries and functional units exactly as
+//! the paper requires.
+
+mod commit;
+mod fetch;
+mod issue;
+mod rename;
+mod scheduler;
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use smt_branch::{BranchPredictor, Prediction};
+use smt_isa::{Addr, Outcome, RegClass, StaticInst, ThreadId};
+use smt_mem::{MemoryHierarchy, ReqId};
+use smt_stats::hash::FastHashMap;
+use smt_stats::Ratio;
+use smt_workload::{Program, ThreadContext};
+
+use crate::config::SimConfig;
+use crate::regfile::{PhysRegFile, RenameMap};
+use crate::report::{FetchBreakdown, IssueBreakdown, SimReport, ThreadReport};
+
+/// Lifecycle of one in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstState {
+    /// In the front end (decode/rename pipe); eligible to enter a queue at
+    /// `ready_at`.
+    Decoding {
+        /// Cycle at which decode finishes.
+        ready_at: u64,
+    },
+    /// In an instruction queue, waiting for operands and a functional unit.
+    Queued,
+    /// Issued; result available at `done_at`.
+    Executing {
+        /// Cycle at which the result is written back.
+        done_at: u64,
+    },
+    /// A load waiting on an outstanding D-cache miss.
+    WaitingMem,
+    /// Executed; awaiting in-order retirement.
+    Done,
+}
+
+/// One dynamic (in-flight) instruction.
+#[derive(Debug, Clone)]
+struct DynInst {
+    seq: u64,
+    pc: Addr,
+    inst: StaticInst,
+    /// Architectural outcome; `None` on the wrong path.
+    outcome: Option<Outcome>,
+    wrong_path: bool,
+    pred: Option<Prediction>,
+    /// Correct-path control instruction whose prediction was wrong; resolves
+    /// with a squash and redirect.
+    mispredict: bool,
+    /// Effective address for memory instructions (synthesized on the wrong
+    /// path).
+    mem_addr: Addr,
+    dest_phys: Option<(RegClass, u16)>,
+    prev_phys: Option<(RegClass, u16)>,
+    srcs_phys: [Option<(RegClass, u16)>; 2],
+    /// Source operands still outstanding. While non-zero the instruction
+    /// sits only in wakeup lists; it joins a ready queue when this reaches
+    /// zero.
+    pending_srcs: u8,
+    state: InstState,
+}
+
+/// One ready instruction, parked in the age-sorted ready set until issued.
+///
+/// Carries everything ranking needs — the static opcode and the
+/// load-speculation window bound — so building issue candidates touches
+/// neither the ROB nor the register scoreboard; the ROB is consulted only
+/// for instructions that actually win a functional unit.
+#[derive(Debug, Clone, Copy)]
+struct ReadyEntry {
+    /// Owning thread index.
+    ti: usize,
+    /// Global age (the issue policies' `age` field).
+    seq: u64,
+    /// Stable ROB position for O(1) lookup (see [`Thread::locate`]).
+    pos: u64,
+    /// The instruction's opcode (functional-unit kind, queue, latency).
+    op: smt_isa::Opcode,
+    /// Last cycle at which this instruction still issues on a load-hit
+    /// assumption (the OPT_LAST tag): the maximum
+    /// [`opt_window_end`](crate::regfile::PhysRegFile::opt_window_end)
+    /// over its sources, cached at entry creation — source scoreboard
+    /// state is immutable while a consumer is ready (see that method).
+    opt_until: u64,
+}
+
+/// Size of the writeback calendar ring: a power of two comfortably above
+/// the longest result latency (30 cycles, `FpDivDouble`), so every
+/// scheduled writeback lands in an empty-or-current bucket.
+const EXEC_RING: usize = 64;
+
+/// Inserts into the age-sorted ready set. Entries usually belong at or
+/// near the tail (readiness correlates with age), so the binary search
+/// plus short memmove is cheap.
+fn insert_ready(ready_q: &mut Vec<ReadyEntry>, e: ReadyEntry) {
+    let at = ready_q.partition_point(|r| r.seq < e.seq);
+    ready_q.insert(at, e);
+}
+
+/// The [`ReadyEntry::opt_until`] bound for an instruction with the given
+/// renamed (and all-ready) sources.
+fn opt_until_of(regs: &[PhysRegFile; 2], srcs: &[Option<(RegClass, u16)>; 2]) -> u64 {
+    srcs.iter()
+        .flatten()
+        .map(|&(c, p)| regs[c.index()].opt_window_end(p))
+        .max()
+        .unwrap_or(0)
+}
+
+/// One hardware context.
+struct Thread {
+    id: ThreadId,
+    oracle: ThreadContext,
+    program: Arc<Program>,
+    map: RenameMap,
+    /// All in-flight instructions in fetch order (the per-thread ROB).
+    rob: VecDeque<DynInst>,
+    /// Instructions retired (popped from the ROB front) over this thread's
+    /// lifetime. An instruction's *stable position* is `popped_front` at
+    /// fetch time plus its ROB index; squash only pops from the back, so
+    /// the stable position never changes — [`Thread::locate`] resolves it
+    /// back to a ROB index in O(1), replacing binary searches.
+    popped_front: u64,
+    /// `(seq, stable position)` of instructions still in the front end.
+    frontend: VecDeque<(u64, u64)>,
+    fetch_pc: Addr,
+    /// Fetch has diverged from the correct path.
+    wrong_path: bool,
+    /// Fetch suppressed until this cycle (misfetch/redirect penalties).
+    stall_until: u64,
+    /// Outstanding I-cache miss blocking fetch.
+    icache_req: Option<ReqId>,
+    /// Salt for wrong-path address synthesis.
+    wp_salt: u64,
+    committed: u64,
+    /// `committed` snapshot at the last `reset_stats` (reports measure the
+    /// window since then).
+    committed_base: u64,
+    /// Live ICOUNT counter: instructions in decode, rename and the queues
+    /// (fetched but not yet issued). Incremented at fetch, decremented at
+    /// issue and squash — never recomputed by scanning.
+    in_flight: u32,
+    /// Live MISSCOUNT counter: loads waiting on outstanding D-misses.
+    outstanding_misses: u32,
+    /// Sequence numbers of fetched control instructions not yet executed
+    /// (state before [`InstState::Done`]) — BRCOUNT is its size, and its
+    /// front is the speculation boundary the issue policies consult.
+    /// Always sorted: fetch appends monotonically increasing sequence
+    /// numbers, writeback removes by binary search, and squash truncates
+    /// the (youngest) tail.
+    unresolved_ctrl: Vec<u64>,
+}
+
+impl Thread {
+    /// Resolves a stable position back to a ROB index, or `None` when the
+    /// instruction is gone (committed or squashed). `seq` authenticates
+    /// the slot: scheduler artifacts (wakeup-list entries, writeback
+    /// events, pending-load completions) go stale rather than being hunted
+    /// down on squash, and sequence numbers are never reused, so a stale
+    /// artifact simply fails this check.
+    fn locate(&self, seq: u64, pos: u64) -> Option<usize> {
+        let idx = pos.checked_sub(self.popped_front)? as usize;
+        (idx < self.rob.len() && self.rob[idx].seq == seq).then_some(idx)
+    }
+
+    /// The stable position the next fetched instruction will occupy.
+    fn next_pos(&self) -> u64 {
+        self.popped_front + self.rob.len() as u64
+    }
+
+    /// Removes one resolved control instruction from the unresolved list
+    /// (no-op if absent, e.g. removed by an earlier squash).
+    fn resolve_ctrl(&mut self, seq: u64) {
+        if let Ok(i) = self.unresolved_ctrl.binary_search(&seq) {
+            self.unresolved_ctrl.remove(i);
+        }
+    }
+
+    /// Drops every unresolved control instruction younger than `seq`
+    /// (squash: the tail, since the list is sorted by age).
+    fn squash_ctrl_after(&mut self, seq: u64) {
+        let keep = self.unresolved_ctrl.partition_point(|&s| s <= seq);
+        self.unresolved_ctrl.truncate(keep);
+    }
+}
+
+/// The simulator: a configured machine plus its architectural state.
+///
+/// Built by [`SimConfig::build`]; driven by [`Simulator::run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    cycle: u64,
+    /// Cycle at which the current measurement window opened (the last
+    /// `reset_stats`; 0 if statistics were never reset).
+    stats_base_cycle: u64,
+    next_seq: u64,
+    threads: Vec<Thread>,
+    regs: [PhysRegFile; 2],
+    /// The ready set: Queued instructions whose operands are all
+    /// available. Instructions enter exactly once (see module docs) and
+    /// leave when issued. Kept sorted by age (seq): entries arrive near
+    /// the tail, and an age-ordered ready set means the default
+    /// OLDEST_FIRST ranking is built pre-sorted, which the sort detects
+    /// in O(n).
+    ready_q: Vec<ReadyEntry>,
+    /// Instruction-queue occupancy per class: Queued instructions whether
+    /// or not their operands are ready (dispatch back-pressure).
+    iq_len: [usize; 2],
+    /// Scheduled writebacks, as a calendar ring: bucket `c % EXEC_RING`
+    /// holds the `(done cycle, seq, thread index, stable position)` events
+    /// due at cycle `c`. Every event is scheduled at most
+    /// [`EXEC_RING`]` - 1` cycles ahead (the longest functional-unit
+    /// latency is 30; memory misses schedule on completion), so push and
+    /// drain are O(1) with no heap discipline. Events for squashed
+    /// instructions go stale and are skipped when their bucket drains
+    /// (sequence numbers are never reused).
+    exec_done: Vec<Vec<(u64, u64, usize, u64)>>,
+    mem: MemoryHierarchy,
+    bp: BranchPredictor,
+    pending_loads: FastHashMap<ReqId, (usize, u64, u64)>,
+    f_stats: FetchBreakdown,
+    i_stats: IssueBreakdown,
+    cond_pred: Ratio,
+    squashes: u64,
+    squashed_insts: u64,
+    /// Reused sort buffer for fetch ranking (allocation-free hot loop).
+    fetch_rank_scratch: Vec<(i64, u64, usize)>,
+    /// Reused view batch handed to `FetchPolicy::priority_batch`.
+    fetch_view_scratch: Vec<crate::policy::ThreadFetchView>,
+    /// Reused key buffer filled by `FetchPolicy::priority_batch`.
+    fetch_key_scratch: Vec<i64>,
+    /// Reused sort buffer for issue ranking:
+    /// `(policy key, seq, index in the ready set)`.
+    issue_rank_scratch: Vec<(i64, u64, u32)>,
+    /// Reused candidate batch handed to `IssuePolicy::priority_batch`.
+    issue_cand_scratch: Vec<crate::policy::IssueCandidate>,
+    /// Reused key buffer filled by `IssuePolicy::priority_batch`.
+    issue_key_scratch: Vec<i64>,
+    /// Reused fetch slot-loss accumulator.
+    loss_scratch: Vec<(fetch::LossCause, u32)>,
+    /// Reused miss-completion drain buffer.
+    completion_scratch: Vec<smt_mem::Completion>,
+}
+
+impl Simulator {
+    /// Builds the machine described by `cfg`. Prefer [`SimConfig::build`].
+    pub(crate) fn new(cfg: SimConfig) -> Simulator {
+        let threads = cfg.threads();
+        let programs: Vec<Arc<Program>> = if cfg.programs.is_empty() {
+            cfg.benchmarks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| Arc::new(b.generate(cfg.seed, i as u32)))
+                .collect()
+        } else {
+            cfg.programs.clone()
+        };
+        let phys = smt_isa::LOGICAL_REGS * threads + cfg.extra_phys_regs;
+        let mut regs = [PhysRegFile::new(phys), PhysRegFile::new(phys)];
+        let bp = BranchPredictor::new(cfg.predictor.clone(), threads);
+        let mem = MemoryHierarchy::new(cfg.mem.clone());
+        let thread_state = programs
+            .iter()
+            .enumerate()
+            .map(|(i, program)| Thread {
+                id: ThreadId(i as u8),
+                oracle: ThreadContext::new(
+                    program.clone(),
+                    cfg.seed ^ (i as u64).wrapping_mul(0x9e37),
+                ),
+                program: program.clone(),
+                map: RenameMap::new(&mut regs),
+                rob: VecDeque::new(),
+                popped_front: 0,
+                frontend: VecDeque::new(),
+                fetch_pc: program.entry(),
+                wrong_path: false,
+                stall_until: 0,
+                icache_req: None,
+                wp_salt: 0,
+                committed: 0,
+                committed_base: 0,
+                in_flight: 0,
+                outstanding_misses: 0,
+                unresolved_ctrl: Vec::new(),
+            })
+            .collect();
+        Simulator {
+            cfg,
+            cycle: 0,
+            stats_base_cycle: 0,
+            next_seq: 0,
+            threads: thread_state,
+            regs,
+            ready_q: Vec::new(),
+            iq_len: [0, 0],
+            exec_done: vec![Vec::new(); EXEC_RING],
+            mem,
+            bp,
+            pending_loads: FastHashMap::default(),
+            f_stats: FetchBreakdown::default(),
+            i_stats: IssueBreakdown::default(),
+            cond_pred: Ratio::new(),
+            squashes: 0,
+            squashed_insts: 0,
+            fetch_rank_scratch: Vec::new(),
+            fetch_view_scratch: Vec::new(),
+            fetch_key_scratch: Vec::new(),
+            issue_rank_scratch: Vec::new(),
+            issue_cand_scratch: Vec::new(),
+            issue_key_scratch: Vec::new(),
+            loss_scratch: Vec::new(),
+            completion_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of hardware contexts.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Simulates `cycles` further cycles and returns the report for the
+    /// current measurement window.
+    ///
+    /// If the configuration carries a warmup window
+    /// ([`SimConfig::with_warmup`]) and nothing has been simulated yet, the
+    /// warmup cycles are simulated first and [`reset_stats`] is called
+    /// before the measured cycles begin, so the report covers exactly
+    /// `cycles` warmed-up cycles.
+    ///
+    /// [`reset_stats`]: Simulator::reset_stats
+    pub fn run(&mut self, cycles: u64) -> SimReport {
+        if self.cycle == 0 && self.cfg.warmup_cycles > 0 {
+            for _ in 0..self.cfg.warmup_cycles {
+                self.step_cycle();
+            }
+            self.reset_stats();
+        }
+        for _ in 0..cycles {
+            self.step_cycle();
+        }
+        self.report()
+    }
+
+    /// Opens a fresh measurement window: zeroes every statistic — fetch
+    /// slot-loss accounting, issue counters, branch-prediction ratios and
+    /// predictor activity, squash counts, and the memory-hierarchy stats —
+    /// while leaving all architectural and microarchitectural state (ROBs,
+    /// rename maps, wakeup lists, scheduled events, in-flight misses,
+    /// cache/TLB contents, BTB/PHT/RAS, oracle positions) untouched.
+    /// Subsequent [`report`](Simulator::report) calls cover only the window
+    /// since this call.
+    pub fn reset_stats(&mut self) {
+        self.stats_base_cycle = self.cycle;
+        for t in &mut self.threads {
+            t.committed_base = t.committed;
+        }
+        self.f_stats = FetchBreakdown::default();
+        self.i_stats = IssueBreakdown::default();
+        self.cond_pred = Ratio::new();
+        self.squashes = 0;
+        self.squashed_insts = 0;
+        self.mem.reset_stats();
+        self.bp.reset_stats();
+    }
+
+    /// Correct-path instructions committed since construction, across all
+    /// threads — unaffected by [`reset_stats`](Simulator::reset_stats)
+    /// (which only re-bases what reports show). Lets tests verify that
+    /// statistics resets leave architectural progress untouched.
+    pub fn lifetime_committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step_cycle(&mut self) {
+        self.cycle += 1;
+        self.mem.begin_cycle(self.cycle);
+        self.drain_completions();
+        self.writeback();
+        self.commit();
+        self.issue();
+        self.rename();
+        self.fetch();
+    }
+
+    /// The report for the current measurement window (everything since the
+    /// last [`reset_stats`](Simulator::reset_stats), or since construction).
+    pub fn report(&self) -> SimReport {
+        let window = self.cycle - self.stats_base_cycle;
+        SimReport {
+            cycles: window,
+            warmup_cycles: self.stats_base_cycle,
+            fetch_policy: self.cfg.fetch.name().to_string(),
+            issue_policy: self.cfg.issue.name().to_string(),
+            partition: self.cfg.partition,
+            threads: self
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let committed = t.committed - t.committed_base;
+                    ThreadReport {
+                        thread: i,
+                        benchmark: t.program.name().to_string(),
+                        committed,
+                        ipc: if window == 0 {
+                            0.0
+                        } else {
+                            committed as f64 / window as f64
+                        },
+                    }
+                })
+                .collect(),
+            fetch: self.f_stats,
+            issue: self.i_stats,
+            cond_prediction: self.cond_pred,
+            pred: *self.bp.stats(),
+            squashes: self.squashes,
+            squashed_insts: self.squashed_insts,
+            mem: *self.mem.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use super::*;
+    use crate::policy::{FetchPartition, RoundRobin};
+    use smt_workload::Benchmark;
+
+    fn tiny_config() -> SimConfig {
+        SimConfig::new().with_benchmarks(vec![Benchmark::Espresso, Benchmark::Eqntott], 11)
+    }
+
+    #[test]
+    fn simulator_makes_forward_progress() {
+        let mut sim = tiny_config().build();
+        let report = sim.run(3_000);
+        assert_eq!(report.cycles, 3_000);
+        assert!(report.total_committed() > 1_000, "IPC collapsed: {report}");
+        for t in &report.threads {
+            assert!(t.committed > 0, "thread {} starved: {report}", t.thread);
+        }
+    }
+
+    #[test]
+    fn committed_stream_matches_oracle_prefix() {
+        // Every committed instruction must be a correct-path instruction:
+        // replaying the oracle must yield exactly the committed count.
+        let mut sim = tiny_config().build();
+        let report = sim.run(2_000);
+        // The oracle inside the simulator has stepped exactly
+        // committed + in-flight correct-path instructions.
+        for (ti, t) in sim.threads.iter().enumerate() {
+            let in_flight_correct = t.rob.iter().filter(|i| !i.wrong_path).count() as u64;
+            assert_eq!(
+                t.oracle.executed(),
+                report.threads[ti].committed + in_flight_correct,
+                "oracle/commit divergence on thread {ti}"
+            );
+        }
+    }
+
+    #[test]
+    fn squashes_happen_and_recover() {
+        let mut sim = tiny_config().build();
+        let report = sim.run(4_000);
+        assert!(
+            report.squashes > 0,
+            "branchy workloads must mispredict sometimes"
+        );
+        assert!(report.cond_prediction.total > 0);
+        // Prediction accuracy should be sane (predictor learns loops).
+        assert!(
+            report.cond_prediction.percent() > 55.0,
+            "suspiciously poor prediction: {}",
+            report.cond_prediction
+        );
+    }
+
+    #[test]
+    fn wrong_path_work_is_fetched_but_never_committed() {
+        let mut sim = tiny_config().build();
+        let report = sim.run(4_000);
+        assert!(
+            report.fetch.wrong_path > 0,
+            "mispredicts must fetch wrong-path work"
+        );
+        // Total commits never exceed correct-path fetches.
+        assert!(report.total_committed() <= report.fetch.fetched);
+    }
+
+    #[test]
+    fn physical_registers_are_conserved() {
+        let mut sim = tiny_config().build();
+        let _ = sim.run(2_500);
+        for (ci, rf) in sim.regs.iter().enumerate() {
+            let live_dests: usize = sim
+                .threads
+                .iter()
+                .flat_map(|t| t.rob.iter())
+                .filter(|i| i.dest_phys.map(|(c, _)| c.index()) == Some(ci))
+                .count();
+            let mapped = smt_isa::LOGICAL_REGS * sim.threads.len();
+            let total = mapped + sim.cfg.extra_phys_regs;
+            assert_eq!(
+                rf.free_count() + live_dests + mapped,
+                total,
+                "register leak in class {ci}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_partitions_run_too() {
+        for partition in FetchPartition::all_schemes() {
+            let mut sim = tiny_config()
+                .with_fetch(Box::new(RoundRobin))
+                .with_partition(partition)
+                .build();
+            let report = sim.run(1_500);
+            assert!(
+                report.total_committed() > 300,
+                "{partition} stalled: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_slot_accounting_sums_to_budget() {
+        let mut sim = tiny_config().build();
+        let r = sim.run(2_000);
+        let lost = r.fetch.lost_icache
+            + r.fetch.lost_bank_conflict
+            + r.fetch.lost_fragmentation
+            + r.fetch.lost_frontend_full
+            + r.fetch.lost_no_thread;
+        assert_eq!(
+            r.fetch.fetched + r.fetch.wrong_path + lost,
+            u64::from(FetchPartition::TOTAL_WIDTH) * r.cycles,
+            "fetch slots must be fully accounted for: {r}"
+        );
+    }
+
+    #[test]
+    fn scheduler_counters_match_rob_rescan() {
+        // The event-driven scheduler maintains the policy counters and
+        // queue occupancy incrementally; a brute-force ROB rescan (what the
+        // scan-based simulator recomputed every cycle) must agree at every
+        // observation point.
+        let mut sim = tiny_config().build();
+        for _ in 0..60 {
+            for _ in 0..25 {
+                sim.step_cycle();
+            }
+            let mut iq_len = [0usize; 2];
+            for t in &sim.threads {
+                let mut in_flight = 0u32;
+                let mut misses = 0u32;
+                let mut unresolved = Vec::new();
+                for i in &t.rob {
+                    match i.state {
+                        InstState::Decoding { .. } => in_flight += 1,
+                        InstState::Queued => {
+                            in_flight += 1;
+                            iq_len[i.inst.op.queue().index()] += 1;
+                        }
+                        InstState::WaitingMem => misses += 1,
+                        _ => {}
+                    }
+                    if i.inst.op.is_control() && i.state != InstState::Done {
+                        // ROB order is age order, so this stays sorted.
+                        unresolved.push(i.seq);
+                    }
+                }
+                assert_eq!(t.in_flight, in_flight, "ICOUNT drifted");
+                assert_eq!(t.outstanding_misses, misses, "MISSCOUNT drifted");
+                assert_eq!(t.unresolved_ctrl, unresolved, "BRCOUNT set drifted");
+            }
+            assert_eq!(sim.iq_len, iq_len, "IQ occupancy drifted");
+            // Every ready-set entry is a live, Queued instruction with no
+            // outstanding operands, appears exactly once, and the set is
+            // age-sorted.
+            let mut seen = BTreeSet::new();
+            let mut prev_seq = None;
+            for e in &sim.ready_q {
+                assert!(seen.insert(e.seq), "duplicate ready entry {}", e.seq);
+                assert!(prev_seq < Some(e.seq), "ready set lost its age order");
+                prev_seq = Some(e.seq);
+                let idx = sim.threads[e.ti]
+                    .locate(e.seq, e.pos)
+                    .expect("ready entry is live");
+                let inst = &sim.threads[e.ti].rob[idx];
+                assert_eq!(inst.state, InstState::Queued);
+                assert_eq!(inst.pending_srcs, 0);
+                assert_eq!(inst.inst.op, e.op, "cached opcode drifted");
+                assert_eq!(
+                    e.opt_until,
+                    opt_until_of(&sim.regs, &inst.srcs_phys),
+                    "cached load-speculation window drifted"
+                );
+                assert!(inst
+                    .srcs_phys
+                    .iter()
+                    .flatten()
+                    .all(|&(c, p)| sim.regs[c.index()].is_ready(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn reset_stats_preserves_architectural_state() {
+        // Simulating W+M cycles straight through and simulating W cycles of
+        // warmup (stats discarded) followed by M measured cycles must leave
+        // the machine in the identical architectural state: same lifetime
+        // commit counts, because reset_stats only re-bases the counters.
+        const WARM: u64 = 1_000;
+        const MEASURE: u64 = 2_000;
+        let mut cold = tiny_config().build();
+        let cold_report = cold.run(WARM + MEASURE);
+        let mut warm = tiny_config().with_warmup(WARM).build();
+        let warm_report = warm.run(MEASURE);
+
+        assert_eq!(
+            cold.lifetime_committed(),
+            warm.lifetime_committed(),
+            "reset_stats disturbed architectural state"
+        );
+        assert_eq!(cold_report.total_committed(), cold.lifetime_committed());
+        assert_eq!(warm_report.warmup_cycles, WARM);
+        assert_eq!(warm_report.cycles, MEASURE);
+        assert_eq!(cold_report.warmup_cycles, 0);
+        // The measured window reports only post-warmup commits.
+        assert!(warm_report.total_committed() < warm.lifetime_committed());
+
+        // Slot accounting still balances over the measured window alone.
+        let lost = warm_report.fetch.lost_icache
+            + warm_report.fetch.lost_bank_conflict
+            + warm_report.fetch.lost_fragmentation
+            + warm_report.fetch.lost_frontend_full
+            + warm_report.fetch.lost_no_thread;
+        assert_eq!(
+            warm_report.fetch.fetched + warm_report.fetch.wrong_path + lost,
+            u64::from(FetchPartition::TOTAL_WIDTH) * warm_report.cycles,
+            "post-reset slot accounting must balance: {warm_report}"
+        );
+    }
+
+    #[test]
+    fn mid_run_reset_stats_rebase_reports() {
+        let mut sim = tiny_config().build();
+        let _ = sim.run(1_500);
+        sim.reset_stats();
+        let r = sim.report();
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.total_committed(), 0);
+        assert_eq!(r.fetch, FetchBreakdown::default());
+        assert_eq!(r.squashes, 0);
+        let r = sim.run(500);
+        assert_eq!(r.cycles, 500);
+        assert_eq!(r.warmup_cycles, 1_500);
+        assert!(r.total_committed() > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || tiny_config().build().run(2_000);
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_committed(), b.total_committed());
+        assert_eq!(a.fetch, b.fetch);
+        assert_eq!(a.squashes, b.squashes);
+    }
+}

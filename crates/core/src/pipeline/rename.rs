@@ -1,0 +1,93 @@
+//! Rename/dispatch: decoded instructions claim renaming registers and
+//! instruction-queue slots, and register themselves with the wakeup
+//! scheduler.
+//!
+//! Dispatch is where an instruction's scheduling fate is decided exactly
+//! once: each source operand is looked up in the rename map; sources whose
+//! physical register is not yet ready add the instruction to that
+//! register's wakeup list, and an instruction with no outstanding sources
+//! goes straight onto its class's ready queue. Either way it is never
+//! polled again.
+
+use super::{InstState, ReadyEntry, Simulator};
+
+impl Simulator {
+    // ---- phase 5a: rename / dispatch ---------------------------------
+
+    pub(super) fn rename(&mut self) {
+        let cycle = self.cycle;
+        let mut budget = self.cfg.decode_width;
+        let n = self.threads.len();
+        let start = self.cycle as usize % n;
+        'threads: for k in 0..n {
+            let ti = (start + k) % n;
+            loop {
+                if budget == 0 {
+                    break 'threads;
+                }
+                let t = &mut self.threads[ti];
+                let Some(&(seq, pos)) = t.frontend.front() else {
+                    break;
+                };
+                let idx = t
+                    .locate(seq, pos)
+                    .expect("front-end entries track live instructions");
+                let InstState::Decoding { ready_at } = t.rob[idx].state else {
+                    unreachable!("front-end instruction must be decoding")
+                };
+                if ready_at > cycle {
+                    break;
+                }
+                let class = t.rob[idx].inst.op.queue();
+                if self.iq_len[class.index()] >= self.cfg.iq_entries {
+                    break; // IQ full: dispatch stalls, fetch feels back-pressure
+                }
+                if let Some(d) = t.rob[idx].inst.dest {
+                    if self.regs[d.class().index()].free_count() == 0 {
+                        break; // out of renaming registers
+                    }
+                }
+                // Sources read the map before the destination redefines it.
+                // A source that is not ready registers this instruction on
+                // the producer's wakeup list; readiness is monotone for live
+                // instructions, so the count can only fall from here.
+                let srcs = t.rob[idx].inst.srcs;
+                let mut pending: u8 = 0;
+                for (si, s) in srcs.iter().enumerate() {
+                    if let Some(r) = s {
+                        let p = t.map.lookup(*r);
+                        t.rob[idx].srcs_phys[si] = Some((r.class(), p));
+                        if !self.regs[r.class().index()].is_ready(p) {
+                            self.regs[r.class().index()].add_waiter(p, (ti, seq, pos));
+                            pending += 1;
+                        }
+                    }
+                }
+                if let Some(d) = t.rob[idx].inst.dest {
+                    let p = self.regs[d.class().index()]
+                        .alloc()
+                        .expect("free count checked above");
+                    let prev = t.map.redefine(d, p);
+                    t.rob[idx].dest_phys = Some((d.class(), p));
+                    t.rob[idx].prev_phys = Some((d.class(), prev));
+                }
+                t.rob[idx].pending_srcs = pending;
+                t.rob[idx].state = InstState::Queued;
+                t.frontend.pop_front();
+                self.iq_len[class.index()] += 1;
+                if pending == 0 {
+                    // All operands already available: ready from dispatch.
+                    let e = ReadyEntry {
+                        ti,
+                        seq,
+                        pos,
+                        op: t.rob[idx].inst.op,
+                        opt_until: super::opt_until_of(&self.regs, &t.rob[idx].srcs_phys),
+                    };
+                    super::insert_ready(&mut self.ready_q, e);
+                }
+                budget -= 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The event-driven wakeup scheduler: miss-completion delivery, writeback,
+//! branch resolution and squash.
+//!
+//! This module is why the hot loop does no per-cycle ROB scans:
+//!
+//! * **Miss completions** arrive from `smt-mem` as [`Completion`] events
+//!   (scheduled when the miss started, delivered the cycle the data
+//!   returns) and are matched to waiting loads / blocked fetch units.
+//! * **Writeback** drains one bucket of the `exec_done` calendar ring per
+//!   cycle — every instruction scheduled its own writeback into its
+//!   completion cycle's bucket when it issued (so events must land within
+//!   `EXEC_RING - 1` cycles, comfortably above the longest functional-unit
+//!   latency) — processing the bucket in `seq` order, which is exactly the
+//!   oldest-first order the scan-based simulator produced by sorting, so
+//!   mispredict squashes observe the identical resolution order.
+//! * **Wakeup** drains each completing destination register's consumer
+//!   list ([`PhysRegFile::set_ready`]): every waiting consumer decrements
+//!   its outstanding-operand count and enters its class's ready queue the
+//!   moment the count reaches zero — entering exactly once, never polled.
+//!
+//! Events for squashed instructions go stale rather than being hunted down:
+//! sequence numbers are never reused, so a stale completion, writeback
+//! event, or wakeup-list entry simply fails its ROB lookup and is dropped.
+//!
+//! [`PhysRegFile::set_ready`]: crate::regfile::PhysRegFile::set_ready
+//! [`Completion`]: smt_mem::Completion
+
+use smt_isa::Opcode;
+
+use crate::regfile::Consumer;
+
+use super::{InstState, ReadyEntry, Simulator};
+
+impl Simulator {
+    // ---- phase 1: miss completions -----------------------------------
+
+    /// Consumes the memory hierarchy's scheduled completion events:
+    /// D-side completions move their load from [`InstState::WaitingMem`] to
+    /// executing (writing back this very cycle); I-side completions unblock
+    /// the fetch unit that was waiting on the line.
+    pub(super) fn drain_completions(&mut self) {
+        let cycle = self.cycle;
+        let mut comps = std::mem::take(&mut self.completion_scratch);
+        comps.clear();
+        self.mem.drain_completions_into(&mut comps);
+        for done in &comps {
+            if let Some((ti, seq, pos)) = self.pending_loads.remove(&done.req) {
+                let t = &mut self.threads[ti];
+                if let Some(idx) = t.locate(seq, pos) {
+                    if t.rob[idx].state == InstState::WaitingMem {
+                        t.rob[idx].state = InstState::Executing { done_at: cycle };
+                        t.outstanding_misses -= 1;
+                        // Completions drain before writeback, so scheduling
+                        // into the current cycle's bucket is still in time.
+                        self.schedule_writeback(cycle, seq, ti, pos);
+                    }
+                }
+            } else {
+                for t in &mut self.threads {
+                    if t.icache_req == Some(done.req) {
+                        t.icache_req = None;
+                    }
+                }
+            }
+        }
+        self.completion_scratch = comps;
+    }
+
+    // ---- phase 2: writeback / branch resolution ----------------------
+
+    /// Schedules instruction `(seq, ti, pos)`'s writeback for `done_at`
+    /// by dropping it into the calendar ring bucket for that cycle.
+    pub(super) fn schedule_writeback(&mut self, done_at: u64, seq: u64, ti: usize, pos: u64) {
+        // Hard assert: a latency past the ring horizon would wrap into a
+        // nearer bucket and silently write back (and commit) early in
+        // release builds. Latencies come from `smt-isa`, which this module
+        // cannot see change, so fail loudly rather than corrupt results.
+        assert!(
+            done_at.saturating_sub(self.cycle) < super::EXEC_RING as u64,
+            "writeback at {done_at} scheduled beyond the calendar horizon \
+             (cycle {}, ring {})",
+            self.cycle,
+            super::EXEC_RING
+        );
+        self.exec_done[done_at as usize % super::EXEC_RING].push((done_at, seq, ti, pos));
+    }
+
+    /// Drains the writeback events due this cycle. The bucket is processed
+    /// in `seq` order (global age order, exactly the order the scan-based
+    /// simulator produced by sorting finished instructions) — an older
+    /// mispredict squashes younger work before that work can act, and the
+    /// younger instructions' events then fail their ROB lookup here.
+    pub(super) fn writeback(&mut self) {
+        let cycle = self.cycle;
+        let slot = cycle as usize % super::EXEC_RING;
+        let mut bucket = std::mem::take(&mut self.exec_done[slot]);
+        bucket.sort_unstable();
+        for &(done_at, seq, ti, pos) in &bucket {
+            debug_assert_eq!(done_at, cycle, "event drained outside its cycle");
+            let Some(idx) = self.threads[ti].locate(seq, pos) else {
+                continue; // squashed after scheduling this writeback
+            };
+            let t = &mut self.threads[ti];
+            debug_assert_eq!(
+                t.rob[idx].state,
+                InstState::Executing { done_at },
+                "stale writeback event for a live instruction"
+            );
+            t.rob[idx].state = InstState::Done;
+            let is_ctrl = t.rob[idx].inst.op.is_control();
+            if is_ctrl {
+                t.resolve_ctrl(seq);
+            }
+            if let Some((class, p)) = t.rob[idx].dest_phys {
+                let by_load = t.rob[idx].inst.op.is_load();
+                let woken = self.regs[class.index()].set_ready(p, cycle, by_load);
+                self.wake_consumers(&woken);
+                self.regs[class.index()].recycle(woken);
+            }
+            if is_ctrl && !self.threads[ti].rob[idx].wrong_path {
+                self.resolve_branch(ti, idx);
+            }
+        }
+        // Hand the (drained) bucket's allocation back to the ring.
+        bucket.clear();
+        self.exec_done[slot] = bucket;
+    }
+
+    /// Delivers one register's drained wakeup list: each live consumer
+    /// loses one outstanding operand and joins its class's ready queue when
+    /// none remain. Stale entries (squashed consumers) fail the ROB lookup
+    /// and are dropped.
+    fn wake_consumers(&mut self, woken: &[Consumer]) {
+        for &(wti, wseq, wpos) in woken {
+            let t = &mut self.threads[wti];
+            let Some(widx) = t.locate(wseq, wpos) else {
+                continue; // consumer was squashed while waiting
+            };
+            let inst = &mut t.rob[widx];
+            debug_assert_eq!(
+                inst.state,
+                InstState::Queued,
+                "a waiting consumer can only be in a queue"
+            );
+            debug_assert!(inst.pending_srcs > 0, "woken with no outstanding operands");
+            inst.pending_srcs -= 1;
+            if inst.pending_srcs == 0 {
+                let e = ReadyEntry {
+                    ti: wti,
+                    seq: wseq,
+                    pos: wpos,
+                    op: inst.inst.op,
+                    opt_until: super::opt_until_of(&self.regs, &inst.srcs_phys),
+                };
+                super::insert_ready(&mut self.ready_q, e);
+            }
+        }
+    }
+
+    fn resolve_branch(&mut self, ti: usize, idx: usize) {
+        let (seq, pc, op, pred, outcome, mispredict) = {
+            let i = &self.threads[ti].rob[idx];
+            (i.seq, i.pc, i.inst.op, i.pred, i.outcome, i.mispredict)
+        };
+        let id = self.threads[ti].id;
+        let outcome = outcome.expect("correct-path control instruction carries its outcome");
+        let pred = pred.expect("control instruction carries its prediction");
+        match op {
+            Opcode::CondBranch => {
+                self.cond_pred.record(pred.taken == outcome.taken);
+                self.bp
+                    .resolve_cond(id, pc, pred.pht_index, outcome.taken, outcome.next_pc);
+            }
+            Opcode::Jump | Opcode::JumpInd | Opcode::Call => {
+                self.bp.resolve_uncond(id, pc, op, outcome.next_pc);
+            }
+            Opcode::Return => {}
+            other => unreachable!("{other} is not control"),
+        }
+        if mispredict {
+            self.squashes += 1;
+            self.squash_after(ti, seq);
+            if op == Opcode::CondBranch {
+                self.bp
+                    .repair_history(id, pred.history_before, outcome.taken);
+            } else {
+                self.bp.restore_history(id, pred.history_before);
+            }
+            let t = &mut self.threads[ti];
+            t.wrong_path = false;
+            t.fetch_pc = outcome.next_pc;
+            t.stall_until = self.cycle + 1;
+            t.icache_req = None;
+        }
+    }
+
+    /// Removes every instruction of thread `ti` younger than `seq`, undoing
+    /// their renames youngest-first, releasing their registers, and rolling
+    /// the scheduler state back: live counters, queue occupancy and ready
+    /// queues. Stale wakeup-list entries, writeback events and pending-load
+    /// completions are left to die on lookup (sequence numbers are unique).
+    fn squash_after(&mut self, ti: usize, seq: u64) {
+        let t = &mut self.threads[ti];
+        while let Some(back) = t.rob.back() {
+            if back.seq <= seq {
+                break;
+            }
+            let dead = t.rob.pop_back().expect("just observed");
+            if let Some((class, p)) = dead.dest_phys {
+                if let (Some(d), Some((_, prev))) = (dead.inst.dest, dead.prev_phys) {
+                    t.map.redefine(d, prev);
+                }
+                // Releasing also drops the register's wakeup list: every
+                // listed consumer is younger and dying in this same squash.
+                self.regs[class.index()].release(p);
+            }
+            match dead.state {
+                InstState::Decoding { .. } => t.in_flight -= 1,
+                InstState::Queued => {
+                    t.in_flight -= 1;
+                    self.iq_len[dead.inst.op.queue().index()] -= 1;
+                }
+                InstState::WaitingMem => t.outstanding_misses -= 1,
+                InstState::Executing { .. } | InstState::Done => {}
+            }
+            self.squashed_insts += 1;
+        }
+        // The squashed tail takes all younger unresolved branches with it.
+        t.squash_ctrl_after(seq);
+        // Everything still in the front end is younger than any resolvable
+        // branch (rename is in order), so the whole buffer dies.
+        t.frontend.clear();
+        self.ready_q.retain(|e| e.ti != ti || e.seq <= seq);
+    }
+}

@@ -104,6 +104,18 @@ pub trait FetchPolicy: Send {
 
     /// Priority key for one thread this cycle; lower fetches first.
     fn priority(&self, cycle: u64, view: &ThreadFetchView) -> i64;
+
+    /// Appends the priority key of every view to `keys`, in order.
+    ///
+    /// The simulator ranks all fetchable threads once per cycle through
+    /// this entry point, so a boxed policy pays one dynamic dispatch per
+    /// cycle instead of one per thread — the default body is compiled
+    /// against the concrete policy type, where
+    /// [`priority`](FetchPolicy::priority) inlines. Must be equivalent to
+    /// calling `priority` on each view.
+    fn priority_batch(&self, cycle: u64, views: &[ThreadFetchView], keys: &mut Vec<i64>) {
+        keys.extend(views.iter().map(|v| self.priority(cycle, v)));
+    }
 }
 
 /// The rotating thread order: at cycle `c`, thread `c mod n` ranks first,
@@ -211,6 +223,19 @@ pub trait IssuePolicy: Send {
 
     /// Priority key for one ready instruction; lower issues first.
     fn priority(&self, candidate: &IssueCandidate) -> i64;
+
+    /// Appends the priority key of every candidate to `keys`, in order.
+    ///
+    /// The simulator ranks the whole ready set once per cycle through this
+    /// entry point, so a boxed policy pays one dynamic dispatch per cycle
+    /// instead of one per candidate — the default body is compiled against
+    /// the concrete policy type, where [`priority`](IssuePolicy::priority)
+    /// inlines. Implementations normally keep the default; override only
+    /// to vectorize a custom policy further. Must be equivalent to calling
+    /// `priority` on each candidate.
+    fn priority_batch(&self, candidates: &[IssueCandidate], keys: &mut Vec<i64>) {
+        keys.extend(candidates.iter().map(|c| self.priority(c)));
+    }
 }
 
 /// Key offset used by the deferring issue policies: anything deferred still

@@ -5,19 +5,44 @@
 //! 356 physical registers for 8 contexts and 100 renaming registers).
 //! Running out of renaming registers stalls rename — one of the structural
 //! bottlenecks the ICOUNT fetch policy exists to relieve.
+//!
+//! Beyond the free list and scoreboard, every physical register carries a
+//! **consumer wakeup list**: the event-driven scheduler registers each
+//! dispatched instruction on the registers it still waits for, and
+//! [`set_ready`](PhysRegFile::set_ready) hands the drained list back to the
+//! pipeline so consumers are woken exactly once — no per-cycle readiness
+//! polling anywhere.
 
 use smt_isa::{Reg, RegClass, LOGICAL_REGS};
 
-/// One class's physical register file: a free list plus per-register
-/// scoreboard state.
+/// A dispatched instruction waiting on a register, identified by
+/// `(thread index, sequence number, stable ROB position)`. Entries may go
+/// stale when the instruction is squashed; the pipeline skips them on
+/// wakeup (sequence numbers are never reused, so the lookup fails).
+pub(crate) type Consumer = (usize, u64, u64);
+
+/// Scoreboard state of one physical register, packed so the issue loop's
+/// readiness and load-speculation queries touch a single cache line.
+#[derive(Debug, Clone, Copy)]
+struct RegState {
+    ready: bool,
+    /// Whether the last writer was a load (drives OPT_LAST tagging).
+    by_load: bool,
+    /// Cycle at which the register last became ready.
+    ready_at: u64,
+}
+
+/// One class's physical register file: a free list, per-register
+/// scoreboard state, and the consumer wakeup lists.
 #[derive(Debug, Clone)]
 pub(crate) struct PhysRegFile {
     free: Vec<u16>,
-    ready: Vec<bool>,
-    /// Cycle at which the register last became ready.
-    ready_at: Vec<u64>,
-    /// Whether the last writer was a load (drives OPT_LAST tagging).
-    by_load: Vec<bool>,
+    state: Vec<RegState>,
+    /// Consumers waiting for each register; non-empty only while not ready.
+    waiters: Vec<Vec<Consumer>>,
+    /// Recycled wakeup-list buffers ([`recycle`](PhysRegFile::recycle)),
+    /// so the steady state allocates nothing per producer-consumer chain.
+    pool: Vec<Vec<Consumer>>,
 }
 
 impl PhysRegFile {
@@ -29,9 +54,16 @@ impl PhysRegFile {
         PhysRegFile {
             // Allocate low indices first: pop from the back for O(1).
             free: (0..total as u16).rev().collect(),
-            ready: vec![true; total],
-            ready_at: vec![0; total],
-            by_load: vec![false; total],
+            state: vec![
+                RegState {
+                    ready: true,
+                    by_load: false,
+                    ready_at: 0,
+                };
+                total
+            ],
+            waiters: vec![Vec::new(); total],
+            pool: Vec::new(),
         }
     }
 
@@ -42,38 +74,86 @@ impl PhysRegFile {
     /// Allocates a not-ready register, or `None` when the file is exhausted.
     pub(crate) fn alloc(&mut self) -> Option<u16> {
         let p = self.free.pop()?;
-        self.ready[p as usize] = false;
-        self.by_load[p as usize] = false;
+        self.state[p as usize].ready = false;
+        self.state[p as usize].by_load = false;
+        debug_assert!(
+            self.waiters[p as usize].is_empty(),
+            "freed register {p} carried stale waiters"
+        );
         Some(p)
     }
 
     /// Returns a register to the free list (commit of the previous mapping,
-    /// or squash of the instruction that allocated it).
+    /// or squash of the instruction that allocated it). Any waiters still
+    /// listed belong to squashed consumers and are dropped, not woken.
     pub(crate) fn release(&mut self, p: u16) {
         debug_assert!(
             !self.free.contains(&p),
             "double free of physical register {p}"
         );
-        self.ready[p as usize] = true;
+        self.state[p as usize].ready = true;
+        self.waiters[p as usize].clear();
         self.free.push(p);
     }
 
-    /// Marks a register's value available as of `cycle`.
-    pub(crate) fn set_ready(&mut self, p: u16, cycle: u64, by_load: bool) {
-        self.ready[p as usize] = true;
-        self.ready_at[p as usize] = cycle;
-        self.by_load[p as usize] = by_load;
+    /// Registers a consumer to be woken when `p` becomes ready. Only legal
+    /// while the register is not ready (a ready register never un-readies
+    /// while referenced, so consumers of ready registers never wait).
+    pub(crate) fn add_waiter(&mut self, p: u16, consumer: Consumer) {
+        debug_assert!(
+            !self.state[p as usize].ready,
+            "waiting on already-ready register {p}"
+        );
+        let list = &mut self.waiters[p as usize];
+        if list.capacity() == 0 {
+            if let Some(recycled) = self.pool.pop() {
+                *list = recycled;
+            }
+        }
+        list.push(consumer);
+    }
+
+    /// Marks a register's value available as of `cycle` and returns the
+    /// consumers waiting on it, in registration (dispatch) order. The
+    /// caller decrements each consumer's outstanding-operand count and
+    /// moves newly-complete ones to a ready queue.
+    pub(crate) fn set_ready(&mut self, p: u16, cycle: u64, by_load: bool) -> Vec<Consumer> {
+        self.state[p as usize] = RegState {
+            ready: true,
+            by_load,
+            ready_at: cycle,
+        };
+        std::mem::take(&mut self.waiters[p as usize])
     }
 
     pub(crate) fn is_ready(&self, p: u16) -> bool {
-        self.ready[p as usize]
+        self.state[p as usize].ready
     }
 
-    /// Whether the register was written by a load that completed at or
-    /// after `cycle` — i.e. a consumer issuing now still rides the
-    /// load-hit-speculation window.
-    pub(crate) fn woken_by_load_since(&self, p: u16, cycle: u64) -> bool {
-        self.by_load[p as usize] && self.ready[p as usize] && self.ready_at[p as usize] >= cycle
+    /// Returns a drained wakeup list's buffer for reuse by later
+    /// [`add_waiter`](PhysRegFile::add_waiter) calls.
+    pub(crate) fn recycle(&mut self, mut buffer: Vec<Consumer>) {
+        if buffer.capacity() > 0 {
+            buffer.clear();
+            self.pool.push(buffer);
+        }
+    }
+
+    /// The last cycle at which a consumer of `p` still counts as
+    /// optimistically issued (`0` when `p` was not written by a load): a
+    /// consumer issuing at `cycle` rides the load-hit-speculation window
+    /// exactly when `cycle <= opt_window_end(p)`. A register's
+    /// `(by_load, ready_at)` pair is immutable from the moment it becomes
+    /// ready until it is released — and no live consumer outlives the
+    /// release — so ready instructions can cache this bound instead of
+    /// re-reading the scoreboard every cycle.
+    pub(crate) fn opt_window_end(&self, p: u16) -> u64 {
+        let s = &self.state[p as usize];
+        if s.by_load && s.ready {
+            s.ready_at + 1
+        } else {
+            0
+        }
     }
 }
 
@@ -94,7 +174,8 @@ impl RenameMap {
                 let p = files[class.index()]
                     .alloc()
                     .expect("physical file must cover the architectural state");
-                files[class.index()].set_ready(p, 0, false);
+                let woken = files[class.index()].set_ready(p, 0, false);
+                debug_assert!(woken.is_empty(), "no consumers exist before rename");
                 *slot = p;
             }
         }
@@ -125,12 +206,17 @@ mod tests {
         let p = f.alloc().unwrap();
         assert!(!f.is_ready(p));
         assert_eq!(f.free_count(), 39);
-        f.set_ready(p, 5, true);
+        let woken = f.set_ready(p, 5, true);
+        assert!(woken.is_empty());
         assert!(f.is_ready(p));
-        assert!(f.woken_by_load_since(p, 5));
-        assert!(!f.woken_by_load_since(p, 6));
+        // Written by a load at cycle 5: consumers issuing at cycle <= 6
+        // still ride the load-hit-speculation window.
+        assert_eq!(f.opt_window_end(p), 6);
         f.release(p);
         assert_eq!(f.free_count(), 40);
+        let q = f.alloc().unwrap();
+        f.set_ready(q, 9, false);
+        assert_eq!(f.opt_window_end(q), 0, "non-load writers open no window");
     }
 
     #[test]
@@ -140,6 +226,30 @@ mod tests {
             assert!(f.alloc().is_some());
         }
         assert!(f.alloc().is_none());
+    }
+
+    #[test]
+    fn waiters_drain_once_in_dispatch_order() {
+        let mut f = PhysRegFile::new(40);
+        let p = f.alloc().unwrap();
+        f.add_waiter(p, (0, 7, 2));
+        f.add_waiter(p, (1, 9, 0));
+        let woken = f.set_ready(p, 3, false);
+        assert_eq!(woken, vec![(0, 7, 2), (1, 9, 0)]);
+        // Drained: a second query sees nothing.
+        assert!(f.set_ready(p, 3, false).is_empty());
+    }
+
+    #[test]
+    fn release_drops_stale_waiters_without_waking() {
+        let mut f = PhysRegFile::new(40);
+        let p = f.alloc().unwrap();
+        f.add_waiter(p, (0, 11, 0));
+        // Squash path: the register dies with its (also-dead) consumers.
+        f.release(p);
+        let q = f.alloc().unwrap();
+        assert_eq!(q, p, "free list is LIFO");
+        assert!(f.set_ready(q, 1, false).is_empty(), "stale waiters leaked");
     }
 
     #[test]

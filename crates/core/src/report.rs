@@ -54,6 +54,11 @@ pub struct FetchBreakdown {
     /// Misfetches: predicted-taken control without a target; fetch stalled
     /// until decode produced one.
     pub misfetches: u64,
+    /// Fetch opportunities a *wrong-path* thread lost to I-cache bank/port
+    /// contention: wrong-path fetch streams compete for the same banks as
+    /// correct-path work, and this counts how often they were turned away
+    /// (toward quantifying the paper's ~2% wrong-path overhead claim).
+    pub wrong_path_fetch_conflicts: u64,
 }
 
 /// Issue-side counters.
@@ -175,6 +180,10 @@ impl SimReport {
                     ),
                     ("lost_no_thread", Json::from(self.fetch.lost_no_thread)),
                     ("misfetches", Json::from(self.fetch.misfetches)),
+                    (
+                        "wrong_path_fetch_conflicts",
+                        Json::from(self.fetch.wrong_path_fetch_conflicts),
+                    ),
                 ]),
             ),
             (
@@ -252,7 +261,7 @@ impl fmt::Display for SimReport {
         writeln!(
             f,
             "fetch: {} useful, {} wrong-path ({:.1}%), lost: icache {}, bank {}, frag {}, \
-             queue-full {}, no-thread {}, misfetches {}",
+             queue-full {}, no-thread {}, misfetches {}, wrong-path bank bounces {}",
             self.fetch.fetched,
             self.fetch.wrong_path,
             self.wrong_path_fetch_fraction() * 100.0,
@@ -262,6 +271,7 @@ impl fmt::Display for SimReport {
             self.fetch.lost_frontend_full,
             self.fetch.lost_no_thread,
             self.fetch.misfetches,
+            self.fetch.wrong_path_fetch_conflicts,
         )?;
         writeln!(
             f,

@@ -16,7 +16,14 @@
 //! are fixed. TLB misses cost two full memory accesses and consume no
 //! execution resources.
 //!
-//! The hierarchy is polled by the pipeline once per cycle:
+//! Misses are **scheduled completion events**, not polled state: starting
+//! a miss computes its data-return cycle up front (reserving bank and bus
+//! occupancy along the way), and [`MemoryHierarchy::begin_cycle`] delivers
+//! each [`Completion`] on exactly that cycle. The earliest due cycle of
+//! every event class (line fills, delay-only TLB walks, miss completions)
+//! is tracked, so an event-free cycle costs four counter resets and three
+//! compares — nothing is rescanned. The pipeline consumes the events each
+//! cycle:
 //!
 //! ```
 //! use smt_mem::{MemConfig, MemoryHierarchy, AccessResult};
@@ -27,7 +34,9 @@
 //! match mem.dcache_access(ThreadId(0), 0x1_0000, false) {
 //!     AccessResult::Hit => {}
 //!     AccessResult::Miss(req) => {
-//!         // poll `take_completions` each cycle until `req` appears
+//!         // `req`'s Completion event arrives via `take_completions`
+//!         // (or the allocation-free `drain_completions_into`) on the
+//!         // cycle the data returns.
 //!         let _ = req;
 //!     }
 //!     AccessResult::BankConflict => { /* retry next cycle */ }
@@ -41,6 +50,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use smt_isa::{Addr, ThreadId};
+use smt_stats::hash::FastHashMap;
 
 /// Parameters of one cache level (one row of Table 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,9 +82,12 @@ impl CacheParams {
         self.size_bytes / (self.line_bytes * self.assoc)
     }
 
-    /// The bank index servicing `addr` (line-interleaved).
+    /// The bank index servicing `addr` (line-interleaved). Line size and
+    /// bank count are powers of two (the bank mask below already assumes
+    /// so), so the line number is a shift, not a division — this runs on
+    /// every cache access the pipeline makes.
     pub fn bank_of(&self, addr: Addr) -> usize {
-        ((addr / self.line_bytes as u64) as usize) & (self.banks - 1)
+        ((addr >> self.line_bytes.trailing_zeros()) as usize) & (self.banks - 1)
     }
 
     /// The aligned line address containing `addr`.
@@ -231,11 +244,16 @@ struct Line {
 }
 
 /// A set-associative (or direct-mapped) tag array with true LRU.
+///
+/// Line size and set count are powers of two, so set/tag extraction is
+/// shift-and-mask (precomputed at construction) — no division on the
+/// per-access hot path.
 #[derive(Debug, Clone)]
 struct TagArray {
     sets: usize,
     assoc: usize,
-    line_bytes: u64,
+    line_shift: u32,
+    tag_shift: u32,
     lines: Vec<Line>,
 }
 
@@ -246,22 +264,28 @@ impl TagArray {
             sets.is_power_of_two(),
             "cache set count must be a power of two"
         );
+        assert!(
+            p.line_bytes.is_power_of_two(),
+            "cache line size must be a power of two"
+        );
+        let line_shift = p.line_bytes.trailing_zeros();
         TagArray {
             sets,
             assoc: p.assoc,
-            line_bytes: p.line_bytes as u64,
+            line_shift,
+            tag_shift: line_shift + sets.trailing_zeros(),
             lines: vec![Line::default(); sets * p.assoc],
         }
     }
 
     #[inline]
     fn set_of(&self, addr: Addr) -> usize {
-        ((addr / self.line_bytes) as usize) & (self.sets - 1)
+        ((addr >> self.line_shift) as usize) & (self.sets - 1)
     }
 
     #[inline]
     fn tag_of(&self, addr: Addr) -> u64 {
-        addr / self.line_bytes / self.sets as u64
+        addr >> self.tag_shift
     }
 
     /// Probe without updating replacement state.
@@ -318,7 +342,7 @@ impl TagArray {
             });
         let evicted = &self.lines[base + victim];
         let wb = if evicted.valid && evicted.dirty {
-            Some((evicted.tag * self.sets as u64 + set as u64) * self.line_bytes)
+            Some((evicted.tag << self.tag_shift) | ((set as u64) << self.line_shift))
         } else {
             None
         };
@@ -339,36 +363,54 @@ impl TagArray {
 }
 
 /// A fully-associative, LRU, thread-tagged TLB.
+///
+/// Recency is tracked with unique monotonic use-stamps instead of a
+/// physically ordered list: a hit is one hash lookup plus a stamp bump
+/// (O(1), on the pipeline's per-access hot path), and eviction — only on a
+/// miss with a full TLB — scans for the minimum stamp, which is exactly
+/// the least-recently-used entry an ordered list would evict. Stamps are
+/// unique, so the victim is deterministic.
 #[derive(Debug, Clone)]
 struct Tlb {
-    entries: Vec<(u8, u64)>, // (thread, vpn)
+    entries: FastHashMap<(u8, u64), u64>, // (thread, vpn) -> last use
     capacity: usize,
-    page_bytes: u64,
+    page_shift: u32,
+    tick: u64,
 }
 
 impl Tlb {
     fn new(capacity: usize, page_bytes: u64) -> Tlb {
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
-            entries: Vec::with_capacity(capacity),
+            entries: FastHashMap::default(),
             capacity,
-            page_bytes,
+            page_shift: page_bytes.trailing_zeros(),
+            tick: 0,
         }
     }
 
     /// Returns true on hit; on miss the translation is installed (the miss
     /// *penalty* is charged by the hierarchy).
     fn access(&mut self, thread: ThreadId, addr: Addr) -> bool {
-        let key = (thread.0, addr / self.page_bytes);
-        if let Some(pos) = self.entries.iter().position(|&e| e == key) {
-            // Move to MRU position.
-            let e = self.entries.remove(pos);
-            self.entries.push(e);
+        let key = (thread.0, addr >> self.page_shift);
+        self.tick += 1;
+        if let Some(stamp) = self.entries.get_mut(&key) {
+            *stamp = self.tick;
             return true;
         }
         if self.entries.len() == self.capacity {
-            self.entries.remove(0);
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|&(_, &stamp)| stamp)
+                .expect("full TLB is non-empty")
+                .0;
+            self.entries.remove(&victim);
         }
-        self.entries.push(key);
+        self.entries.insert(key, self.tick);
         false
     }
 }
@@ -429,6 +471,11 @@ pub struct MemoryHierarchy {
     delay_only: Vec<(u64, ReqId)>,                // TLB walks on tag hits
     ready: Vec<Completion>,
     next_req: u64,
+    /// Earliest cycle any pending fill lands (`u64::MAX` when none): lets
+    /// `begin_cycle` skip the fill list entirely on event-free cycles.
+    next_fill_at: u64,
+    /// Earliest cycle any delay-only walk retires (`u64::MAX` when none).
+    next_delay_at: u64,
 }
 
 impl MemoryHierarchy {
@@ -468,6 +515,8 @@ impl MemoryHierarchy {
             delay_only: Vec::new(),
             ready: Vec::new(),
             next_req: 0,
+            next_fill_at: u64::MAX,
+            next_delay_at: u64::MAX,
         }
     }
 
@@ -488,6 +537,12 @@ impl MemoryHierarchy {
     }
 
     /// Starts a new cycle: resets port budgets and retires due events.
+    ///
+    /// Event-driven: each event class (fills, delay-only TLB walks, miss
+    /// completions) was scheduled with its due cycle when it was created,
+    /// and the earliest due cycle of each class is tracked — on the common
+    /// event-free cycle this resets four counters and does nothing else.
+    #[inline]
     pub fn begin_cycle(&mut self, cycle: u64) {
         self.cycle = cycle;
         self.i_ports_used = 0;
@@ -496,25 +551,41 @@ impl MemoryHierarchy {
         self.d_banks_used = 0;
 
         // Install fills that land this cycle.
-        let mut i = 0;
-        while i < self.pending_fills.len() {
-            if self.pending_fills[i].0 <= cycle {
-                let (_, side, line) = self.pending_fills.swap_remove(i);
-                self.install_chain(side, line);
-            } else {
-                i += 1;
+        if cycle >= self.next_fill_at {
+            let mut i = 0;
+            while i < self.pending_fills.len() {
+                if self.pending_fills[i].0 <= cycle {
+                    let (_, side, line) = self.pending_fills.swap_remove(i);
+                    self.install_chain(side, line);
+                } else {
+                    i += 1;
+                }
             }
+            self.next_fill_at = self
+                .pending_fills
+                .iter()
+                .map(|&(t, _, _)| t)
+                .min()
+                .unwrap_or(u64::MAX);
         }
 
         // Retire finished TLB walks that did not need a line fill.
-        let mut i = 0;
-        while i < self.delay_only.len() {
-            if self.delay_only[i].0 <= cycle {
-                let (t, req) = self.delay_only.swap_remove(i);
-                self.ready.push(Completion { req, at_cycle: t });
-            } else {
-                i += 1;
+        if cycle >= self.next_delay_at {
+            let mut i = 0;
+            while i < self.delay_only.len() {
+                if self.delay_only[i].0 <= cycle {
+                    let (t, req) = self.delay_only.swap_remove(i);
+                    self.ready.push(Completion { req, at_cycle: t });
+                } else {
+                    i += 1;
+                }
             }
+            self.next_delay_at = self
+                .delay_only
+                .iter()
+                .map(|&(t, _)| t)
+                .min()
+                .unwrap_or(u64::MAX);
         }
 
         // Collect completed misses.
@@ -534,6 +605,18 @@ impl MemoryHierarchy {
                 }
             }
         }
+    }
+
+    /// The earliest future cycle at which any scheduled event (fill,
+    /// delay-only walk, or miss completion) falls due, if one exists.
+    /// Purely observational — useful for tests and idle-cycle diagnostics.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let heap_next = self.completions.peek().map(|&Reverse((t, _))| t);
+        [Some(self.next_fill_at), Some(self.next_delay_at), heap_next]
+            .into_iter()
+            .flatten()
+            .filter(|&t| t != u64::MAX)
+            .min()
     }
 
     fn mshr_key(m: &Mshr) -> u64 {
@@ -670,6 +753,7 @@ impl MemoryHierarchy {
         self.completions
             .push(Reverse((complete_at, Self::mshr_key(&m))));
         self.pending_fills.push((complete_at, side, line));
+        self.next_fill_at = self.next_fill_at.min(complete_at);
         self.mshrs.push(m);
         self.next_req += 1;
         Some(req)
@@ -680,6 +764,7 @@ impl MemoryHierarchy {
     /// On a miss the thread should stop fetching until the returned request
     /// completes. Returns `BankConflict` when the I-cache ports or the
     /// target bank are exhausted this cycle.
+    #[inline]
     pub fn icache_fetch(&mut self, thread: ThreadId, addr: Addr) -> AccessResult {
         // ITLB.
         self.stats.itlb.accesses += 1;
@@ -717,7 +802,9 @@ impl MemoryHierarchy {
             // without generating downstream traffic.
             let req = ReqId(self.next_req);
             self.next_req += 1;
-            self.delay_only.push((self.cycle + 1 + tlb_extra, req));
+            let due = self.cycle + 1 + tlb_extra;
+            self.delay_only.push((due, req));
+            self.next_delay_at = self.next_delay_at.min(due);
             AccessResult::Miss(req)
         }
     }
@@ -729,6 +816,7 @@ impl MemoryHierarchy {
     }
 
     /// Whether the I-cache bank for `addr` is still free this cycle.
+    #[inline]
     pub fn icache_bank_free(&self, addr: Addr) -> bool {
         if self.cfg.infinite_bandwidth {
             return true;
@@ -743,6 +831,7 @@ impl MemoryHierarchy {
     /// Returns `Hit` (1-cycle latency), `Miss` (poll completions), or
     /// `BankConflict` (port/bank exhausted — for loads this squashes
     /// optimistically issued dependents, per Section 2 of the paper).
+    #[inline]
     pub fn dcache_access(&mut self, thread: ThreadId, addr: Addr, write: bool) -> AccessResult {
         let p = &self.cfg.dcache;
         let bank = p.bank_of(addr) as u64;
@@ -779,7 +868,9 @@ impl MemoryHierarchy {
         } else {
             let req = ReqId(self.next_req);
             self.next_req += 1;
-            self.delay_only.push((self.cycle + 1 + tlb_extra, req));
+            let due = self.cycle + 1 + tlb_extra;
+            self.delay_only.push((due, req));
+            self.next_delay_at = self.next_delay_at.min(due);
             AccessResult::Miss(req)
         }
     }
@@ -793,6 +884,15 @@ impl MemoryHierarchy {
     /// Drains and returns all miss completions that have become ready.
     pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.ready)
+    }
+
+    /// Drains all ready miss completions into `out` (appended, preserving
+    /// arrival order) — the allocation-free twin of
+    /// [`take_completions`](MemoryHierarchy::take_completions) for callers
+    /// that reuse a buffer every cycle.
+    #[inline]
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.ready);
     }
 }
 
@@ -1054,6 +1154,26 @@ mod tests {
         };
         assert_eq!(s.miss_rate(), 2.5);
         assert_eq!(LevelStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn next_event_cycle_tracks_scheduled_events() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        assert_eq!(m.next_event_cycle(), None, "fresh hierarchy is idle");
+        let AccessResult::Miss(req) = m.dcache_access(T0, 0x10_0000, false) else {
+            panic!("cold access must miss")
+        };
+        let due = m
+            .next_event_cycle()
+            .expect("an outstanding miss schedules events");
+        assert!(due > 0, "events are scheduled in the future");
+        let done = drain_until(&mut m, req, 2000);
+        assert!(done >= due, "completion cannot precede the earliest event");
+        // Once the completion and its line fill have been consumed the
+        // hierarchy is idle again.
+        m.begin_cycle(done + 1);
+        assert_eq!(m.next_event_cycle(), None, "all events drained");
     }
 
     #[test]
