@@ -4,18 +4,21 @@
 //! ICOUNT.2.8 configuration and reports the best (least-noisy) rate.
 //!
 //! ```text
-//! smt_bench [CYCLES] [--json PATH] [--baseline PATH [--max-regress FRAC]]
+//! smt_bench [CYCLES] [--json PATH]
+//!           [--baseline PATH | --baseline-latest DIR] [--max-regress FRAC]
 //! ```
 //!
 //! `CYCLES` defaults to 200000 simulated cycles per measurement; `--json`
 //! additionally writes the machine-readable `"smt-bench"` document.
 //! `--baseline` reads a previously written document (e.g. the committed
 //! `BENCH_*.json` trajectory files) and prints the speedup factor against
-//! it; with `--max-regress FRAC` the run exits non-zero when throughput
-//! fell more than `FRAC` (e.g. `0.30`) below the baseline — the CI
-//! throughput guard.
+//! it; `--baseline-latest DIR` auto-picks the `BENCH_PR<N>.json` in `DIR`
+//! with the highest PR number, so the comparison re-pins itself whenever a
+//! newer baseline is committed. With `--max-regress FRAC` the run exits
+//! non-zero when throughput fell more than `FRAC` (e.g. `0.30`) below the
+//! baseline — the CI throughput guard.
 
-use smt_bench::{baseline_ips, bench_to_json, run_reference, BenchResult};
+use smt_bench::{baseline_ips, bench_to_json, find_latest_baseline, run_reference, BenchResult};
 
 fn main() {
     let mut cycles: u64 = 200_000;
@@ -30,8 +33,24 @@ fn main() {
                 None => die("--json requires a path"),
             },
             "--baseline" => match args.next() {
-                Some(path) => baseline_path = Some(path),
+                Some(path) => match baseline_path {
+                    None => baseline_path = Some(path),
+                    Some(_) => die("use either --baseline or --baseline-latest, not both"),
+                },
                 None => die("--baseline requires a path"),
+            },
+            "--baseline-latest" => match args.next() {
+                Some(_) if baseline_path.is_some() => {
+                    die("use either --baseline or --baseline-latest, not both")
+                }
+                Some(dir) => match find_latest_baseline(std::path::Path::new(&dir)) {
+                    Some((path, pr)) => {
+                        println!("baseline: BENCH_PR{pr}.json (newest committed in {dir})");
+                        baseline_path = Some(path.to_string_lossy().into_owned());
+                    }
+                    None => die(&format!("no BENCH_PR<N>.json baseline found in {dir}")),
+                },
+                None => die("--baseline-latest requires a directory"),
             },
             "--max-regress" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(frac) if (0.0..1.0).contains(&frac) => max_regress = Some(frac),
@@ -41,7 +60,7 @@ fn main() {
                 Ok(n) => cycles = n,
                 Err(_) => die(&format!(
                     "usage: smt_bench [CYCLES] [--json PATH] \
-                     [--baseline PATH [--max-regress FRAC]]   \
+                     [--baseline PATH | --baseline-latest DIR] [--max-regress FRAC]   \
                      (CYCLES must be a number, got '{arg}')"
                 )),
             },

@@ -65,8 +65,10 @@ impl BenchResult {
 }
 
 /// Version of the `"smt-bench"` JSON document; kept in lockstep with the
-/// experiment schema so one consumer can read both.
-pub const JSON_SCHEMA_VERSION: u64 = 1;
+/// experiment schema so one consumer can read both (the version-2 bump
+/// changed nothing in this document; [`baseline_ips`] accepts all
+/// versions).
+pub const JSON_SCHEMA_VERSION: u64 = 2;
 
 /// The machine-readable benchmark document: every timed run plus the best
 /// (least-noisy) one. `smt_bench --json` writes this, pretty-rendered.
@@ -99,6 +101,40 @@ pub fn baseline_ips(text: &str) -> Option<f64> {
                 .and_then(Json::as_f64)
         })
         .filter(|v| *v > 0.0)
+}
+
+/// The PR number of a committed baseline file name (`BENCH_PR<N>.json`),
+/// or `None` for any other name.
+pub fn bench_pr_number(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("BENCH_PR")?.strip_suffix(".json")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Finds the newest committed benchmark baseline in `dir`: the
+/// `BENCH_PR<N>.json` file with the **highest PR number** (numeric, not
+/// lexicographic — `BENCH_PR10.json` beats `BENCH_PR9.json`). Returns the
+/// path and its PR number; `None` when the directory holds no baseline.
+///
+/// This is what the CI throughput guard pins against
+/// (`smt_bench --baseline-latest DIR`), so the guard re-pins itself
+/// automatically whenever a PR commits a newer `BENCH_*.json` — a guard
+/// left on an old pre-speedup floor would let large regressions of the
+/// *current* performance pass unnoticed.
+pub fn find_latest_baseline(dir: &std::path::Path) -> Option<(std::path::PathBuf, u64)> {
+    let mut best: Option<(std::path::PathBuf, u64)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(n) = name.to_str().and_then(bench_pr_number) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|&(_, b)| n > b) {
+            best = Some((entry.path(), n));
+        }
+    }
+    best
 }
 
 impl std::fmt::Display for BenchResult {
@@ -162,11 +198,68 @@ mod tests {
     }
 
     #[test]
+    fn bench_pr_numbers_parse_strictly() {
+        assert_eq!(bench_pr_number("BENCH_PR2.json"), Some(2));
+        assert_eq!(bench_pr_number("BENCH_PR10.json"), Some(10));
+        assert_eq!(bench_pr_number("BENCH_PR.json"), None);
+        assert_eq!(bench_pr_number("BENCH_PR3.json.bak"), None);
+        assert_eq!(bench_pr_number("BENCH_PRx.json"), None);
+        assert_eq!(bench_pr_number("bench_pr3.json"), None);
+        assert_eq!(bench_pr_number("section5.json"), None);
+    }
+
+    #[test]
+    fn latest_baseline_picks_highest_pr_number_numerically() {
+        let dir =
+            std::env::temp_dir().join(format!("smt_bench_latest_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(
+            find_latest_baseline(&dir),
+            None,
+            "empty dir has no baseline"
+        );
+        // PR10 must beat PR9 (numeric order; lexicographic would pick PR9).
+        for name in [
+            "BENCH_PR2.json",
+            "BENCH_PR9.json",
+            "BENCH_PR10.json",
+            "other.json",
+        ] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        let (path, n) = find_latest_baseline(&dir).expect("baselines present");
+        assert_eq!(n, 10);
+        assert_eq!(path.file_name().unwrap(), "BENCH_PR10.json");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repo_root_latest_baseline_is_discoverable() {
+        // The committed trajectory files themselves: the guard must pin to
+        // the newest one (BENCH_PR3.json as of this PR) and it must parse.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let (path, n) = find_latest_baseline(&root).expect("committed BENCH_*.json present");
+        assert!(n >= 3, "newest committed baseline regressed to PR{n}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            baseline_ips(&text).is_some(),
+            "{} is not a valid smt-bench document",
+            path.display()
+        );
+    }
+
+    #[test]
     fn bench_json_parses_and_carries_runs() {
         let r = run_reference(400);
         let doc = bench_to_json(&[r, r], &r);
         let back = Json::parse(&doc.render_pretty()).expect("bench JSON must parse");
-        assert_eq!(back.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            back.get("schema_version").and_then(Json::as_u64),
+            Some(JSON_SCHEMA_VERSION)
+        );
         assert_eq!(back.get("kind").and_then(Json::as_str), Some("smt-bench"));
         assert_eq!(
             back.get("runs").and_then(Json::as_array).map(<[_]>::len),

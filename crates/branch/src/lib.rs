@@ -134,6 +134,24 @@ pub struct Prediction {
     pub history_before: u16,
 }
 
+impl Prediction {
+    /// An oracle-perfect prediction for a control instruction whose
+    /// architectural outcome is `(taken, next_pc)`: correct direction,
+    /// correct target, no predictor state consulted (the
+    /// perfect-branch-prediction ablation). The PHT index and history
+    /// snapshot are zero — a perfect prediction never mispredicts, so they
+    /// are never used for repair, and the predictor that would consume them
+    /// is never trained.
+    pub fn perfect(taken: bool, next_pc: Addr) -> Prediction {
+        Prediction {
+            taken,
+            target: Some(next_pc),
+            pht_index: 0,
+            history_before: 0,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct BtbEntry {
     valid: bool,
@@ -774,5 +792,14 @@ mod tests {
         assert!(bp.btb_would_hit(T0, 0x100));
         bp.resolve_uncond(T0, 0x200, Opcode::Return, 0x6000);
         assert!(!bp.btb_would_hit(T0, 0x200));
+    }
+
+    #[test]
+    fn perfect_prediction_carries_the_outcome() {
+        let p = Prediction::perfect(true, 0x7000);
+        assert!(p.taken);
+        assert_eq!(p.target, Some(0x7000), "never a misfetch");
+        let p = Prediction::perfect(false, 0x104);
+        assert!(!p.taken);
     }
 }

@@ -1,0 +1,201 @@
+//! Mechanism ablations: Section-4-style "turn one thing off" switches.
+//!
+//! The paper attributes throughput effects by ablating one mechanism at a
+//! time (perfect branch prediction, wrong-path overhead, queue pressure).
+//! [`Ablations`] is the typed set of such switches a [`SimConfig`] carries;
+//! each [`Ablation`] disables exactly one source of loss in the modeled
+//! machine so the IPC delta against an un-ablated baseline *is* that
+//! mechanism's cost:
+//!
+//! * [`Ablation::ExemptWrongPathFromBankArbitration`] — wrong-path fetch
+//!   streams no longer arbitrate for I-cache banks and ports: they are
+//!   never turned away and never occupy a bank a correct-path thread
+//!   wants. The baseline-vs-ablation IPC delta quantifies the paper's ~2%
+//!   wrong-path I-fetch interference claim.
+//! * [`Ablation::PerfectICache`] — every instruction fetch hits in one
+//!   cycle (no I-misses, no I-TLB walks, no I-bank conflicts). Isolates
+//!   cold-start and capacity I-cache behaviour, e.g. in the ICOUNT-vs-RR
+//!   gap decomposition.
+//! * [`Ablation::PerfectBranchPrediction`] — fetch always follows the
+//!   correct path: no mispredicts, no wrong-path work, no misfetches, and
+//!   the predictor is neither consulted nor trained. Isolates total
+//!   speculation cost.
+//! * [`Ablation::InfiniteFrontendQueues`] — the per-thread front-end
+//!   buffers and the per-class instruction queues are unbounded, so fetch
+//!   never stalls on queue back-pressure (`lost_frontend_full` collapses
+//!   to zero). Renaming registers stay finite. Isolates the IQ-clog
+//!   behaviour ICOUNT's feedback is designed to avoid.
+//!
+//! With the set empty (the default) every hook is inert and the simulator
+//! is bit-identical to an ablation-unaware build — `tests/golden.rs` pins
+//! this.
+//!
+//! [`SimConfig`]: crate::SimConfig
+
+use std::fmt;
+
+/// One mechanism switch (see the module docs for exact semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ablation {
+    /// Wrong-path fetches bypass I-cache bank/port arbitration.
+    ExemptWrongPathFromBankArbitration,
+    /// Every instruction fetch hits in one cycle.
+    PerfectICache,
+    /// Fetch always follows the correct path.
+    PerfectBranchPrediction,
+    /// Front-end buffers and instruction queues are unbounded.
+    InfiniteFrontendQueues,
+}
+
+impl Ablation {
+    /// Every ablation, in canonical (bit) order.
+    pub const ALL: [Ablation; 4] = [
+        Ablation::ExemptWrongPathFromBankArbitration,
+        Ablation::PerfectICache,
+        Ablation::PerfectBranchPrediction,
+        Ablation::InfiniteFrontendQueues,
+    ];
+
+    /// Stable machine-readable name (used in JSON documents and CLIs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::ExemptWrongPathFromBankArbitration => "exempt_wrong_path_bank_arbitration",
+            Ablation::PerfectICache => "perfect_icache",
+            Ablation::PerfectBranchPrediction => "perfect_branch_prediction",
+            Ablation::InfiniteFrontendQueues => "infinite_frontend_queues",
+        }
+    }
+
+    /// Resolves a machine-readable name back to the ablation.
+    pub fn by_name(name: &str) -> Option<Ablation> {
+        Ablation::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Ablation::ExemptWrongPathFromBankArbitration => 1 << 0,
+            Ablation::PerfectICache => 1 << 1,
+            Ablation::PerfectBranchPrediction => 1 << 2,
+            Ablation::InfiniteFrontendQueues => 1 << 3,
+        }
+    }
+}
+
+impl fmt::Display for Ablation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of [`Ablation`]s. Empty by default (no mechanism disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Ablations {
+    bits: u8,
+}
+
+impl Ablations {
+    /// The empty set: the un-ablated baseline machine.
+    pub fn none() -> Ablations {
+        Ablations::default()
+    }
+
+    /// Every ablation at once.
+    pub fn all() -> Ablations {
+        Ablation::ALL
+            .into_iter()
+            .fold(Ablations::none(), Ablations::with)
+    }
+
+    /// The singleton set `{a}`.
+    pub fn only(a: Ablation) -> Ablations {
+        Ablations::none().with(a)
+    }
+
+    /// This set plus `a`.
+    #[must_use]
+    pub fn with(self, a: Ablation) -> Ablations {
+        Ablations {
+            bits: self.bits | a.bit(),
+        }
+    }
+
+    /// This set minus `a`.
+    #[must_use]
+    pub fn without(self, a: Ablation) -> Ablations {
+        Ablations {
+            bits: self.bits & !a.bit(),
+        }
+    }
+
+    /// Whether `a` is active.
+    pub fn contains(self, a: Ablation) -> bool {
+        self.bits & a.bit() != 0
+    }
+
+    /// Whether no ablation is active (the baseline machine).
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// The active ablations, in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = Ablation> {
+        Ablation::ALL.into_iter().filter(move |a| self.contains(*a))
+    }
+}
+
+impl FromIterator<Ablation> for Ablations {
+    fn from_iter<I: IntoIterator<Item = Ablation>>(iter: I) -> Ablations {
+        iter.into_iter().fold(Ablations::none(), Ablations::with)
+    }
+}
+
+impl fmt::Display for Ablations {
+    /// Comma-separated canonical names; `"none"` for the empty set.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for a in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            first = false;
+            f.write_str(a.name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations_and_canonical_order() {
+        let s = Ablations::none()
+            .with(Ablation::InfiniteFrontendQueues)
+            .with(Ablation::PerfectICache);
+        assert!(!s.is_empty());
+        assert!(s.contains(Ablation::PerfectICache));
+        assert!(!s.contains(Ablation::PerfectBranchPrediction));
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![Ablation::PerfectICache, Ablation::InfiniteFrontendQueues]
+        );
+        assert_eq!(s.without(Ablation::PerfectICache).iter().count(), 1);
+        assert_eq!(Ablations::all().iter().count(), Ablation::ALL.len());
+        assert_eq!(Ablations::none().to_string(), "none");
+        assert_eq!(s.to_string(), "perfect_icache,infinite_frontend_queues");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for a in Ablation::ALL {
+            assert_eq!(Ablation::by_name(a.name()), Some(a));
+        }
+        assert_eq!(Ablation::by_name("nonesuch"), None);
+        let s: Ablations = Ablation::ALL.into_iter().collect();
+        assert_eq!(s, Ablations::all());
+    }
+}

@@ -13,6 +13,7 @@ use smt_branch::PredictorConfig;
 use smt_mem::MemConfig;
 use smt_workload::{standard_mix, Benchmark, Program};
 
+use crate::ablation::{Ablation, Ablations};
 use crate::pipeline::Simulator;
 use crate::policy::{FetchPartition, FetchPolicy, ICount, IssuePolicy, OldestFirst};
 
@@ -74,6 +75,10 @@ pub struct SimConfig {
     /// warm but every reported counter starts from zero. `0` (the default)
     /// measures from the cold start.
     pub warmup_cycles: u64,
+    /// Mechanism ablations (Section-4-style attribution switches). Empty by
+    /// default: no mechanism is disabled and every hook is inert — see the
+    /// [`Ablations`] docs for what each switch removes.
+    pub ablations: Ablations,
 }
 
 impl SimConfig {
@@ -106,6 +111,7 @@ impl SimConfig {
             decode_cycles: 2,
             misfetch_penalty: 2,
             warmup_cycles: 0,
+            ablations: Ablations::none(),
         }
     }
 
@@ -114,6 +120,18 @@ impl SimConfig {
     /// [`Simulator::reset_stats`].
     pub fn with_warmup(mut self, cycles: u64) -> SimConfig {
         self.warmup_cycles = cycles;
+        self
+    }
+
+    /// Replaces the ablation set (see [`Ablations`]).
+    pub fn with_ablations(mut self, ablations: Ablations) -> SimConfig {
+        self.ablations = ablations;
+        self
+    }
+
+    /// Adds one ablation to the active set.
+    pub fn with_ablation(mut self, ablation: Ablation) -> SimConfig {
+        self.ablations = self.ablations.with(ablation);
         self
     }
 
@@ -217,6 +235,7 @@ impl std::fmt::Debug for SimConfig {
             .field("partition", &self.partition)
             .field("iq_entries", &self.iq_entries)
             .field("extra_phys_regs", &self.extra_phys_regs)
+            .field("ablations", &self.ablations.to_string())
             .finish_non_exhaustive()
     }
 }
@@ -251,6 +270,20 @@ mod tests {
         assert_eq!(c.threads(), 2);
         assert_eq!(c.seed, 7);
         assert_eq!(c.warmup_cycles, 5_000);
+    }
+
+    #[test]
+    fn ablations_default_empty_and_chain() {
+        assert!(SimConfig::new().ablations.is_empty());
+        let c = SimConfig::new()
+            .with_ablation(Ablation::PerfectICache)
+            .with_ablation(Ablation::InfiniteFrontendQueues);
+        assert!(c.ablations.contains(Ablation::PerfectICache));
+        assert!(c.ablations.contains(Ablation::InfiniteFrontendQueues));
+        assert!(!c.ablations.contains(Ablation::PerfectBranchPrediction));
+        let c = SimConfig::new().with_ablations(Ablations::all());
+        assert_eq!(c.ablations, Ablations::all());
+        assert!(format!("{c:?}").contains("perfect_icache"));
     }
 
     #[test]

@@ -83,12 +83,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ablation;
 mod config;
 mod pipeline;
 mod policy;
 mod regfile;
 mod report;
 
+pub use ablation::{Ablation, Ablations};
 pub use config::{SimConfig, MAX_THREADS};
 pub use pipeline::Simulator;
 pub use policy::{

@@ -14,6 +14,7 @@ use smt_isa::{Addr, Opcode, Outcome, StaticInst, INST_BYTES};
 use smt_mem::AccessResult;
 use smt_workload::{Program, WrongPath};
 
+use crate::ablation::Ablation;
 use crate::policy::{FetchPartition, ThreadFetchView};
 use smt_branch::Prediction;
 
@@ -50,7 +51,7 @@ impl Simulator {
             let t = &self.threads[ti];
             let fetchable = t.icache_req.is_none()
                 && t.stall_until <= cycle
-                && t.frontend.len() < self.cfg.frontend_depth;
+                && t.frontend.len() < self.frontend_limit;
             if !fetchable {
                 continue;
             }
@@ -86,12 +87,23 @@ impl Simulator {
         // I-cache banks: a thread whose bank is busy is passed over in
         // favour of the next-ranked thread rather than wasting the slot.
         //
+        // This pre-selection arbitration is the single counting point for
+        // `wrong_path_fetch_conflicts`: a wrong-path thread passed over
+        // here lost its fetch opportunity to bank/port contention exactly
+        // once this cycle. (The `BankConflict` arm inside `fetch_block`
+        // can only be MSHR exhaustion once this check has passed, which is
+        // a different resource and deliberately not counted.)
+        //
         // Loss accounting: blockages only *candidate* slots for loss while
         // fetching, because a slot one thread could not fill may still be
         // filled by the next selected thread. At the end of the cycle the
-        // genuinely unused slots are attributed to the recorded causes in
-        // order of occurrence, so fetched + wrong-path + losses always sums
-        // to the 8-slot budget.
+        // genuinely unused slots are attributed to the recorded causes
+        // proportionally (see below), so fetched + wrong-path + losses
+        // always sums to the 8-slot budget.
+        let exempt_wrong_path = self
+            .cfg
+            .ablations
+            .contains(Ablation::ExemptWrongPathFromBankArbitration);
         let mut total_left = FetchPartition::TOTAL_WIDTH;
         let mut selected = 0usize;
         let mut losses = std::mem::take(&mut self.loss_scratch);
@@ -100,7 +112,8 @@ impl Simulator {
             if selected == tpc || total_left == 0 {
                 break;
             }
-            if !self.mem.icache_bank_free(self.threads[ti].fetch_pc) {
+            let exempt = exempt_wrong_path && self.threads[ti].wrong_path;
+            if !exempt && !self.mem.icache_bank_free(self.threads[ti].fetch_pc) {
                 if self.threads[ti].wrong_path {
                     self.f_stats.wrong_path_fetch_conflicts += 1;
                 }
@@ -108,25 +121,40 @@ impl Simulator {
             }
             selected += 1;
             let cap = ipt.min(total_left);
-            total_left -= self.fetch_block(ti, cap, &mut losses);
+            total_left -= self.fetch_block(ti, cap, !exempt, &mut losses);
         }
         self.fetch_rank_scratch = ranked;
         if selected < tpc {
             losses.push((LossCause::NoThread, ipt * (tpc - selected) as u32));
         }
-        let mut unused = total_left;
-        for &(cause, amount) in &losses {
-            if unused == 0 {
-                break;
-            }
-            let charged = u64::from(amount.min(unused));
-            unused -= amount.min(unused);
-            match cause {
-                LossCause::Icache => self.f_stats.lost_icache += charged,
-                LossCause::Bank => self.f_stats.lost_bank_conflict += charged,
-                LossCause::Fragmentation => self.f_stats.lost_fragmentation += charged,
-                LossCause::FrontendFull => self.f_stats.lost_frontend_full += charged,
-                LossCause::NoThread => self.f_stats.lost_no_thread += charged,
+        // Attribute the genuinely unused slots to the candidate causes
+        // *proportionally to their candidate amounts* (the cumulative-floor
+        // scheme keeps the charged total exact). Charging strictly in order
+        // of occurrence let an early overshooting candidate absorb the whole
+        // budget and silently drop later genuine causes.
+        let unused = u64::from(total_left);
+        let total: u64 = losses.iter().map(|&(_, a)| u64::from(a)).sum();
+        if unused > 0 && total > 0 {
+            // Whenever T × I covers the 8-wide bandwidth (all four paper
+            // schemes) the candidates cover the unused slots exactly or
+            // overshoot; a narrower custom partition can undershoot, in
+            // which case the uncoverable remainder stays unattributed
+            // (as before) rather than inflating any bucket.
+            let pool = unused.min(total);
+            let mut prefix = 0u64;
+            let mut charged_so_far = 0u64;
+            for &(cause, amount) in &losses {
+                prefix += u64::from(amount);
+                let cumulative = prefix * pool / total;
+                let charged = cumulative - charged_so_far;
+                charged_so_far = cumulative;
+                match cause {
+                    LossCause::Icache => self.f_stats.lost_icache += charged,
+                    LossCause::Bank => self.f_stats.lost_bank_conflict += charged,
+                    LossCause::Fragmentation => self.f_stats.lost_fragmentation += charged,
+                    LossCause::FrontendFull => self.f_stats.lost_frontend_full += charged,
+                    LossCause::NoThread => self.f_stats.lost_no_thread += charged,
+                }
             }
         }
         self.loss_scratch = losses;
@@ -134,21 +162,29 @@ impl Simulator {
 
     /// Fetches one thread's block of up to `cap` instructions; returns how
     /// many were fetched, recording candidate slot losses in `losses`.
-    fn fetch_block(&mut self, ti: usize, cap: u32, losses: &mut Vec<(LossCause, u32)>) -> u32 {
+    /// With `arbitrate: false` (the wrong-path exemption ablation) the
+    /// I-cache access neither checks nor consumes bank/port resources.
+    fn fetch_block(
+        &mut self,
+        ti: usize,
+        cap: u32,
+        arbitrate: bool,
+        losses: &mut Vec<(LossCause, u32)>,
+    ) -> u32 {
         // Power-of-two line size: line membership is a shift, not a
         // division, on this per-instruction loop.
         let line_shift = (self.cfg.mem.icache.line_bytes as u64).trailing_zeros();
         let block_pc = self.threads[ti].fetch_pc;
         let id = self.threads[ti].id;
-        match self.mem.icache_fetch(id, block_pc) {
+        match self.mem.icache_fetch_with(id, block_pc, arbitrate) {
             AccessResult::BankConflict => {
-                // Port or MSHR pressure: yield the fetch slot for a cycle so
+                // MSHR pressure (bank/port availability was arbitrated
+                // before selection): yield the fetch slot for a cycle so
                 // thread selection rotates instead of re-picking a thread
-                // that cannot start its access.
+                // that cannot start its access. Not a bank/port conflict,
+                // so `wrong_path_fetch_conflicts` is not counted here —
+                // the pre-selection check is the single counting point.
                 self.threads[ti].stall_until = self.cycle + 1;
-                if self.threads[ti].wrong_path {
-                    self.f_stats.wrong_path_fetch_conflicts += 1;
-                }
                 losses.push((LossCause::Bank, cap));
                 return 0;
             }
@@ -162,7 +198,7 @@ impl Simulator {
         let line = block_pc >> line_shift;
         let mut fetched = 0u32;
         while fetched < cap {
-            if self.threads[ti].frontend.len() >= self.cfg.frontend_depth {
+            if self.threads[ti].frontend.len() >= self.frontend_limit {
                 losses.push((LossCause::FrontendFull, cap - fetched));
                 break;
             }
@@ -220,7 +256,23 @@ impl Simulator {
 
         if inst.op.is_control() {
             let id = self.threads[ti].id;
-            let p = self.bp.predict(id, pc, inst.op);
+            // Perfect-branch-prediction ablation: synthesize an
+            // oracle-perfect prediction instead of consulting the
+            // predictor — `classify_prediction` then always agrees with
+            // the outcome, so no mispredicts, no misfetches, and the
+            // wrong-path machinery never engages. (Fetch cannot be on the
+            // wrong path under this ablation, so `outcome` is present.)
+            let p = match outcome {
+                Some(actual)
+                    if self
+                        .cfg
+                        .ablations
+                        .contains(Ablation::PerfectBranchPrediction) =>
+                {
+                    Prediction::perfect(actual.taken, actual.next_pc)
+                }
+                _ => self.bp.predict(id, pc, inst.op),
+            };
             pred = Some(p);
             match outcome {
                 Some(actual) => {

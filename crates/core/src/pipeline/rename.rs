@@ -39,7 +39,7 @@ impl Simulator {
                     break;
                 }
                 let class = t.rob[idx].inst.op.queue();
-                if self.iq_len[class.index()] >= self.cfg.iq_entries {
+                if self.iq_len[class.index()] >= self.iq_limit {
                     break; // IQ full: dispatch stalls, fetch feels back-pressure
                 }
                 if let Some(d) = t.rob[idx].inst.dest {

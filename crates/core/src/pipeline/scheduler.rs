@@ -165,14 +165,27 @@ impl Simulator {
         let id = self.threads[ti].id;
         let outcome = outcome.expect("correct-path control instruction carries its outcome");
         let pred = pred.expect("control instruction carries its prediction");
+        // Under the perfect-branch-prediction ablation the predictor was
+        // never consulted, so it is not trained either (the synthesized
+        // predictions carry placeholder PHT/history fields); the
+        // direction-accuracy ratio still records the (always correct)
+        // resolution so reports stay meaningful.
+        let train = !self
+            .cfg
+            .ablations
+            .contains(crate::Ablation::PerfectBranchPrediction);
         match op {
             Opcode::CondBranch => {
                 self.cond_pred.record(pred.taken == outcome.taken);
-                self.bp
-                    .resolve_cond(id, pc, pred.pht_index, outcome.taken, outcome.next_pc);
+                if train {
+                    self.bp
+                        .resolve_cond(id, pc, pred.pht_index, outcome.taken, outcome.next_pc);
+                }
             }
             Opcode::Jump | Opcode::JumpInd | Opcode::Call => {
-                self.bp.resolve_uncond(id, pc, op, outcome.next_pc);
+                if train {
+                    self.bp.resolve_uncond(id, pc, op, outcome.next_pc);
+                }
             }
             Opcode::Return => {}
             other => unreachable!("{other} is not control"),

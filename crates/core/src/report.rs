@@ -86,6 +86,9 @@ pub struct SimReport {
     pub fetch_policy: String,
     /// Issue policy name (e.g. `"OLDEST_FIRST"`).
     pub issue_policy: String,
+    /// Active mechanism ablations, by canonical name (see
+    /// `smt_core::Ablation::name`); empty for the baseline machine.
+    pub ablations: Vec<String>,
     /// Fetch partition used.
     pub partition: FetchPartition,
     /// Per-thread results.
@@ -140,11 +143,21 @@ impl SimReport {
     /// machine-readable schema emitted by `smt_exp --json`; see the
     /// `smt-experiments` crate docs for the full schema).
     pub fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("scheme", Json::from(self.scheme())),
             ("fetch_policy", Json::from(self.fetch_policy.clone())),
             ("issue_policy", Json::from(self.issue_policy.clone())),
             ("partition", Json::from(self.partition.to_string())),
+        ];
+        // Emitted only when non-empty: baseline documents (and the
+        // pre-ablation goldens) carry no `ablations` key at all.
+        if !self.ablations.is_empty() {
+            fields.push((
+                "ablations",
+                Json::array(self.ablations.iter().map(String::as_str)),
+            ));
+        }
+        fields.extend([
             ("cycles", Json::from(self.cycles)),
             ("warmup_cycles", Json::from(self.warmup_cycles)),
             ("total_ipc", Json::from(self.total_ipc())),
@@ -217,7 +230,8 @@ impl SimReport {
                     ("mshr_merges", Json::from(self.mem.mshr_merges)),
                 ]),
             ),
-        ])
+        ]);
+        Json::object(fields)
     }
 
     /// Per-thread results as a text table.
@@ -245,9 +259,14 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} ({} issue), {} threads, {} cycles{}: {:.2} IPC",
+            "{} ({} issue){}, {} threads, {} cycles{}: {:.2} IPC",
             self.scheme(),
             self.issue_policy,
+            if self.ablations.is_empty() {
+                String::new()
+            } else {
+                format!(" [ablations: {}]", self.ablations.join(","))
+            },
             self.threads.len(),
             self.cycles,
             if self.warmup_cycles > 0 {
@@ -305,6 +324,7 @@ mod tests {
             warmup_cycles: 0,
             fetch_policy: "ICOUNT".into(),
             issue_policy: "OLDEST_FIRST".into(),
+            ablations: Vec::new(),
             partition: FetchPartition::new(2, 8),
             threads: vec![
                 ThreadReport {
@@ -370,6 +390,21 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(6000)
         );
+    }
+
+    #[test]
+    fn ablations_field_emitted_only_when_active() {
+        let mut r = report();
+        assert!(
+            !r.to_json().render().contains("ablations"),
+            "baseline reports must not carry an ablations key"
+        );
+        r.ablations = vec!["perfect_icache".into()];
+        let back = Json::parse(&r.to_json().render()).unwrap();
+        let names = back.get("ablations").and_then(Json::as_array).unwrap();
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].as_str(), Some("perfect_icache"));
+        assert!(r.to_string().contains("[ablations: perfect_icache]"));
     }
 
     #[test]

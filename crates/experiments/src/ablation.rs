@@ -1,0 +1,731 @@
+//! The mechanism-ablation study: every [`Ablation`] against the
+//! un-ablated baseline, across fetch policies × partitions × mixes ×
+//! seeds × {cold, warm} measurement windows.
+//!
+//! Section 4 of the paper attributes throughput effects by turning one
+//! mechanism off at a time; this study does the same with the typed
+//! [`Ablations`] set `SimConfig` carries, and it
+//! exists to convert two specific attribution questions into
+//! machine-readable numbers:
+//!
+//! 1. **The ~2% wrong-path claim** — how much IPC does wrong-path I-fetch
+//!    bank/port contention cost? `exempt_wrong_path_bank_arbitration`
+//!    removes exactly that contention, so its warm-window IPC delta *is*
+//!    the cost ([`AblationStudy::wrong_path_claim`]).
+//! 2. **The ICOUNT-vs-RR gap decomposition** — how much of the gap is
+//!    cold-start I-cache behaviour versus queue clog? `perfect_icache`
+//!    removes the I-cache term (compare the cold-window gap with and
+//!    without it), and `infinite_frontend_queues` removes the queue-clog
+//!    term ICOUNT's feedback avoids — visible directly in the
+//!    `lost_frontend_full` bucket shift ([`AblationStudy::gap`]).
+//!
+//! Cells are independent simulations and run in parallel across OS
+//! threads; `smt_exp --study ablation --json out.json` writes the
+//! schema-version-2 document described in the crate docs.
+
+use std::fmt;
+
+use smt_core::{fetch_policy_by_name, Ablation, Ablations, FetchPartition, SimConfig, SimReport};
+use smt_stats::json::Json;
+use smt_stats::TextTable;
+
+use crate::study::{mix_by_name, JSON_SCHEMA_VERSION, STUDY_MIXES};
+
+/// The paper's claim the wrong-path exemption quantifies: wrong-path
+/// instruction fetching costs on the order of 2% of throughput.
+pub const PAPER_WRONG_PATH_CLAIM_PCT: f64 = 2.0;
+
+/// One measurement window kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Window {
+    /// Measured from the cold start (cold caches and predictor).
+    Cold,
+    /// Measured after the configured warmup (warm caches and predictor).
+    Warm,
+}
+
+impl Window {
+    /// Both windows, in sweep order.
+    pub const ALL: [Window; 2] = [Window::Cold, Window::Warm];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Window::Cold => "cold",
+            Window::Warm => "warm",
+        }
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of one ablation sweep. Issue policy is fixed at
+/// OLDEST_FIRST — the Section-5 study showed it is not a sensitive axis.
+#[derive(Debug, Clone)]
+pub struct AblationStudyConfig {
+    /// Fetch policies to sweep (the gap decomposition needs both `rr` and
+    /// `icount`).
+    pub fetch_policies: Vec<String>,
+    /// Ablations under study, by canonical name (see [`Ablation::name`]);
+    /// the un-ablated baseline is always run in addition.
+    pub ablations: Vec<String>,
+    /// Fetch partitions to sweep.
+    pub partitions: Vec<FetchPartition>,
+    /// Workload mixes by name (see [`mix_by_name`]).
+    pub mixes: Vec<String>,
+    /// Workload-generation seeds; every cell runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Measured cycles per cell (both windows measure this many cycles).
+    pub cycles: u64,
+    /// Warmup cycles for the warm window (the cold window uses none).
+    pub warmup: u64,
+    /// Worker threads for the sweep; `0` means one per available core.
+    pub jobs: usize,
+}
+
+impl Default for AblationStudyConfig {
+    fn default() -> AblationStudyConfig {
+        AblationStudyConfig {
+            fetch_policies: vec!["rr".into(), "icount".into()],
+            ablations: Ablation::ALL.iter().map(|a| a.name().to_string()).collect(),
+            partitions: vec![FetchPartition::new(2, 8)],
+            mixes: vec!["standard".into(), "int8".into(), "fp8".into()],
+            seeds: vec![42, 1337],
+            cycles: 20_000,
+            warmup: 10_000,
+            jobs: 0,
+        }
+    }
+}
+
+impl AblationStudyConfig {
+    /// Validates every policy, ablation, partition and mix name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message naming the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        for f in &self.fetch_policies {
+            if fetch_policy_by_name(f).is_none() {
+                return Err(format!("unknown fetch policy '{f}'"));
+            }
+        }
+        for a in &self.ablations {
+            if Ablation::by_name(a).is_none() {
+                let known: Vec<&str> = Ablation::ALL.iter().map(|a| a.name()).collect();
+                return Err(format!(
+                    "unknown ablation '{a}' (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        for m in &self.mixes {
+            if mix_by_name(m).is_none() {
+                return Err(format!(
+                    "unknown mix '{m}' (known: {})",
+                    STUDY_MIXES.join(", ")
+                ));
+            }
+        }
+        if self.fetch_policies.is_empty()
+            || self.ablations.is_empty()
+            || self.partitions.is_empty()
+            || self.mixes.is_empty()
+            || self.seeds.is_empty()
+        {
+            return Err("ablation sweep axes must all be non-empty".to_string());
+        }
+        if self.warmup == 0 {
+            return Err("the warm window needs --warmup > 0".to_string());
+        }
+        Ok(())
+    }
+
+    /// Number of cells the sweep will run (baseline + each ablation, per
+    /// fetch policy, partition, mix, seed and window).
+    pub fn cell_count(&self) -> usize {
+        (1 + self.ablations.len())
+            * self.fetch_policies.len()
+            * self.partitions.len()
+            * self.mixes.len()
+            * self.seeds.len()
+            * Window::ALL.len()
+    }
+}
+
+/// One completed cell of the ablation matrix.
+#[derive(Debug, Clone)]
+pub struct AblationCell {
+    /// The active ablation's canonical name, or `None` for a baseline cell.
+    pub ablation: Option<String>,
+    /// Canonical fetch-policy name (e.g. `"ICOUNT"`).
+    pub fetch: String,
+    /// Fetch partition this cell ran.
+    pub partition: FetchPartition,
+    /// Workload-mix name.
+    pub mix: String,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Which measurement window the cell measured.
+    pub window: Window,
+    /// The full simulation report for the measured window.
+    pub report: SimReport,
+}
+
+/// The loss-bucket shifts of an ablated cell against its baseline: how the
+/// removed mechanism's slot losses moved. Positive values mean the ablated
+/// run lost *more* slots to that cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossShift {
+    /// Change in slots lost to I-cache misses.
+    pub lost_icache: i64,
+    /// Change in slots lost to front-end/queue back-pressure.
+    pub lost_frontend_full: i64,
+    /// Change in wrong-path fetch opportunities lost to bank/port
+    /// contention.
+    pub wrong_path_fetch_conflicts: i64,
+}
+
+/// Results of one ablation sweep: the configuration plus every cell.
+#[derive(Debug, Clone)]
+pub struct AblationStudy {
+    /// The sweep configuration that produced these cells.
+    pub config: AblationStudyConfig,
+    /// One entry per matrix cell, in deterministic
+    /// (mix, seed, partition, fetch, window, ablation) order with the
+    /// baseline first within each group.
+    pub cells: Vec<AblationCell>,
+}
+
+/// Runs the full ablation matrix, parallelized across OS threads. Program
+/// images are generated once per (mix, seed) and shared between the cells
+/// that use them.
+///
+/// # Errors
+///
+/// Returns the [`AblationStudyConfig::validate`] message for bad names.
+pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, String> {
+    cfg.validate()?;
+
+    let images = crate::study::generate_images(&cfg.mixes, &cfg.seeds);
+
+    struct Spec<'a> {
+        ablation: Option<Ablation>,
+        fetch: &'a str,
+        partition: FetchPartition,
+        mix: &'a str,
+        seed: u64,
+        window: Window,
+    }
+    let mut ablation_axis: Vec<Option<Ablation>> = vec![None];
+    ablation_axis.extend(
+        cfg.ablations
+            .iter()
+            .map(|a| Some(Ablation::by_name(a).expect("validated above"))),
+    );
+    let mut specs = Vec::with_capacity(cfg.cell_count());
+    for mix in &cfg.mixes {
+        for &seed in &cfg.seeds {
+            for &partition in &cfg.partitions {
+                for fetch in &cfg.fetch_policies {
+                    for &window in &Window::ALL {
+                        for &ablation in &ablation_axis {
+                            specs.push(Spec {
+                                ablation,
+                                fetch,
+                                partition,
+                                mix,
+                                seed,
+                                window,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let cells = crate::parallel_map(specs.len(), cfg.jobs, |i| {
+        let spec = &specs[i];
+        let programs = images[&(spec.mix.to_string(), spec.seed)].clone();
+        let ablations = match spec.ablation {
+            Some(a) => Ablations::only(a),
+            None => Ablations::none(),
+        };
+        let warmup = match spec.window {
+            Window::Cold => 0,
+            Window::Warm => cfg.warmup,
+        };
+        let report = SimConfig::new()
+            .with_programs(programs)
+            .with_seed(spec.seed)
+            .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
+            .with_partition(spec.partition)
+            .with_warmup(warmup)
+            .with_ablations(ablations)
+            .build()
+            .run(cfg.cycles);
+        AblationCell {
+            ablation: spec.ablation.map(|a| a.name().to_string()),
+            fetch: report.fetch_policy.clone(),
+            partition: spec.partition,
+            mix: spec.mix.to_string(),
+            seed: spec.seed,
+            window: spec.window,
+            report,
+        }
+    });
+    Ok(AblationStudy {
+        config: cfg.clone(),
+        cells,
+    })
+}
+
+impl AblationStudy {
+    /// The baseline (no-ablation) cell sharing `cell`'s fetch policy,
+    /// partition, mix, seed and window.
+    pub fn baseline_for(&self, cell: &AblationCell) -> Option<&AblationCell> {
+        self.cells.iter().find(|c| {
+            c.ablation.is_none()
+                && c.fetch == cell.fetch
+                && c.partition == cell.partition
+                && c.mix == cell.mix
+                && c.seed == cell.seed
+                && c.window == cell.window
+        })
+    }
+
+    /// The cell's IPC delta against its baseline (`0.0` for baseline
+    /// cells; `None` when the baseline was not part of the sweep).
+    pub fn delta_vs_baseline(&self, cell: &AblationCell) -> Option<f64> {
+        let base = self.baseline_for(cell)?;
+        Some(cell.report.total_ipc() - base.report.total_ipc())
+    }
+
+    /// The cell's loss-bucket shifts against its baseline (zero for
+    /// baseline cells).
+    pub fn loss_shift(&self, cell: &AblationCell) -> Option<LossShift> {
+        let base = self.baseline_for(cell)?;
+        let d = |a: u64, b: u64| a as i64 - b as i64;
+        Some(LossShift {
+            lost_icache: d(cell.report.fetch.lost_icache, base.report.fetch.lost_icache),
+            lost_frontend_full: d(
+                cell.report.fetch.lost_frontend_full,
+                base.report.fetch.lost_frontend_full,
+            ),
+            wrong_path_fetch_conflicts: d(
+                cell.report.fetch.wrong_path_fetch_conflicts,
+                base.report.fetch.wrong_path_fetch_conflicts,
+            ),
+        })
+    }
+
+    fn cells_of<'a>(
+        &'a self,
+        ablation: Option<&'a str>,
+        window: Window,
+    ) -> impl Iterator<Item = &'a AblationCell> + 'a {
+        self.cells
+            .iter()
+            .filter(move |c| c.ablation.as_deref() == ablation && c.window == window)
+    }
+
+    /// Mean total IPC over the cells with the given ablation (or the
+    /// baseline for `None`) and window; `None` when no such cells ran.
+    pub fn mean_ipc(&self, ablation: Option<&str>, window: Window) -> Option<f64> {
+        mean(
+            self.cells_of(ablation, window)
+                .map(|c| c.report.total_ipc()),
+        )
+    }
+
+    /// Mean IPC delta (ablation − baseline) over matching cell pairs.
+    pub fn mean_delta(&self, ablation: &str, window: Window) -> Option<f64> {
+        mean(
+            self.cells_of(Some(ablation), window)
+                .filter_map(|c| self.delta_vs_baseline(c)),
+        )
+    }
+
+    /// The ICOUNT-vs-RR style fetch-policy gap: mean IPC of `fetch_hi`
+    /// minus mean IPC of `fetch_lo` over the cells with the given ablation
+    /// (baseline for `None`) and window.
+    pub fn gap(
+        &self,
+        fetch_hi: &str,
+        fetch_lo: &str,
+        ablation: Option<&str>,
+        window: Window,
+    ) -> Option<f64> {
+        let hi = mean(
+            self.cells_of(ablation, window)
+                .filter(|c| c.fetch == fetch_hi)
+                .map(|c| c.report.total_ipc()),
+        )?;
+        let lo = mean(
+            self.cells_of(ablation, window)
+                .filter(|c| c.fetch == fetch_lo)
+                .map(|c| c.report.total_ipc()),
+        )?;
+        Some(hi - lo)
+    }
+
+    /// The wrong-path bank-arbitration cost against the paper's ~2% claim:
+    /// the mean relative IPC change (in percent) of the warm-window
+    /// `exempt_wrong_path_bank_arbitration` cells on the standard mix
+    /// against their baselines. Positive means the exemption *helped*,
+    /// i.e. the contention costs that much. `None` when the sweep did not
+    /// cover the required cells.
+    pub fn wrong_path_claim(&self) -> Option<f64> {
+        let name = Ablation::ExemptWrongPathFromBankArbitration.name();
+        mean(
+            self.cells_of(Some(name), Window::Warm)
+                .filter(|c| c.mix == "standard")
+                .filter_map(|c| {
+                    let base = self.baseline_for(c)?.report.total_ipc();
+                    if base == 0.0 {
+                        return None;
+                    }
+                    Some((c.report.total_ipc() - base) / base * 100.0)
+                }),
+        )
+    }
+
+    /// A per-(ablation, window) mean-IPC table, one column per fetch
+    /// policy, baseline rows first.
+    pub fn summary_table(&self) -> TextTable {
+        let mut fetches: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !fetches.contains(&c.fetch) {
+                fetches.push(c.fetch.clone());
+            }
+        }
+        let mut table = TextTable::new();
+        let mut header = vec!["ablation/window".to_string()];
+        header.extend(fetches.iter().cloned());
+        header.push("Δ vs baseline".to_string());
+        table.header(header);
+        let mut axis: Vec<Option<String>> = vec![None];
+        axis.extend(self.config.ablations.iter().cloned().map(Some));
+        for ablation in &axis {
+            for window in Window::ALL {
+                let label = format!("{}/{window}", ablation.as_deref().unwrap_or("baseline"));
+                let mut row = vec![label];
+                for fetch in &fetches {
+                    let ipc = mean(
+                        self.cells_of(ablation.as_deref(), window)
+                            .filter(|c| c.fetch == *fetch)
+                            .map(|c| c.report.total_ipc()),
+                    );
+                    row.push(match ipc {
+                        Some(ipc) => format!("{ipc:.2}"),
+                        None => "-".to_string(),
+                    });
+                }
+                row.push(match ablation.as_deref() {
+                    Some(a) => match self.mean_delta(a, window) {
+                        Some(d) => format!("{d:+.3}"),
+                        None => "-".to_string(),
+                    },
+                    None => "-".to_string(),
+                });
+                table.row(row);
+            }
+        }
+        table
+    }
+
+    /// The versioned machine-readable document (`kind: "smt-exp-study"`,
+    /// `study: "ablation"`; see the crate docs for the schema).
+    /// `smt_exp --study ablation --json out.json` writes exactly this,
+    /// pretty-rendered.
+    pub fn to_json(&self) -> Json {
+        let cfg = &self.config;
+        let config = Json::object([
+            ("cycles", Json::from(cfg.cycles)),
+            ("warmup_cycles", Json::from(cfg.warmup)),
+            (
+                "fetch_policies",
+                Json::array(cfg.fetch_policies.iter().map(String::as_str)),
+            ),
+            (
+                "ablations",
+                Json::array(cfg.ablations.iter().map(String::as_str)),
+            ),
+            (
+                "partitions",
+                Json::array(cfg.partitions.iter().map(|p| p.to_string())),
+            ),
+            ("mixes", Json::array(cfg.mixes.iter().map(String::as_str))),
+            ("seeds", Json::array(cfg.seeds.iter().copied())),
+            ("windows", Json::array(Window::ALL.iter().map(|w| w.name()))),
+        ]);
+        let cells = Json::array(self.cells.iter().map(|c| {
+            let shift = self.loss_shift(c);
+            Json::object([
+                (
+                    "ablation",
+                    match &c.ablation {
+                        Some(a) => Json::from(a.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("fetch", Json::from(c.fetch.clone())),
+                ("partition", Json::from(c.partition.to_string())),
+                ("mix", Json::from(c.mix.clone())),
+                ("seed", Json::from(c.seed)),
+                ("window", Json::from(c.window.name())),
+                ("total_ipc", Json::from(c.report.total_ipc())),
+                (
+                    "delta_vs_baseline",
+                    match self.delta_vs_baseline(c) {
+                        Some(d) => Json::from(d),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "loss_shift",
+                    match shift {
+                        Some(s) => Json::object([
+                            ("lost_icache", Json::from(s.lost_icache)),
+                            ("lost_frontend_full", Json::from(s.lost_frontend_full)),
+                            (
+                                "wrong_path_fetch_conflicts",
+                                Json::from(s.wrong_path_fetch_conflicts),
+                            ),
+                        ]),
+                        None => Json::Null,
+                    },
+                ),
+                ("report", c.report.to_json()),
+            ])
+        }));
+        let ablation_summary = Json::array(
+            cfg.ablations
+                .iter()
+                .flat_map(|a| Window::ALL.into_iter().map(move |w| (a, w)))
+                .map(|(ablation, window)| {
+                    let shift_means = |f: fn(&LossShift) -> i64| {
+                        mean(
+                            self.cells_of(Some(ablation), window)
+                                .filter_map(|c| self.loss_shift(c))
+                                .map(|s| f(&s) as f64),
+                        )
+                        .unwrap_or(0.0)
+                    };
+                    Json::object([
+                        ("ablation", Json::from(ablation.as_str())),
+                        ("window", Json::from(window.name())),
+                        (
+                            "mean_ipc",
+                            Json::from(self.mean_ipc(Some(ablation), window).unwrap_or(0.0)),
+                        ),
+                        (
+                            "mean_baseline_ipc",
+                            Json::from(self.mean_ipc(None, window).unwrap_or(0.0)),
+                        ),
+                        (
+                            "mean_delta_ipc",
+                            Json::from(self.mean_delta(ablation, window).unwrap_or(0.0)),
+                        ),
+                        (
+                            "mean_loss_shift",
+                            Json::object([
+                                ("lost_icache", Json::from(shift_means(|s| s.lost_icache))),
+                                (
+                                    "lost_frontend_full",
+                                    Json::from(shift_means(|s| s.lost_frontend_full)),
+                                ),
+                                (
+                                    "wrong_path_fetch_conflicts",
+                                    Json::from(shift_means(|s| s.wrong_path_fetch_conflicts)),
+                                ),
+                            ]),
+                        ),
+                    ])
+                }),
+        );
+        let gap_json = |ablation: Option<&str>, window: Window| match self
+            .gap("ICOUNT", "RR", ablation, window)
+        {
+            Some(g) => Json::from(g),
+            None => Json::Null,
+        };
+        let perfect_icache = Ablation::PerfectICache.name();
+        let infinite_queues = Ablation::InfiniteFrontendQueues.name();
+        Json::object([
+            ("schema_version", Json::from(JSON_SCHEMA_VERSION)),
+            ("kind", Json::from("smt-exp-study")),
+            ("study", Json::from("ablation")),
+            ("config", config),
+            ("cells", cells),
+            (
+                "summary",
+                Json::object([
+                    ("ablations", ablation_summary),
+                    (
+                        "wrong_path_claim",
+                        Json::object([
+                            ("paper_claim_pct", Json::from(PAPER_WRONG_PATH_CLAIM_PCT)),
+                            ("window", Json::from("warm")),
+                            ("mix", Json::from("standard")),
+                            (
+                                "measured_delta_pct",
+                                match self.wrong_path_claim() {
+                                    Some(d) => Json::from(d),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ]),
+                    ),
+                    (
+                        "gap_decomposition",
+                        Json::object([
+                            ("fetch_hi", Json::from("ICOUNT")),
+                            ("fetch_lo", Json::from("RR")),
+                            ("cold_gap_baseline", gap_json(None, Window::Cold)),
+                            ("warm_gap_baseline", gap_json(None, Window::Warm)),
+                            (
+                                "cold_gap_perfect_icache",
+                                gap_json(Some(perfect_icache), Window::Cold),
+                            ),
+                            (
+                                "warm_gap_infinite_frontend_queues",
+                                gap_json(Some(infinite_queues), Window::Warm),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ablation_study() -> AblationStudyConfig {
+        AblationStudyConfig {
+            fetch_policies: vec!["rr".into(), "icount".into()],
+            ablations: vec![
+                "perfect_icache".into(),
+                "exempt_wrong_path_bank_arbitration".into(),
+            ],
+            mixes: vec!["mixed4".into()],
+            seeds: vec![42],
+            cycles: 500,
+            warmup: 200,
+            jobs: 2,
+            ..AblationStudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid_and_sized() {
+        let cfg = AblationStudyConfig::default();
+        cfg.validate().unwrap();
+        // (1 baseline + 4 ablations) × 2 fetch × 1 partition × 3 mixes
+        // × 2 seeds × 2 windows.
+        assert_eq!(cfg.cell_count(), 120);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_and_degenerate() {
+        let cfg = AblationStudyConfig {
+            ablations: vec!["nonesuch".into()],
+            ..AblationStudyConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("unknown ablation"));
+        let cfg = AblationStudyConfig {
+            warmup: 0,
+            ..AblationStudyConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = AblationStudyConfig {
+            fetch_policies: vec!["nonesuch".into()],
+            ..AblationStudyConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_study_runs_all_cells_with_baselines() {
+        let cfg = tiny_ablation_study();
+        let study = run_ablation_study(&cfg).unwrap();
+        assert_eq!(study.cells.len(), cfg.cell_count());
+        for c in &study.cells {
+            assert_eq!(c.report.cycles, cfg.cycles);
+            match c.window {
+                Window::Cold => assert_eq!(c.report.warmup_cycles, 0),
+                Window::Warm => assert_eq!(c.report.warmup_cycles, cfg.warmup),
+            }
+            assert!(c.report.total_committed() > 0, "cell made no progress");
+            let d = study.delta_vs_baseline(c).expect("baseline in sweep");
+            if c.ablation.is_none() {
+                assert_eq!(d, 0.0);
+                assert!(c.report.ablations.is_empty());
+            } else {
+                assert_eq!(
+                    c.report.ablations,
+                    vec![c.ablation.clone().unwrap()],
+                    "the report must self-describe its ablation"
+                );
+            }
+        }
+        // Perfect I-cache cells really have a perfect I-cache.
+        for c in study.cells_of(Some("perfect_icache"), Window::Cold) {
+            assert_eq!(c.report.mem.icache.misses, 0);
+            assert_eq!(c.report.fetch.lost_icache, 0);
+        }
+    }
+
+    #[test]
+    fn study_json_round_trips_and_carries_summary() {
+        let study = run_ablation_study(&tiny_ablation_study()).unwrap();
+        let text = study.to_json().render_pretty();
+        let back = Json::parse(&text).expect("ablation JSON must parse");
+        assert_eq!(
+            back.get("schema_version").and_then(Json::as_u64),
+            Some(JSON_SCHEMA_VERSION)
+        );
+        assert_eq!(back.get("study").and_then(Json::as_str), Some("ablation"));
+        let cells = back.get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(cells.len(), study.cells.len());
+        let summary = back.get("summary").unwrap();
+        let gaps = summary.get("gap_decomposition").unwrap();
+        assert!(gaps
+            .get("cold_gap_baseline")
+            .and_then(Json::as_f64)
+            .is_some());
+        assert!(gaps
+            .get("cold_gap_perfect_icache")
+            .and_then(Json::as_f64)
+            .is_some());
+        let claim = summary.get("wrong_path_claim").unwrap();
+        assert_eq!(
+            claim.get("paper_claim_pct").and_then(Json::as_f64),
+            Some(PAPER_WRONG_PATH_CLAIM_PCT)
+        );
+        // mixed4 has no standard-mix cells, so the claim is null here …
+        assert!(matches!(claim.get("measured_delta_pct"), Some(Json::Null)));
+        // … and the summary table still renders every row.
+        let table = study.summary_table().to_string();
+        assert!(table.contains("baseline/cold"));
+        assert!(table.contains("perfect_icache/warm"));
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::process::ExitCode;
 
+use smt_experiments::ablation::{run_ablation_study, Window};
 use smt_experiments::study::run_study;
 use smt_experiments::{matrix_to_json, parse_cli, run_matrix, Command, USAGE};
 
@@ -82,6 +83,62 @@ fn main() -> ExitCode {
                 study.issue_ipc_spread(),
                 study.fetch_ipc_spread()
             );
+            if let Some(path) = json {
+                if let Err(e) = std::fs::write(&path, study.to_json().render_pretty()) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+        }
+        Command::Ablation { cfg, json } => {
+            println!(
+                "Mechanism-ablation study — {} cells ((1 baseline + {} ablations) × {} fetch \
+                 × {} partition × {} mix × {} seed × cold/warm), {} cycles each \
+                 (warm window behind {} warmup)",
+                cfg.cell_count(),
+                cfg.ablations.len(),
+                cfg.fetch_policies.len(),
+                cfg.partitions.len(),
+                cfg.mixes.len(),
+                cfg.seeds.len(),
+                cfg.cycles,
+                cfg.warmup,
+            );
+            println!();
+            let study = match run_ablation_study(&cfg) {
+                Ok(study) => study,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("mean IPC by ablation and window:");
+            println!("{}", study.summary_table());
+            if let Some(pct) = study.wrong_path_claim() {
+                println!(
+                    "wrong-path bank-arbitration cost (standard mix, warm): {pct:+.3}% IPC \
+                     (paper claims ~2%)"
+                );
+            }
+            for (label, ablation, window) in [
+                ("cold gap, baseline", None, Window::Cold),
+                (
+                    "cold gap, perfect_icache",
+                    Some("perfect_icache"),
+                    Window::Cold,
+                ),
+                ("warm gap, baseline", None, Window::Warm),
+                (
+                    "warm gap, infinite_frontend_queues",
+                    Some("infinite_frontend_queues"),
+                    Window::Warm,
+                ),
+            ] {
+                if let Some(gap) = study.gap("ICOUNT", "RR", ablation, window) {
+                    println!("ICOUNT-vs-RR {label}: {gap:+.3} IPC");
+                }
+            }
             if let Some(path) = json {
                 if let Err(e) = std::fs::write(&path, study.to_json().render_pretty()) {
                     eprintln!("failed to write {path}: {e}");

@@ -9,8 +9,13 @@
 //! * **Study mode** (Section 5): sweep issue policies × fetch policies ×
 //!   partitions over several workload mixes and seeds, behind a warmup
 //!   window, in parallel across OS threads — [`study::run_study`].
+//! * **Ablation mode** (Section-4-style attribution): run every mechanism
+//!   [`Ablation`](smt_core::Ablation) against the un-ablated baseline
+//!   across fetch policies × partitions × mixes × seeds × {cold, warm}
+//!   windows — [`ablation::run_ablation_study`] — quantifying the paper's
+//!   ~2% wrong-path-fetch claim and the ICOUNT-vs-RR gap decomposition.
 //!
-//! The `smt_exp` binary is a thin CLI over both ([`parse_cli`]).
+//! The `smt_exp` binary is a thin CLI over all three ([`parse_cli`]).
 //!
 //! # Examples
 //!
@@ -35,16 +40,18 @@
 //! assert!(json.contains("\"schema_version\""));
 //! ```
 //!
-//! # JSON schema (version 1)
+//! # JSON schema (version 2)
 //!
 //! `smt_exp --study issue --json out.json` writes one pretty-rendered JSON
 //! object ([`study::Study::to_json`]); `--json` in matrix mode writes the
 //! analogous `"smt-exp-matrix"` document. Consumers should accept unknown
-//! fields and check `schema_version`.
+//! fields and check `schema_version`. Version 2 added the ablation-study
+//! document below and the optional per-report `ablations` field (version-1
+//! documents are otherwise forward-compatible).
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,                // bumped on breaking changes
+//!   "schema_version": 2,                // bumped on breaking changes
 //!   "kind": "smt-exp-study",            // or "smt-exp-matrix"
 //!   "study": "issue",                   // study mode only
 //!   "config": {
@@ -60,7 +67,9 @@
 //!                                       // the same fetch/partition/mix/seed
 //!     "report": { ... }                 // SimReport::to_json(): scheme,
 //!                                       // cycles, warmup_cycles, threads[],
-//!                                       // fetch/issue/branch/mem breakdowns
+//!                                       // fetch/issue/branch/mem breakdowns,
+//!                                       // plus "ablations": [str] when any
+//!                                       // ablation was active
 //!   }],
 //!   "summary": {
 //!     "baseline_issue": "OLDEST_FIRST",
@@ -73,6 +82,53 @@
 //! }
 //! ```
 //!
+//! `smt_exp --study ablation --json out.json` writes the ablation document
+//! ([`ablation::AblationStudy::to_json`]):
+//!
+//! ```text
+//! {
+//!   "schema_version": 2,
+//!   "kind": "smt-exp-study",
+//!   "study": "ablation",
+//!   "config": {
+//!     "cycles": u64, "warmup_cycles": u64,   // warm-window warmup
+//!     "fetch_policies": [str], "ablations": [str],
+//!     "partitions": ["T.I"], "mixes": [str], "seeds": [u64],
+//!     "windows": ["cold", "warm"]
+//!   },
+//!   "cells": [{
+//!     "ablation": str | null,           // null = un-ablated baseline
+//!     "fetch": str, "partition": "T.I", "mix": str, "seed": u64,
+//!     "window": "cold" | "warm",
+//!     "total_ipc": f64,
+//!     "delta_vs_baseline": f64,         // vs the null-ablation cell with
+//!                                       // the same fetch/partition/mix/
+//!                                       // seed/window (0.0 for baselines)
+//!     "loss_shift": {                   // ablation − baseline, in slots
+//!       "lost_icache": i64, "lost_frontend_full": i64,
+//!       "wrong_path_fetch_conflicts": i64
+//!     },
+//!     "report": { ... }
+//!   }],
+//!   "summary": {
+//!     "ablations": [{"ablation": str, "window": str, "mean_ipc": f64,
+//!                    "mean_baseline_ipc": f64, "mean_delta_ipc": f64,
+//!                    "mean_loss_shift": { ... }}],
+//!     "wrong_path_claim": {             // the paper's ~2% claim
+//!       "paper_claim_pct": 2.0, "window": "warm", "mix": "standard",
+//!       "measured_delta_pct": f64 | null
+//!     },
+//!     "gap_decomposition": {            // ICOUNT − RR mean-IPC gaps
+//!       "fetch_hi": "ICOUNT", "fetch_lo": "RR",
+//!       "cold_gap_baseline": f64 | null,
+//!       "warm_gap_baseline": f64 | null,
+//!       "cold_gap_perfect_icache": f64 | null,
+//!       "warm_gap_infinite_frontend_queues": f64 | null
+//!     }
+//!   }
+//! }
+//! ```
+//!
 //! `smt_bench --json` emits a sibling `"smt-bench"` document with the same
 //! `schema_version` convention, so BENCH_*.json trajectory tooling can
 //! consume both.
@@ -80,6 +136,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ablation;
 pub mod study;
 
 use std::sync::Arc;
@@ -89,7 +146,48 @@ use smt_stats::json::Json;
 use smt_stats::TextTable;
 use smt_workload::{standard_mix, Benchmark, Program};
 
+use crate::ablation::AblationStudyConfig;
 use crate::study::{StudyConfig, JSON_SCHEMA_VERSION, STUDY_MIXES};
+
+/// Runs `count` independent jobs across a pool of OS threads and returns
+/// the results in job-index order. `jobs == 0` uses one worker per
+/// available core; the pool never exceeds `count`. Shared by the study
+/// runners — every job is an independent simulation, so the sweeps scale
+/// to the available cores.
+pub(crate) fn parallel_map<T, F>(count: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let workers = if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+    .min(count)
+    .max(1);
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = run(i);
+                out.lock().expect("no panics while holding the lock")[i] = Some(result);
+            });
+        }
+    });
+    out.into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|c| c.expect("every index was processed"))
+        .collect()
+}
 
 /// One experiment sweep: which policies and partitions to run, on what
 /// workload, for how long.
@@ -236,7 +334,8 @@ pub fn matrix_to_json(cfg: &ExpConfig, reports: &[SimReport]) -> Json {
     ])
 }
 
-/// What the CLI asked for: a Section-4 matrix or a Section-5 study.
+/// What the CLI asked for: a Section-4 matrix, the Section-5 issue study,
+/// or the mechanism-ablation study.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// Fetch-policy × partition sweep on one mix ([`run_matrix`]).
@@ -246,6 +345,14 @@ pub enum Command {
     Study {
         /// The sweep to run.
         cfg: StudyConfig,
+        /// Where `--json` asked the result document to be written.
+        json: Option<String>,
+    },
+    /// Ablation × fetch × partition × mix × seed × window sweep
+    /// ([`ablation::run_ablation_study`]).
+    Ablation {
+        /// The sweep to run.
+        cfg: AblationStudyConfig,
         /// Where `--json` asked the result document to be written.
         json: Option<String>,
     },
@@ -266,6 +373,7 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
     let mut mixes: Option<Vec<String>> = None;
     let mut warmup: Option<u64> = None;
     let mut jobs: Option<usize> = None;
+    let mut ablations: Option<Vec<String>> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -277,10 +385,29 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
         match arg.as_str() {
             "--study" => {
                 let v = value("--study")?;
-                if v != "issue" {
-                    return Err(format!("unknown study '{v}' (known: issue)"));
+                if v != "issue" && v != "ablation" {
+                    return Err(format!("unknown study '{v}' (known: issue, ablation)"));
                 }
                 study_kind = Some(v);
+            }
+            "--ablations" => {
+                let v = value("--ablations")?;
+                let list: Vec<String> = if v.eq_ignore_ascii_case("all") {
+                    AblationStudyConfig::default().ablations
+                } else {
+                    for name in v.split(',') {
+                        if smt_core::Ablation::by_name(name).is_none() {
+                            let known: Vec<&str> =
+                                smt_core::Ablation::ALL.iter().map(|a| a.name()).collect();
+                            return Err(format!(
+                                "unknown ablation '{name}' (known: {})",
+                                known.join(", ")
+                            ));
+                        }
+                    }
+                    v.split(',').map(str::to_string).collect()
+                };
+                ablations = Some(list);
             }
             "--fetch" => {
                 let v = value("--fetch")?;
@@ -390,7 +517,7 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
     if let Some(w) = warmup {
         exp.warmup = w;
     }
-    match study_kind {
+    match study_kind.as_deref() {
         None => {
             // Reject study-only flags so a forgotten '--study issue' fails
             // loudly instead of silently running a different experiment.
@@ -398,9 +525,10 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                 (mixes.is_some(), "--mixes"),
                 (seeds.is_some(), "--seeds"),
                 (jobs.is_some(), "--jobs"),
+                (ablations.is_some(), "--ablations"),
             ] {
                 if given {
-                    return Err(format!("{flag} requires --study issue"));
+                    return Err(format!("{flag} requires a --study mode"));
                 }
             }
             if issue_list.as_ref().is_some_and(|l| l.len() > 1) {
@@ -410,7 +538,7 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Matrix(exp))
         }
-        Some(_) => {
+        Some(kind) => {
             // Matrix-only flags have no effect in study mode; reject them
             // rather than yield results the user did not ask for.
             if args.iter().any(|a| a == "--threads") {
@@ -421,32 +549,71 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
             if exp.verbose {
                 return Err("--verbose applies to matrix mode only".to_string());
             }
-            let defaults = StudyConfig::default();
-            let cfg = StudyConfig {
-                fetch_policies: if args.iter().any(|a| a == "--fetch") {
-                    exp.fetch_policies
-                } else {
-                    defaults.fetch_policies
-                },
-                issue_policies: issue_list.unwrap_or(defaults.issue_policies),
-                partitions: exp.partitions,
-                mixes: mixes.unwrap_or(defaults.mixes),
-                seeds: seeds.unwrap_or_else(|| {
-                    if args.iter().any(|a| a == "--seed") {
-                        vec![exp.seed]
+            if kind == "issue" {
+                if ablations.is_some() {
+                    return Err("--ablations requires --study ablation".to_string());
+                }
+                let defaults = StudyConfig::default();
+                let cfg = StudyConfig {
+                    fetch_policies: if args.iter().any(|a| a == "--fetch") {
+                        exp.fetch_policies
                     } else {
-                        defaults.seeds
-                    }
-                }),
-                cycles: exp.cycles,
-                warmup: warmup.unwrap_or(defaults.warmup),
-                jobs: jobs.unwrap_or(0),
-            };
-            cfg.validate()?;
-            Ok(Command::Study {
-                cfg,
-                json: exp.json,
-            })
+                        defaults.fetch_policies
+                    },
+                    issue_policies: issue_list.unwrap_or(defaults.issue_policies),
+                    partitions: exp.partitions,
+                    mixes: mixes.unwrap_or(defaults.mixes),
+                    seeds: seeds.unwrap_or_else(|| {
+                        if args.iter().any(|a| a == "--seed") {
+                            vec![exp.seed]
+                        } else {
+                            defaults.seeds
+                        }
+                    }),
+                    cycles: exp.cycles,
+                    warmup: warmup.unwrap_or(defaults.warmup),
+                    jobs: jobs.unwrap_or(0),
+                };
+                cfg.validate()?;
+                Ok(Command::Study {
+                    cfg,
+                    json: exp.json,
+                })
+            } else {
+                // The ablation study fixes the issue policy (Section 5
+                // showed it is not a sensitive axis).
+                if issue_list.is_some() || args.iter().any(|a| a == "--issue") {
+                    return Err("--issue applies to matrix mode and --study issue; \
+                         the ablation study runs OLDEST_FIRST"
+                        .to_string());
+                }
+                let defaults = AblationStudyConfig::default();
+                let cfg = AblationStudyConfig {
+                    fetch_policies: if args.iter().any(|a| a == "--fetch") {
+                        exp.fetch_policies
+                    } else {
+                        defaults.fetch_policies
+                    },
+                    ablations: ablations.unwrap_or(defaults.ablations),
+                    partitions: exp.partitions,
+                    mixes: mixes.unwrap_or(defaults.mixes),
+                    seeds: seeds.unwrap_or_else(|| {
+                        if args.iter().any(|a| a == "--seed") {
+                            vec![exp.seed]
+                        } else {
+                            defaults.seeds
+                        }
+                    }),
+                    cycles: exp.cycles,
+                    warmup: warmup.unwrap_or(defaults.warmup),
+                    jobs: jobs.unwrap_or(0),
+                };
+                cfg.validate()?;
+                Ok(Command::Ablation {
+                    cfg,
+                    json: exp.json,
+                })
+            }
         }
     }
 }
@@ -459,13 +626,20 @@ usage: smt_exp [--fetch rr,icount,brcount,misscount|all] [--issue oldest|opt_las
        smt_exp --study issue [--fetch LIST] [--issue LIST|all] [--partition LIST|all]
                [--mixes standard,int8,fp8,mixed4|all] [--seeds N,N,...] [--cycles N]
                [--warmup N] [--jobs N] [--json PATH]
+       smt_exp --study ablation [--fetch LIST] [--ablations LIST|all] [--partition LIST|all]
+               [--mixes LIST|all] [--seeds N,N,...] [--cycles N] [--warmup N]
+               [--jobs N] [--json PATH]
 
 Reproduces the throughput comparisons of Tullsen et al., ISCA 1996. The default
 mode is the Section-4 matrix (one row per fetch partition, one column per fetch
 policy, cells in total IPC). '--study issue' runs the Section-5 issue-policy
 comparison: every issue policy against every fetch policy, partition, workload
-mix and seed, behind a warmup window, parallelized across CPU cores; '--json'
-writes the versioned machine-readable result document.";
+mix and seed, behind a warmup window, parallelized across CPU cores. '--study
+ablation' runs every mechanism ablation (exempt_wrong_path_bank_arbitration,
+perfect_icache, perfect_branch_prediction, infinite_frontend_queues) against
+the un-ablated baseline over cold and warm measurement windows, quantifying
+the paper's ~2% wrong-path claim and the ICOUNT-vs-RR gap decomposition;
+'--json' writes the versioned machine-readable result document.";
 
 #[cfg(test)]
 mod tests {
@@ -556,6 +730,70 @@ mod tests {
         assert_eq!(cfg.fetch_policies, d.fetch_policies);
         assert_eq!(cfg.seeds, d.seeds);
         assert_eq!(cfg.warmup, d.warmup);
+    }
+
+    #[test]
+    fn parse_cli_ablation_roundtrip() {
+        let args = argv(&[
+            "--study",
+            "ablation",
+            "--ablations",
+            "perfect_icache,infinite_frontend_queues",
+            "--fetch",
+            "rr,icount",
+            "--mixes",
+            "standard",
+            "--seeds",
+            "42",
+            "--cycles",
+            "800",
+            "--warmup",
+            "400",
+            "--jobs",
+            "2",
+            "--json",
+            "ablation.json",
+        ]);
+        let Command::Ablation { cfg, json } = parse_cli(&args).unwrap() else {
+            panic!("expected ablation mode");
+        };
+        assert_eq!(json.as_deref(), Some("ablation.json"));
+        assert_eq!(
+            cfg.ablations,
+            vec!["perfect_icache", "infinite_frontend_queues"]
+        );
+        assert_eq!(cfg.fetch_policies, vec!["rr", "icount"]);
+        assert_eq!(cfg.mixes, vec!["standard"]);
+        assert_eq!(cfg.seeds, vec![42]);
+        assert_eq!(cfg.cycles, 800);
+        assert_eq!(cfg.warmup, 400);
+        assert_eq!(cfg.jobs, 2);
+    }
+
+    #[test]
+    fn parse_cli_ablation_defaults_and_rejections() {
+        let Command::Ablation { cfg, .. } = parse_cli(&argv(&["--study", "ablation"])).unwrap()
+        else {
+            panic!("expected ablation mode");
+        };
+        let d = AblationStudyConfig::default();
+        assert_eq!(cfg.ablations, d.ablations);
+        assert_eq!(cfg.ablations.len(), 4, "default sweeps every ablation");
+        assert_eq!(cfg.fetch_policies, d.fetch_policies);
+        assert_eq!(cfg.warmup, d.warmup);
+        // '--ablations all' expands like the other list flags.
+        let Command::Ablation { cfg, .. } =
+            parse_cli(&argv(&["--study", "ablation", "--ablations", "all"])).unwrap()
+        else {
+            panic!("expected ablation mode");
+        };
+        assert_eq!(cfg.ablations.len(), 4);
+        // Flags from the wrong mode fail loudly.
+        assert!(parse_cli(&argv(&["--ablations", "perfect_icache"])).is_err());
+        assert!(parse_cli(&argv(&["--study", "issue", "--ablations", "all"])).is_err());
+        assert!(parse_cli(&argv(&["--study", "ablation", "--issue", "oldest"])).is_err());
+        assert!(parse_cli(&argv(&["--study", "ablation", "--threads", "4"])).is_err());
+        assert!(parse_cli(&argv(&["--study", "ablation", "--ablations", "nonesuch"])).is_err());
     }
 
     #[test]

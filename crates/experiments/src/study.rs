@@ -12,17 +12,18 @@
 //! the crate docs.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use smt_core::{fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport};
 use smt_stats::json::Json;
 use smt_stats::TextTable;
 use smt_workload::{standard_mix, Benchmark, Program};
 
-/// Version of the JSON document emitted by [`Study::to_json`] (and by
-/// `smt_exp --json`). Bump on any breaking change to the schema.
-pub const JSON_SCHEMA_VERSION: u64 = 1;
+/// Version of the JSON documents emitted by [`Study::to_json`],
+/// [`crate::ablation::AblationStudy::to_json`] and `smt_exp --json`. Bump
+/// on any breaking change to a schema. Version 2 added the ablation-study
+/// document (and the optional per-report `ablations` field).
+pub const JSON_SCHEMA_VERSION: u64 = 2;
 
 /// The issue policy every delta is measured against.
 pub const BASELINE_ISSUE: &str = "OLDEST_FIRST";
@@ -50,6 +51,29 @@ pub fn mix_by_name(name: &str) -> Option<Vec<Benchmark>> {
 
 /// The named mixes [`mix_by_name`] knows, for CLI validation and help text.
 pub const STUDY_MIXES: [&str; 4] = ["standard", "int8", "fp8", "mixed4"];
+
+/// Program images for a sweep, generated once per (mix, seed) and shared
+/// (`Arc`-cloned) between every cell that uses the pair. Mix names must be
+/// pre-validated ([`mix_by_name`]). Shared by the study runners.
+pub(crate) fn generate_images(
+    mixes: &[String],
+    seeds: &[u64],
+) -> HashMap<(String, u64), Vec<Arc<Program>>> {
+    let mut images: HashMap<(String, u64), Vec<Arc<Program>>> = HashMap::new();
+    for mix in mixes {
+        let benchmarks = mix_by_name(mix).expect("mix names validated before generation");
+        for &seed in seeds {
+            images.entry((mix.clone(), seed)).or_insert_with(|| {
+                benchmarks
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, b)| Arc::new(b.generate(seed, slot as u32)))
+                    .collect()
+            });
+        }
+    }
+    images
+}
 
 /// Configuration of one study sweep.
 #[derive(Debug, Clone)]
@@ -176,20 +200,7 @@ pub struct Study {
 pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
     cfg.validate()?;
 
-    // Program images, generated once per (mix, seed).
-    let mut images: HashMap<(String, u64), Vec<Arc<Program>>> = HashMap::new();
-    for mix in &cfg.mixes {
-        let benchmarks = mix_by_name(mix).expect("validated above");
-        for &seed in &cfg.seeds {
-            images.entry((mix.clone(), seed)).or_insert_with(|| {
-                benchmarks
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, b)| Arc::new(b.generate(seed, slot as u32)))
-                    .collect()
-            });
-        }
-    }
+    let images = generate_images(&cfg.mixes, &cfg.seeds);
 
     // The work list: one spec per cell, in deterministic order.
     struct Spec<'a> {
@@ -218,50 +229,27 @@ pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
         }
     }
 
-    let workers = if cfg.jobs > 0 {
-        cfg.jobs
-    } else {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    }
-    .min(specs.len())
-    .max(1);
-
-    let next = AtomicUsize::new(0);
-    let cells: Mutex<Vec<Option<StudyCell>>> = Mutex::new(vec![None; specs.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
-                let programs = images[&(spec.mix.to_string(), spec.seed)].clone();
-                let report = SimConfig::new()
-                    .with_programs(programs)
-                    .with_seed(spec.seed)
-                    .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
-                    .with_issue(issue_policy_by_name(spec.issue).expect("validated"))
-                    .with_partition(spec.partition)
-                    .with_warmup(cfg.warmup)
-                    .build()
-                    .run(cfg.cycles);
-                let cell = StudyCell {
-                    fetch: report.fetch_policy.clone(),
-                    issue: report.issue_policy.clone(),
-                    partition: spec.partition,
-                    mix: spec.mix.to_string(),
-                    seed: spec.seed,
-                    report,
-                };
-                cells.lock().expect("no panics while holding the lock")[i] = Some(cell);
-            });
+    let cells = crate::parallel_map(specs.len(), cfg.jobs, |i| {
+        let spec = &specs[i];
+        let programs = images[&(spec.mix.to_string(), spec.seed)].clone();
+        let report = SimConfig::new()
+            .with_programs(programs)
+            .with_seed(spec.seed)
+            .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
+            .with_issue(issue_policy_by_name(spec.issue).expect("validated"))
+            .with_partition(spec.partition)
+            .with_warmup(cfg.warmup)
+            .build()
+            .run(cfg.cycles);
+        StudyCell {
+            fetch: report.fetch_policy.clone(),
+            issue: report.issue_policy.clone(),
+            partition: spec.partition,
+            mix: spec.mix.to_string(),
+            seed: spec.seed,
+            report,
         }
     });
-
-    let cells = cells
-        .into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|c| c.expect("every spec index was processed"))
-        .collect();
     Ok(Study {
         config: cfg.clone(),
         cells,

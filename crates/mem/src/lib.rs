@@ -118,6 +118,11 @@ pub struct MemConfig {
     /// When set, bank/bus/port contention is disabled: every access sees
     /// only raw latencies (the "infinite bandwidth" ablation of Section 7).
     pub infinite_bandwidth: bool,
+    /// When set, every instruction fetch hits in one cycle: no I-cache
+    /// misses, no I-TLB walks, and no I-side bank/port conflicts (the
+    /// "perfect I-cache" ablation used to isolate cold-start fetch
+    /// behaviour). The data side is unaffected.
+    pub perfect_icache: bool,
 }
 
 impl Default for MemConfig {
@@ -172,6 +177,7 @@ impl Default for MemConfig {
             page_bytes: 8 * 1024,
             mshrs: 8,
             infinite_bandwidth: false,
+            perfect_icache: false,
         }
     }
 }
@@ -766,6 +772,26 @@ impl MemoryHierarchy {
     /// target bank are exhausted this cycle.
     #[inline]
     pub fn icache_fetch(&mut self, thread: ThreadId, addr: Addr) -> AccessResult {
+        self.icache_fetch_with(thread, addr, true)
+    }
+
+    /// [`icache_fetch`](MemoryHierarchy::icache_fetch) with explicit
+    /// bank/port arbitration control. With `arbitrate: false` the access
+    /// neither checks nor consumes I-side ports and banks — the hook behind
+    /// the wrong-path bank-arbitration-exemption ablation. Misses and TLB
+    /// walks still behave normally.
+    #[inline]
+    pub fn icache_fetch_with(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        arbitrate: bool,
+    ) -> AccessResult {
+        if self.cfg.perfect_icache {
+            self.stats.icache.accesses += 1;
+            return AccessResult::Hit;
+        }
+
         // ITLB.
         self.stats.itlb.accesses += 1;
         let tlb_extra = if self.itlb.access(thread, addr) {
@@ -777,7 +803,7 @@ impl MemoryHierarchy {
 
         let p = &self.cfg.icache;
         let bank = p.bank_of(addr) as u64;
-        if !self.cfg.infinite_bandwidth {
+        if arbitrate && !self.cfg.infinite_bandwidth {
             if self.i_ports_used >= p.accesses_per_cycle || self.i_banks_used & (1 << bank) != 0 {
                 return AccessResult::BankConflict;
             }
@@ -818,7 +844,7 @@ impl MemoryHierarchy {
     /// Whether the I-cache bank for `addr` is still free this cycle.
     #[inline]
     pub fn icache_bank_free(&self, addr: Addr) -> bool {
-        if self.cfg.infinite_bandwidth {
+        if self.cfg.infinite_bandwidth || self.cfg.perfect_icache {
             return true;
         }
         let bank = self.cfg.icache.bank_of(addr) as u64;
@@ -1097,6 +1123,52 @@ mod tests {
         let done = drain_until(&mut m, req, 1000);
         m.begin_cycle(done + 1);
         assert!(m.icache_probe(0x1000));
+    }
+
+    #[test]
+    fn perfect_icache_always_hits_without_ports() {
+        let mut m = MemoryHierarchy::new(MemConfig {
+            perfect_icache: true,
+            ..MemConfig::default()
+        });
+        m.begin_cycle(0);
+        // Cold fetches, many in one cycle, same bank: all hit, no conflicts.
+        for i in 0..16u64 {
+            assert_eq!(m.icache_fetch(T0, 0x1000 + i * 8 * 64), AccessResult::Hit);
+        }
+        assert!(m.icache_bank_free(0x1000));
+        assert_eq!(m.stats().icache.misses, 0);
+        assert_eq!(m.stats().itlb.accesses, 0, "perfect I-side skips the ITLB");
+        // The data side is unaffected: a cold D-access still misses.
+        assert!(matches!(
+            m.dcache_access(T0, 0x1000, false),
+            AccessResult::Miss(_)
+        ));
+    }
+
+    #[test]
+    fn unarbitrated_fetch_skips_ports_and_banks() {
+        let mut m = mem();
+        m.begin_cycle(0);
+        // Saturate the I-side: 4 ports.
+        let mut started = 0;
+        for b in 0..8u64 {
+            if !matches!(m.icache_fetch(T0, b * 64), AccessResult::BankConflict) {
+                started += 1;
+            }
+        }
+        assert_eq!(started, 4);
+        // An arbitrated access is now rejected; an unarbitrated one is not,
+        // and it does not consume the budget either.
+        assert_eq!(
+            m.icache_fetch_with(T0, 8 * 64, true),
+            AccessResult::BankConflict
+        );
+        assert!(matches!(
+            m.icache_fetch_with(T0, 9 * 64, false),
+            AccessResult::Miss(_)
+        ));
+        assert!(!m.icache_bank_free(4 * 64), "ports stay exhausted");
     }
 
     #[test]

@@ -70,10 +70,10 @@
 #![warn(missing_docs)]
 
 pub use smt_core::{
-    fetch_policy_by_name, issue_policy_by_name, BrCount, BranchFirst, FetchBreakdown,
-    FetchPartition, FetchPolicy, ICount, IssueBreakdown, IssueCandidate, IssuePolicy, MissCount,
-    OldestFirst, OptLast, RoundRobin, SimConfig, SimReport, Simulator, SpecLast, ThreadFetchView,
-    ThreadReport, MAX_THREADS,
+    fetch_policy_by_name, issue_policy_by_name, Ablation, Ablations, BrCount, BranchFirst,
+    FetchBreakdown, FetchPartition, FetchPolicy, ICount, IssueBreakdown, IssueCandidate,
+    IssuePolicy, MissCount, OldestFirst, OptLast, RoundRobin, SimConfig, SimReport, Simulator,
+    SpecLast, ThreadFetchView, ThreadReport, MAX_THREADS,
 };
 pub use smt_workload::{standard_mix, Benchmark, Program, ThreadContext};
 

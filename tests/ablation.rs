@@ -1,0 +1,236 @@
+//! The ablation study's two headline attributions, asserted as tests
+//! (ROADMAP: the 2% wrong-path claim and the ICOUNT-vs-RR gap
+//! decomposition), plus reset-stats coverage across the ablation matrix.
+//!
+//! All numbers here are deterministic (fixed seeds), so the bounds are
+//! calibrated against the measured values of this exact configuration —
+//! see ROADMAP.md "Findings" for the full-scale (20k-cycle, multi-mix)
+//! numbers:
+//!
+//! * Exempting wrong-path fetches from I-cache bank arbitration moves
+//!   standard-mix warm IPC by a small bounded amount (~+2.5% here,
+//!   +1.5% at full scale) — the paper's ~2% wrong-path overhead claim
+//!   reproduces.
+//! * `infinite_frontend_queues` collapses the ICOUNT-vs-RR gap in both
+//!   windows (warm gap +0.19 → −0.41 here): the gap **is** ICOUNT's
+//!   IQ-clog avoidance, visible as RR losing more fetch slots to
+//!   `lost_frontend_full` than ICOUNT.
+//! * `perfect_icache` does **not** collapse the cold gap (it widens it:
+//!   more fetch opportunities amplify the policy choice), refuting the
+//!   hypothesis that the cold-window gap is cold-start I-cache
+//!   behaviour.
+
+use std::sync::OnceLock;
+
+use smt::{Ablation, Ablations, SimConfig};
+use smt_experiments::ablation::{
+    run_ablation_study, AblationStudy, AblationStudyConfig, Window, PAPER_WRONG_PATH_CLAIM_PCT,
+};
+use smt_experiments::study::{mix_by_name, JSON_SCHEMA_VERSION};
+use smt_stats::json::Json;
+
+const CYCLES: u64 = 6_000;
+const WARMUP: u64 = 5_000;
+
+/// The study every assertion reads, run once (cells are independent
+/// simulations; the whole sweep is deterministic).
+fn study() -> &'static AblationStudy {
+    static STUDY: OnceLock<AblationStudy> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        run_ablation_study(&AblationStudyConfig {
+            fetch_policies: vec!["rr".into(), "icount".into()],
+            mixes: vec!["standard".into()],
+            seeds: vec![42, 1337],
+            cycles: CYCLES,
+            warmup: WARMUP,
+            ..AblationStudyConfig::default()
+        })
+        .expect("valid study config")
+    })
+}
+
+#[test]
+fn wrong_path_bank_arbitration_costs_a_bounded_small_amount() {
+    // The paper claims wrong-path fetching costs ~2% of throughput; the
+    // exemption ablation removes exactly the bank/port-contention part of
+    // it, so the relative IPC delta must be a small positive number — not
+    // zero-noise, not a double-digit effect.
+    let pct = study()
+        .wrong_path_claim()
+        .expect("standard-mix warm cells present");
+    assert!(
+        pct > 0.0 && pct < 3.0 * PAPER_WRONG_PATH_CLAIM_PCT,
+        "wrong-path bank-arbitration cost should be a small positive effect \
+         near the paper's ~{PAPER_WRONG_PATH_CLAIM_PCT}% claim, measured {pct:+.3}%"
+    );
+}
+
+#[test]
+fn infinite_frontend_queues_collapse_the_icount_vs_rr_gap() {
+    let s = study();
+    let base_cold = s.gap("ICOUNT", "RR", None, Window::Cold).unwrap();
+    let base_warm = s.gap("ICOUNT", "RR", None, Window::Warm).unwrap();
+    let inf = Ablation::InfiniteFrontendQueues.name();
+    let inf_cold = s.gap("ICOUNT", "RR", Some(inf), Window::Cold).unwrap();
+    let inf_warm = s.gap("ICOUNT", "RR", Some(inf), Window::Warm).unwrap();
+
+    // ICOUNT wins the baseline comparison in both windows …
+    assert!(
+        base_cold > 0.1 && base_warm > 0.1,
+        "baseline ICOUNT advantage missing: cold {base_cold:+.3}, warm {base_warm:+.3}"
+    );
+    // … and unbounded queues erase most of that advantage: the gap IS
+    // queue clog, which ICOUNT's feedback avoids.
+    assert!(
+        inf_cold < 0.5 * base_cold && inf_warm < 0.5 * base_warm,
+        "infinite queues must collapse the gap: cold {base_cold:+.3} -> {inf_cold:+.3}, \
+         warm {base_warm:+.3} -> {inf_warm:+.3}"
+    );
+
+    // The mechanism is visible in the loss buckets: on the baseline warm
+    // window RR loses more fetch slots to full front-ends/queues than
+    // ICOUNT does, and the ablation removes that bucket entirely.
+    let warm_lost = |fetch: &str, ablation: Option<&str>| -> u64 {
+        let cells: Vec<_> = s
+            .cells
+            .iter()
+            .filter(|c| {
+                c.window == Window::Warm && c.fetch == fetch && c.ablation.as_deref() == ablation
+            })
+            .collect();
+        assert!(!cells.is_empty());
+        cells
+            .iter()
+            .map(|c| c.report.fetch.lost_frontend_full)
+            .sum()
+    };
+    assert!(
+        warm_lost("RR", None) > warm_lost("ICOUNT", None),
+        "RR must clog the queues more than ICOUNT: {} vs {}",
+        warm_lost("RR", None),
+        warm_lost("ICOUNT", None)
+    );
+    assert_eq!(warm_lost("RR", Some(inf)), 0);
+    assert_eq!(warm_lost("ICOUNT", Some(inf)), 0);
+}
+
+#[test]
+fn perfect_icache_does_not_explain_the_cold_gap() {
+    // The competing hypothesis — the cold-window ICOUNT advantage is
+    // cold-start I-cache behaviour — is refuted: with a perfect I-cache
+    // the cold gap does not collapse (it widens, because an unblocked
+    // fetch unit gives the policy more decisions to differ on).
+    let s = study();
+    let base_cold = s.gap("ICOUNT", "RR", None, Window::Cold).unwrap();
+    let pi = Ablation::PerfectICache.name();
+    let pi_cold = s.gap("ICOUNT", "RR", Some(pi), Window::Cold).unwrap();
+    assert!(
+        pi_cold > 0.5 * base_cold,
+        "a perfect I-cache must not collapse the cold gap \
+         (cold {base_cold:+.3} -> {pi_cold:+.3}); the gap is queue clog, not I-cache"
+    );
+    // And the ablation really removed the I-cache terms.
+    for c in s.cells.iter().filter(|c| c.ablation.as_deref() == Some(pi)) {
+        assert_eq!(c.report.mem.icache.misses, 0, "perfect I-cache misses");
+        assert_eq!(c.report.fetch.lost_icache, 0);
+        assert_eq!(c.report.fetch.lost_bank_conflict, 0);
+    }
+}
+
+#[test]
+fn perfect_branch_prediction_removes_all_speculation_cost() {
+    let s = study();
+    let pbp = Ablation::PerfectBranchPrediction.name();
+    for c in s
+        .cells
+        .iter()
+        .filter(|c| c.ablation.as_deref() == Some(pbp))
+    {
+        let r = &c.report;
+        assert_eq!(r.fetch.wrong_path, 0, "no wrong-path fetch: {r}");
+        assert_eq!(r.fetch.misfetches, 0, "no misfetches: {r}");
+        assert_eq!(r.squashes, 0, "no squashes: {r}");
+        assert_eq!(r.fetch.wrong_path_fetch_conflicts, 0);
+        assert_eq!(r.pred.predictions, 0, "predictor never consulted: {r}");
+        assert!(r.cond_prediction.total > 0);
+        assert_eq!(r.cond_prediction.percent(), 100.0);
+    }
+}
+
+#[test]
+fn ablation_document_meets_the_acceptance_schema() {
+    // `smt_exp --study ablation --json` writes exactly this document:
+    // schema_version 2, quantifying (a) the wrong-path IPC delta against
+    // the paper's 2% claim and (b) the gap decomposition.
+    let doc = study().to_json();
+    let back = Json::parse(&doc.render_pretty()).expect("document parses");
+    assert_eq!(back.get("schema_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(JSON_SCHEMA_VERSION, 2);
+    assert_eq!(back.get("study").and_then(Json::as_str), Some("ablation"));
+    let summary = back.get("summary").expect("summary present");
+    let claim = summary.get("wrong_path_claim").unwrap();
+    assert_eq!(
+        claim.get("paper_claim_pct").and_then(Json::as_f64),
+        Some(PAPER_WRONG_PATH_CLAIM_PCT)
+    );
+    assert!(claim
+        .get("measured_delta_pct")
+        .and_then(Json::as_f64)
+        .is_some());
+    let gaps = summary.get("gap_decomposition").unwrap();
+    for key in [
+        "cold_gap_baseline",
+        "warm_gap_baseline",
+        "cold_gap_perfect_icache",
+        "warm_gap_infinite_frontend_queues",
+    ] {
+        assert!(
+            gaps.get(key).and_then(Json::as_f64).is_some(),
+            "gap_decomposition.{key} missing"
+        );
+    }
+    // Ablated cells carry loss shifts and self-describing reports.
+    let cells = back.get("cells").and_then(Json::as_array).unwrap();
+    assert!(cells.iter().any(|c| {
+        c.get("ablation").and_then(Json::as_str) == Some("infinite_frontend_queues")
+            && c.get("loss_shift")
+                .and_then(|s| s.get("lost_frontend_full"))
+                .and_then(Json::as_f64)
+                .is_some_and(|d| d < 0.0)
+    }));
+}
+
+/// Warm (reset-stats) measurement under an active ablation set must leave
+/// architectural state exactly as an uninterrupted run of the same
+/// ablated machine: `reset_stats` only re-bases counters, for every point
+/// of the ablation matrix (each single ablation, and all at once).
+#[test]
+fn reset_stats_preserves_state_under_every_ablation() {
+    const WARM: u64 = 800;
+    const MEASURE: u64 = 1_500;
+    let mut matrix: Vec<Ablations> = Ablation::ALL.into_iter().map(Ablations::only).collect();
+    matrix.push(Ablations::all());
+    for ablations in matrix {
+        let config = || {
+            SimConfig::new()
+                .with_benchmarks(mix_by_name("mixed4").unwrap(), 42)
+                .with_ablations(ablations)
+        };
+        let mut cold = config().build();
+        let cold_report = cold.run(WARM + MEASURE);
+        let mut warm = config().with_warmup(WARM).build();
+        let warm_report = warm.run(MEASURE);
+        assert_eq!(
+            cold.lifetime_committed(),
+            warm.lifetime_committed(),
+            "reset_stats disturbed architectural state under {ablations}"
+        );
+        assert_eq!(cold_report.total_committed(), cold.lifetime_committed());
+        assert_eq!(warm_report.warmup_cycles, WARM);
+        assert_eq!(warm_report.cycles, MEASURE);
+        assert!(
+            warm_report.total_committed() < warm.lifetime_committed(),
+            "warm window must exclude warmup commits under {ablations}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property test for the fetch slot-accounting invariant: for every
+//! partition scheme whose `T × I` covers the 8-wide fetch bandwidth,
+//!
+//! ```text
+//! fetched + wrong_path + Σ lost_* == 8 × cycles
+//! ```
+//!
+//! holds exactly — across every shipped partition × workload mix × seed,
+//! in cold and warm windows, and under every ablation set. This promotes
+//! what used to be two ad-hoc single-configuration assertions into the
+//! invariant the proportional loss-attribution scheme is required to
+//! maintain.
+
+use smt::{Ablation, Ablations, FetchPartition, SimConfig, SimReport};
+use smt_experiments::study::{mix_by_name, STUDY_MIXES};
+
+fn assert_slots_balance(r: &SimReport, label: &str) {
+    let lost = r.fetch.lost_icache
+        + r.fetch.lost_bank_conflict
+        + r.fetch.lost_fragmentation
+        + r.fetch.lost_frontend_full
+        + r.fetch.lost_no_thread;
+    assert_eq!(
+        r.fetch.fetched + r.fetch.wrong_path + lost,
+        u64::from(FetchPartition::TOTAL_WIDTH) * r.cycles,
+        "fetch slots not fully accounted for [{label}]: {r}"
+    );
+}
+
+#[test]
+fn slot_accounting_balances_across_partitions_mixes_and_seeds() {
+    const CYCLES: u64 = 1_000;
+    for partition in FetchPartition::all_schemes() {
+        for mix in STUDY_MIXES {
+            for seed in [42, 1337] {
+                let r = SimConfig::new()
+                    .with_benchmarks(mix_by_name(mix).unwrap(), seed)
+                    .with_partition(partition)
+                    .build()
+                    .run(CYCLES);
+                assert_slots_balance(&r, &format!("{partition}/{mix}/{seed}/cold"));
+            }
+        }
+    }
+}
+
+#[test]
+fn slot_accounting_balances_in_warm_windows() {
+    // The invariant must hold over a measurement window opened by
+    // `reset_stats` mid-flight (in-flight fetch state at the reset point
+    // must not leak slots in or out of the window).
+    for partition in FetchPartition::all_schemes() {
+        for mix in STUDY_MIXES {
+            let r = SimConfig::new()
+                .with_benchmarks(mix_by_name(mix).unwrap(), 42)
+                .with_partition(partition)
+                .with_warmup(700)
+                .build()
+                .run(900);
+            assert_slots_balance(&r, &format!("{partition}/{mix}/warm"));
+        }
+    }
+}
+
+#[test]
+fn slot_accounting_balances_under_every_ablation() {
+    let mut matrix: Vec<Ablations> = Ablation::ALL.into_iter().map(Ablations::only).collect();
+    matrix.push(Ablations::all());
+    for ablations in matrix {
+        for (mix, seed) in [("standard", 42), ("int8", 1337)] {
+            let r = SimConfig::new()
+                .with_benchmarks(mix_by_name(mix).unwrap(), seed)
+                .with_ablations(ablations)
+                .with_warmup(500)
+                .build()
+                .run(1_000);
+            assert_slots_balance(&r, &format!("{ablations}/{mix}/{seed}"));
+        }
+    }
+}
