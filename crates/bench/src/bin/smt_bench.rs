@@ -1,30 +1,43 @@
 //! `smt_bench` — simulator throughput baseline.
 //!
-//! Runs a short warmup, then three timed measurements of the reference
-//! ICOUNT.2.8 configuration and reports the best (least-noisy) rate.
+//! Benchmarks the full reference matrix {RR, ICOUNT} × {standard, int8,
+//! fp8} on the 2.8 partition: a short warmup, then three timed
+//! measurements per reference, reporting each reference's best
+//! (least-noisy) rate. The headline number is the best rate across
+//! references (historically ICOUNT/standard, the only reference older
+//! baselines carry).
 //!
 //! ```text
-//! smt_bench [CYCLES] [--json PATH]
+//! smt_bench [CYCLES] [--json PATH] [--reference-only]
 //!           [--baseline PATH | --baseline-latest DIR] [--max-regress FRAC]
 //! ```
 //!
 //! `CYCLES` defaults to 200000 simulated cycles per measurement; `--json`
-//! additionally writes the machine-readable `"smt-bench"` document.
-//! `--baseline` reads a previously written document (e.g. the committed
-//! `BENCH_*.json` trajectory files) and prints the speedup factor against
-//! it; `--baseline-latest DIR` auto-picks the `BENCH_PR<N>.json` in `DIR`
-//! with the highest PR number, so the comparison re-pins itself whenever a
-//! newer baseline is committed. With `--max-regress FRAC` the run exits
-//! non-zero when throughput fell more than `FRAC` (e.g. `0.30`) below the
-//! baseline — the CI throughput guard.
+//! additionally writes the machine-readable `"smt-bench"` document
+//! (schema 3: per-reference `insts_per_sec` under `references`).
+//! `--reference-only` measures just ICOUNT/standard — the quick local
+//! check. `--baseline` reads a previously written document (e.g. the
+//! committed `BENCH_*.json` trajectory files) and prints the speedup
+//! factor per reference; `--baseline-latest DIR` auto-picks the
+//! `BENCH_PR<N>.json` in `DIR` with the highest PR number, so the
+//! comparison re-pins itself whenever a newer baseline is committed. With
+//! `--max-regress FRAC` the run exits non-zero when any reference present
+//! in **both** documents fell more than `FRAC` (e.g. `0.30`) below its
+//! like-for-like baseline rate — the CI throughput guard. (Old baselines
+//! carry only ICOUNT/standard, so against them only that reference is
+//! guarded.)
 
-use smt_bench::{baseline_ips, bench_to_json, find_latest_baseline, run_reference, BenchResult};
+use smt_bench::{
+    baseline_reference_rates, bench_to_json, find_latest_baseline, ReferenceResult,
+    REFERENCE_FETCHES, REFERENCE_MIXES,
+};
 
 fn main() {
     let mut cycles: u64 = 200_000;
     let mut json_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut max_regress: Option<f64> = None;
+    let mut reference_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,6 +45,7 @@ fn main() {
                 Some(path) => json_path = Some(path),
                 None => die("--json requires a path"),
             },
+            "--reference-only" => reference_only = true,
             "--baseline" => match args.next() {
                 Some(path) => match baseline_path {
                     None => baseline_path = Some(path),
@@ -59,7 +73,7 @@ fn main() {
             _ => match arg.parse() {
                 Ok(n) => cycles = n,
                 Err(_) => die(&format!(
-                    "usage: smt_bench [CYCLES] [--json PATH] \
+                    "usage: smt_bench [CYCLES] [--json PATH] [--reference-only] \
                      [--baseline PATH | --baseline-latest DIR] [--max-regress FRAC]   \
                      (CYCLES must be a number, got '{arg}')"
                 )),
@@ -70,23 +84,32 @@ fn main() {
         die("--max-regress requires --baseline");
     }
 
-    // Warmup: touch code paths and the allocator.
-    let _ = run_reference(cycles / 10);
-
-    let mut runs: Vec<BenchResult> = Vec::with_capacity(3);
-    for i in 1..=3 {
-        let r = run_reference(cycles);
-        println!("run {i}: {r}");
-        runs.push(r);
+    let mut references: Vec<ReferenceResult> = Vec::new();
+    for fetch in REFERENCE_FETCHES {
+        for mix in REFERENCE_MIXES {
+            if reference_only && (fetch != "icount" || mix != "standard") {
+                continue;
+            }
+            let r = ReferenceResult::measure(fetch, mix, cycles, 3);
+            for (i, run) in r.runs.iter().enumerate() {
+                println!("{:16} run {}: {run}", r.name, i + 1);
+            }
+            println!("{:16} best : {}", r.name, r.best);
+            references.push(r);
+        }
     }
-    let best = *runs
+    let headline = references
         .iter()
-        .max_by(|a, b| a.ips().total_cmp(&b.ips()))
-        .expect("three runs completed");
-    println!("best: {best}");
+        .max_by(|a, b| a.best.ips().total_cmp(&b.best.ips()))
+        .expect("at least one reference measured");
+    println!(
+        "headline: {} at {:.0} kinsts/s",
+        headline.name,
+        headline.best.ips() / 1e3
+    );
 
     if let Some(path) = json_path {
-        if let Err(e) = std::fs::write(&path, bench_to_json(&runs, &best).render_pretty()) {
+        if let Err(e) = std::fs::write(&path, bench_to_json(&references).render_pretty()) {
             die(&format!("failed to write {path}: {e}"));
         }
         println!("wrote {path}");
@@ -95,31 +118,59 @@ fn main() {
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| die(&format!("failed to read baseline {path}: {e}")));
-        let base = baseline_ips(&text)
-            .unwrap_or_else(|| die(&format!("{path} is not an smt-bench document")));
-        let speedup = best.ips() / base;
-        println!(
-            "speedup vs {path}: {speedup:.2}x ({:.0} kinsts/s -> {:.0} kinsts/s)",
-            base / 1e3,
-            best.ips() / 1e3
-        );
+        let base_rates = baseline_reference_rates(&text)
+            .unwrap_or_else(|| die(&format!("{path} carries no reference rates")));
+        // Headline speedup only when the baseline measured the same
+        // reference — anything else would compare apples to oranges
+        // (e.g. --reference-only's ICOUNT/standard against a full
+        // baseline's fastest mix).
+        if let Some(&(_, base)) = base_rates.iter().find(|(name, _)| *name == headline.name) {
+            println!(
+                "headline speedup vs {path} ({}): {:.2}x ({:.0} kinsts/s -> {:.0} kinsts/s)",
+                headline.name,
+                headline.best.ips() / base,
+                base / 1e3,
+                headline.best.ips() / 1e3
+            );
+        }
+        // Like-for-like comparison: only references present in both runs.
+        let mut regressed = Vec::new();
+        for r in &references {
+            let Some(&(_, base)) = base_rates.iter().find(|(name, _)| *name == r.name) else {
+                continue;
+            };
+            let now = r.best.ips();
+            println!(
+                "  {:16} {:.2}x ({:.0} -> {:.0} kinsts/s)",
+                r.name,
+                now / base,
+                base / 1e3,
+                now / 1e3
+            );
+            if let Some(frac) = max_regress {
+                if now < base * (1.0 - frac) {
+                    regressed.push((r.name.clone(), base, now));
+                }
+            }
+        }
         if let Some(frac) = max_regress {
-            let floor = base * (1.0 - frac);
-            if best.ips() < floor {
-                eprintln!(
-                    "THROUGHPUT REGRESSION: {:.0} kinsts/s is more than {:.0}% below \
-                     the baseline's {:.0} kinsts/s",
-                    best.ips() / 1e3,
-                    frac * 100.0,
-                    base / 1e3
+            if regressed.is_empty() {
+                println!(
+                    "throughput guard: OK (no reference more than {:.0}% below its baseline)",
+                    frac * 100.0
                 );
+            } else {
+                for (name, base, now) in &regressed {
+                    eprintln!(
+                        "THROUGHPUT REGRESSION: {name} at {:.0} kinsts/s is more than {:.0}% \
+                         below its baseline's {:.0} kinsts/s",
+                        now / 1e3,
+                        frac * 100.0,
+                        base / 1e3
+                    );
+                }
                 std::process::exit(1);
             }
-            println!(
-                "throughput guard: OK ({:.0} kinsts/s >= floor {:.0} kinsts/s)",
-                best.ips() / 1e3,
-                floor / 1e3
-            );
         }
     }
 }

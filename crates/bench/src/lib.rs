@@ -1,22 +1,67 @@
 //! Simulator throughput micro-benchmark.
 //!
 //! Measures how fast the simulator itself runs: simulated instructions
-//! committed per wall-clock second for the reference ICOUNT.2.8
-//! configuration on the standard 8-thread mix. Later performance PRs report
-//! against this baseline via the `smt_bench` binary; `smt_bench --json`
-//! emits the machine-readable `"smt-bench"` document (same
-//! `schema_version` convention as `smt_exp --json`) for BENCH_*.json
-//! trajectory tracking.
+//! committed per wall-clock second across the reference matrix
+//! {RR, ICOUNT} × {standard, int8, fp8} on the 2.8 partition. Later
+//! performance PRs report against these baselines via the `smt_bench`
+//! binary; `smt_bench --json` emits the machine-readable `"smt-bench"`
+//! document (same `schema_version` convention as `smt_exp --json`, with
+//! per-reference rates since version 3) for BENCH_*.json trajectory
+//! tracking, and the CI guard compares each reference like for like.
+//!
+//! # Profiling the hot loop
+//!
+//! Two complementary tools, both already wired up:
+//!
+//! 1. **Per-phase wall clock** — the `phase-timing` feature in `smt-core`
+//!    accumulates the cycle driver's seven phases (memory begin-cycle,
+//!    miss completions, writeback, commit, issue, rename, fetch) into
+//!    global counters, printed by the bundled example:
+//!
+//!    ```text
+//!    cargo run --release -p smt-core --features phase-timing --example phase_timing
+//!    ```
+//!
+//!    The probes cost ~15% of throughput (two `clock_gettime`s per
+//!    phase), so the feature is compiled out of normal builds; treat the
+//!    per-phase shares as accurate and the absolute total as inflated.
+//!
+//! 2. **Sampling profilers** — the release profile ships
+//!    `debug = "line-tables-only"`, so `perf` / flamegraphs attribute the
+//!    fully-inlined hot loop back to source lines with no rebuild:
+//!
+//!    ```text
+//!    perf record --call-graph dwarf -F 999 -- target/release/smt_bench 400000
+//!    perf report --no-children          # or: flamegraph target/release/smt_bench 400000
+//!    ```
+//!
+//! What the steady-state profile should look like (reference machine,
+//! warmed): the seven phases split roughly fetch ≈ rename ≈ issue (~20%
+//! each) > writeback (~15%) > commit (~10%) > memory events (~6%), with
+//! **zero heap allocations per cycle** (pinned by the allocation-guard
+//! test in this crate — a counting global allocator over a warmed
+//! 5k-cycle window). Leaf components are cheap (oracle step and a
+//! predictor lookup are each a few nanoseconds); the cycle cost is
+//! dominated by cache traffic over the pipeline's own state, which is why
+//! the data layout (packed 48-byte hot records, 4-byte slab handles,
+//! inline wakeup lists) is the performance-critical part. A profile
+//! showing a *function* hotspot — a hash probe, an allocator frame, a
+//! `memmove` — is a regression signal, not background noise.
 //!
 //! # Examples
 //!
 //! ```
-//! use smt_bench::{bench_to_json, run_reference};
+//! use smt_bench::{bench_to_json, run_reference, ReferenceResult};
 //!
 //! let result = run_reference(400);
 //! assert_eq!(result.cycles, 400);
 //! assert!(result.ips() > 0.0);
-//! let doc = bench_to_json(&[result], &result);
+//! let reference = ReferenceResult {
+//!     name: smt_bench::reference_name("icount", "standard"),
+//!     runs: vec![result],
+//!     best: result,
+//! };
+//! let doc = bench_to_json(&[reference]);
 //! assert!(doc.render().contains("\"kind\":\"smt-bench\""));
 //! ```
 
@@ -27,7 +72,6 @@ use std::time::{Duration, Instant};
 
 use smt_core::SimConfig;
 use smt_stats::json::Json;
-use smt_workload::standard_mix;
 
 /// Result of one timed simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,29 +109,108 @@ impl BenchResult {
 }
 
 /// Version of the `"smt-bench"` JSON document; kept in lockstep with the
-/// experiment schema so one consumer can read both (the version-2 bump
-/// changed nothing in this document; [`baseline_ips`] accepts all
-/// versions).
-pub const JSON_SCHEMA_VERSION: u64 = 2;
+/// experiment schema so one consumer can read both. Version 3 added the
+/// multi-reference `references` map; [`baseline_ips`] and
+/// [`baseline_reference_rates`] accept all versions.
+pub const JSON_SCHEMA_VERSION: u64 = 3;
 
-/// The machine-readable benchmark document: every timed run plus the best
-/// (least-noisy) one. `smt_bench --json` writes this, pretty-rendered.
-/// The top-level `insts_per_sec` field is the headline number baselines and
-/// the CI throughput guard compare against.
-pub fn bench_to_json(runs: &[BenchResult], best: &BenchResult) -> Json {
+/// Fetch policies the multi-reference benchmark sweeps.
+pub const REFERENCE_FETCHES: [&str; 2] = ["icount", "rr"];
+
+/// Workload mixes the multi-reference benchmark sweeps (see
+/// `smt_experiments::study::mix_by_name`).
+pub const REFERENCE_MIXES: [&str; 3] = ["standard", "int8", "fp8"];
+
+/// The canonical name of one benchmark reference, e.g. `"ICOUNT/standard"`
+/// — also the key in the JSON document's `references` map, which the
+/// regression guard uses to compare like for like.
+pub fn reference_name(fetch: &str, mix: &str) -> String {
+    let canonical = smt_core::fetch_policy_by_name(fetch)
+        .map(|p| p.name().to_string())
+        .unwrap_or_else(|| fetch.to_ascii_uppercase());
+    format!("{canonical}/{mix}")
+}
+
+/// One fully-measured reference configuration: its timed runs and the best
+/// (least-noisy) one.
+#[derive(Debug, Clone)]
+pub struct ReferenceResult {
+    /// Canonical reference name ([`reference_name`]).
+    pub name: String,
+    /// Every timed run, in execution order.
+    pub runs: Vec<BenchResult>,
+    /// The run with the highest instruction rate.
+    pub best: BenchResult,
+}
+
+impl ReferenceResult {
+    /// Times `runs` measurements of the given configuration (after one
+    /// short warmup run) and returns the collected reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fetch` or `mix` is not a known name.
+    pub fn measure(fetch: &str, mix: &str, cycles: u64, runs: usize) -> ReferenceResult {
+        let _ = run_configured(fetch, mix, cycles / 10);
+        let results: Vec<BenchResult> = (0..runs.max(1))
+            .map(|_| run_configured(fetch, mix, cycles))
+            .collect();
+        let best = *results
+            .iter()
+            .max_by(|a, b| a.ips().total_cmp(&b.ips()))
+            .expect("at least one run");
+        ReferenceResult {
+            name: reference_name(fetch, mix),
+            runs: results,
+            best,
+        }
+    }
+}
+
+/// The machine-readable benchmark document: one entry per measured
+/// reference plus the headline. `smt_bench --json` writes this,
+/// pretty-rendered.
+///
+/// The top-level `insts_per_sec` is the **best rate across references**
+/// (the `reference` field names which one); per-reference rates live in
+/// the `references` map, keyed by canonical name, and the CI guard
+/// compares those like for like against the committed baseline.
+pub fn bench_to_json(references: &[ReferenceResult]) -> Json {
+    let headline = references
+        .iter()
+        .max_by(|a, b| a.best.ips().total_cmp(&b.best.ips()))
+        .expect("at least one reference");
     Json::object([
         ("schema_version", Json::from(JSON_SCHEMA_VERSION)),
         ("kind", Json::from("smt-bench")),
-        ("reference", Json::from("ICOUNT.2.8/standard-mix")),
-        ("insts_per_sec", Json::from(best.ips())),
-        ("runs", Json::array(runs.iter().map(BenchResult::to_json))),
-        ("best", best.to_json()),
+        ("reference", Json::from(headline.name.clone())),
+        ("insts_per_sec", Json::from(headline.best.ips())),
+        (
+            "references",
+            Json::object(references.iter().map(|r| {
+                (
+                    r.name.as_str(),
+                    Json::object([
+                        ("insts_per_sec", Json::from(r.best.ips())),
+                        ("runs", Json::array(r.runs.iter().map(BenchResult::to_json))),
+                        ("best", r.best.to_json()),
+                    ]),
+                )
+            })),
+        ),
+        // Legacy mirror of the headline reference, so older consumers keep
+        // parsing the document.
+        (
+            "runs",
+            Json::array(headline.runs.iter().map(BenchResult::to_json)),
+        ),
+        ("best", headline.best.to_json()),
     ])
 }
 
 /// Extracts the headline insts/s rate from a rendered `"smt-bench"`
-/// document, accepting both the current schema (top-level `insts_per_sec`)
-/// and the original one (only `best.insts_per_second`).
+/// document, accepting every schema version (top-level `insts_per_sec`,
+/// falling back to `best.insts_per_second`).
 pub fn baseline_ips(text: &str) -> Option<f64> {
     let doc = Json::parse(text).ok()?;
     if doc.get("kind").and_then(Json::as_str) != Some("smt-bench") {
@@ -101,6 +224,30 @@ pub fn baseline_ips(text: &str) -> Option<f64> {
                 .and_then(Json::as_f64)
         })
         .filter(|v| *v > 0.0)
+}
+
+/// Per-reference `(name, insts_per_sec)` rates from a bench document. For
+/// pre-version-3 documents — which measured only ICOUNT on the standard
+/// mix — the single headline rate is returned under its canonical
+/// `"ICOUNT/standard"` name, so like-for-like guards work across the whole
+/// committed trajectory.
+pub fn baseline_reference_rates(text: &str) -> Option<Vec<(String, f64)>> {
+    let doc = Json::parse(text).ok()?;
+    if doc.get("kind").and_then(Json::as_str) != Some("smt-bench") {
+        return None;
+    }
+    if let Some(refs) = doc.get("references").and_then(Json::as_object) {
+        let mut out = Vec::new();
+        for (name, entry) in refs {
+            let rate = entry.get("insts_per_sec").and_then(Json::as_f64)?;
+            out.push((name.clone(), rate));
+        }
+        return Some(out);
+    }
+    Some(vec![(
+        reference_name("icount", "standard"),
+        baseline_ips(text)?,
+    )])
 }
 
 /// The PR number of a committed baseline file name (`BENCH_PR<N>.json`),
@@ -155,7 +302,25 @@ impl std::fmt::Display for BenchResult {
 /// times `cycles` simulated cycles. Construction and program generation are
 /// excluded from the measurement.
 pub fn run_reference(cycles: u64) -> BenchResult {
-    let mut sim = SimConfig::new().with_benchmarks(standard_mix(), 42).build();
+    run_configured("icount", "standard", cycles)
+}
+
+/// [`run_reference`] for an arbitrary `(fetch policy, mix)` reference, on
+/// the 2.8 partition at seed 42 — one cell of the multi-reference
+/// benchmark.
+///
+/// # Panics
+///
+/// Panics if `fetch` or `mix` is not a known name.
+pub fn run_configured(fetch: &str, mix: &str, cycles: u64) -> BenchResult {
+    let benchmarks = smt_experiments::study::mix_by_name(mix)
+        .unwrap_or_else(|| panic!("unknown benchmark mix '{mix}'"));
+    let policy = smt_core::fetch_policy_by_name(fetch)
+        .unwrap_or_else(|| panic!("unknown fetch policy '{fetch}'"));
+    let mut sim = SimConfig::new()
+        .with_benchmarks(benchmarks, 42)
+        .with_fetch(policy)
+        .build();
     let start = Instant::now();
     let report = sim.run(cycles);
     let wall = start.elapsed();
@@ -180,10 +345,18 @@ mod tests {
         assert!(s.contains("committed"));
     }
 
+    fn reference_of(r: BenchResult, fetch: &str, mix: &str) -> ReferenceResult {
+        ReferenceResult {
+            name: reference_name(fetch, mix),
+            runs: vec![r],
+            best: r,
+        }
+    }
+
     #[test]
-    fn baseline_ips_reads_both_schemas() {
+    fn baseline_ips_reads_every_schema() {
         let r = run_reference(300);
-        let doc = bench_to_json(&[r], &r);
+        let doc = bench_to_json(&[reference_of(r, "icount", "standard")]);
         let ips = baseline_ips(&doc.render_pretty()).expect("current schema must parse");
         assert!((ips - r.ips()).abs() < 1e-9);
         // Original schema: no top-level field, only best.insts_per_second.
@@ -195,6 +368,58 @@ mod tests {
         assert!(baseline_ips(&old.render()).is_some());
         assert!(baseline_ips("{\"kind\":\"other\"}").is_none());
         assert!(baseline_ips("not json").is_none());
+    }
+
+    #[test]
+    fn reference_rates_read_current_and_legacy_documents() {
+        let mut fast = run_reference(300);
+        let mut slow = fast;
+        fast.wall = std::time::Duration::from_millis(10);
+        slow.wall = std::time::Duration::from_millis(20);
+        let doc = bench_to_json(&[
+            reference_of(slow, "icount", "standard"),
+            reference_of(fast, "rr", "fp8"),
+        ]);
+        let text = doc.render_pretty();
+        // Headline is the best rate across references, and names it.
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("reference").and_then(Json::as_str),
+            Some("RR/fp8")
+        );
+        assert!((baseline_ips(&text).unwrap() - fast.ips()).abs() < 1e-9);
+        // Per-reference rates survive the round trip, like for like.
+        let rates = baseline_reference_rates(&text).unwrap();
+        assert_eq!(rates.len(), 2);
+        assert!(rates
+            .iter()
+            .any(|(n, v)| n == "ICOUNT/standard" && (v - slow.ips()).abs() < 1e-9));
+        assert!(rates
+            .iter()
+            .any(|(n, v)| n == "RR/fp8" && (v - fast.ips()).abs() < 1e-9));
+        // A legacy (pre-v3) document maps onto the ICOUNT/standard name.
+        let legacy = Json::object([
+            ("schema_version", Json::from(2u64)),
+            ("kind", Json::from("smt-bench")),
+            ("insts_per_sec", Json::from(123.0)),
+        ]);
+        assert_eq!(
+            baseline_reference_rates(&legacy.render()),
+            Some(vec![("ICOUNT/standard".to_string(), 123.0)])
+        );
+    }
+
+    #[test]
+    fn multi_reference_measure_covers_the_matrix() {
+        // A tiny end-to-end sweep of the full {fetch} x {mix} matrix.
+        for fetch in REFERENCE_FETCHES {
+            for mix in REFERENCE_MIXES {
+                let r = ReferenceResult::measure(fetch, mix, 300, 1);
+                assert_eq!(r.name, reference_name(fetch, mix));
+                assert_eq!(r.runs.len(), 1);
+                assert!(r.best.committed > 0, "{} made no progress", r.name);
+            }
+        }
     }
 
     #[test]
@@ -254,7 +479,11 @@ mod tests {
     #[test]
     fn bench_json_parses_and_carries_runs() {
         let r = run_reference(400);
-        let doc = bench_to_json(&[r, r], &r);
+        let doc = bench_to_json(&[ReferenceResult {
+            name: reference_name("icount", "standard"),
+            runs: vec![r, r],
+            best: r,
+        }]);
         let back = Json::parse(&doc.render_pretty()).expect("bench JSON must parse");
         assert_eq!(
             back.get("schema_version").and_then(Json::as_u64),

@@ -1,0 +1,30 @@
+//! Where does a simulated cycle's wall-clock go? Runs the reference
+//! ICOUNT.2.8 machine and prints the per-phase breakdown.
+//!
+//! ```text
+//! cargo run --release -p smt-core --features phase-timing --example phase_timing
+//! ```
+
+fn main() {
+    let mut sim = smt_core::SimConfig::new().build();
+    sim.run(200_000);
+    let names = [
+        "mem.begin",
+        "completions",
+        "writeback",
+        "commit",
+        "issue",
+        "rename",
+        "fetch",
+    ];
+    let ns = smt_core::pipeline_phase_ns();
+    let total: u64 = ns.iter().sum();
+    for (n, v) in names.iter().zip(&ns) {
+        println!(
+            "{n:12} {:8.1} ms  {:5.1}%",
+            *v as f64 / 1e6,
+            *v as f64 / total as f64 * 100.0
+        );
+    }
+    println!("total        {:8.1} ms", total as f64 / 1e6);
+}

@@ -99,3 +99,18 @@ pub use policy::{
     OptLast, RoundRobin, SpecLast, ThreadFetchView,
 };
 pub use report::{FetchBreakdown, IssueBreakdown, SimReport, ThreadReport};
+
+/// Per-phase wall-clock nanoseconds accumulated by the cycle driver since
+/// process start, in phase order: memory begin-cycle, miss completions,
+/// writeback, commit, issue, rename, fetch. Only available with the
+/// `phase-timing` feature (see "Profiling the hot loop" in the `smt-bench`
+/// crate docs); the probes cost ~15% of throughput, so they are compiled
+/// out by default.
+#[cfg(feature = "phase-timing")]
+pub fn pipeline_phase_ns() -> [u64; 7] {
+    let mut out = [0; 7];
+    for (o, a) in out.iter_mut().zip(pipeline::PHASE_NS.iter()) {
+        *o = a.load(std::sync::atomic::Ordering::Relaxed);
+    }
+    out
+}

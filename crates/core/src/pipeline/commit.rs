@@ -1,6 +1,7 @@
 //! In-order commit: per-thread retirement from the ROB head.
 
-use super::{InstState, Simulator};
+use super::slab::{preg_class, preg_index, InstState, PREG_NONE};
+use super::Simulator;
 
 impl Simulator {
     // ---- phase 3: in-order commit ------------------------------------
@@ -10,7 +11,8 @@ impl Simulator {
     /// Committing a renaming instruction frees the physical register its
     /// destination previously mapped to — by then every consumer of that
     /// old mapping has itself committed, so no wakeup list can reference
-    /// it.
+    /// it. Retirement moves a 4-byte slab handle and recycles the slot;
+    /// the instruction record itself is never copied.
     pub(super) fn commit(&mut self) {
         let mut budget = self.cfg.commit_width;
         let n = self.threads.len();
@@ -19,22 +21,25 @@ impl Simulator {
             let ti = (start + k) % n;
             while budget > 0 {
                 let t = &mut self.threads[ti];
-                match t.rob.front() {
-                    Some(head) if head.state == InstState::Done => {
-                        debug_assert!(
-                            !head.wrong_path,
-                            "wrong-path instruction survived to the ROB head"
-                        );
-                        let head = t.rob.pop_front().expect("just observed");
-                        t.popped_front += 1;
-                        if let Some((class, prev)) = head.prev_phys {
-                            self.regs[class.index()].release(prev);
-                        }
-                        t.committed += 1;
-                        budget -= 1;
-                    }
-                    _ => break,
+                let Some(&head) = t.rob.front() else {
+                    break;
+                };
+                let h = &self.insts.hot[head.index()];
+                if h.state() != InstState::Done {
+                    break;
                 }
+                debug_assert!(
+                    !h.wrong_path(),
+                    "wrong-path instruction survived to the ROB head"
+                );
+                let prev = h.prev_phys;
+                t.rob.pop_front();
+                if prev != PREG_NONE {
+                    self.regs[preg_class(prev)].release(preg_index(prev));
+                }
+                self.insts.free(head);
+                t.committed += 1;
+                budget -= 1;
             }
         }
     }

@@ -18,7 +18,8 @@ use crate::ablation::Ablation;
 use crate::policy::{FetchPartition, ThreadFetchView};
 use smt_branch::Prediction;
 
-use super::{DynInst, InstState, Simulator};
+use super::slab::{lreg_pack, ColdInst, HotInst, PREG_NONE};
+use super::Simulator;
 
 /// Why a fetch slot could not be filled this cycle (candidate loss causes,
 /// settled against the actually-unused slots at end of cycle).
@@ -43,25 +44,23 @@ impl Simulator {
         // call (see `FetchPolicy::priority_batch`), then sort.
         let n64 = n as u64;
         let rot_base = cycle % n64;
-        let mut views = std::mem::take(&mut self.fetch_view_scratch);
-        views.clear();
+        let counter = self.cfg.fetch.ranking_counter();
         let mut ranked = std::mem::take(&mut self.fetch_rank_scratch);
         ranked.clear();
-        for ti in 0..n {
-            let t = &self.threads[ti];
+        let mut views = std::mem::take(&mut self.fetch_view_scratch);
+        views.clear();
+        // One scan decides fetchability and the rotation tie-break for
+        // both ranking modes; only key derivation differs. Policies whose
+        // key IS a live counter (every shipped policy, see
+        // `FetchPolicy::ranking_counter`) read it right here; others get
+        // a view batch and one dynamic `priority_batch` call below.
+        for (ti, t) in self.threads.iter().enumerate() {
             let fetchable = t.icache_req.is_none()
                 && t.stall_until <= cycle
                 && t.frontend.len() < self.frontend_limit;
             if !fetchable {
                 continue;
             }
-            views.push(ThreadFetchView {
-                thread: t.id,
-                thread_count: n as u8,
-                in_flight: t.in_flight,
-                unresolved_branches: t.unresolved_ctrl.len() as u32,
-                outstanding_misses: t.outstanding_misses,
-            });
             // `rotating_rank(cycle, id, n)` with the `cycle % n` hoisted
             // out of the loop (thread + n - base < 2n, so one conditional
             // subtraction replaces the second modulo).
@@ -70,16 +69,35 @@ impl Simulator {
                 rotation -= n64;
             }
             debug_assert_eq!(rotation, crate::policy::rotating_rank(cycle, t.id, n as u8));
-            ranked.push((0, rotation, ti));
+            use crate::policy::FetchCounter;
+            let key = match counter {
+                Some(FetchCounter::Rotation) => rotation as i64,
+                Some(FetchCounter::InFlight) => i64::from(t.in_flight),
+                Some(FetchCounter::UnresolvedBranches) => t.unresolved_ctrl.len() as i64,
+                Some(FetchCounter::OutstandingMisses) => i64::from(t.outstanding_misses),
+                None => {
+                    views.push(ThreadFetchView {
+                        thread: t.id,
+                        thread_count: n as u8,
+                        in_flight: t.in_flight,
+                        unresolved_branches: t.unresolved_ctrl.len() as u32,
+                        outstanding_misses: t.outstanding_misses,
+                    });
+                    0 // filled in by the batched ranking call below
+                }
+            };
+            ranked.push((key, rotation, ti));
         }
-        let mut keys = std::mem::take(&mut self.fetch_key_scratch);
-        keys.clear();
-        self.cfg.fetch.priority_batch(cycle, &views, &mut keys);
-        for (slot, &key) in ranked.iter_mut().zip(&keys) {
-            slot.0 = key;
+        if counter.is_none() {
+            let mut keys = std::mem::take(&mut self.fetch_key_scratch);
+            keys.clear();
+            self.cfg.fetch.priority_batch(cycle, &views, &mut keys);
+            for (slot, &key) in ranked.iter_mut().zip(&keys) {
+                slot.0 = key;
+            }
+            self.fetch_key_scratch = keys;
         }
         self.fetch_view_scratch = views;
-        self.fetch_key_scratch = keys;
         ranked.sort_unstable();
 
         // As in the paper, the fetch unit takes the highest-priority
@@ -164,6 +182,10 @@ impl Simulator {
     /// many were fetched, recording candidate slot losses in `losses`.
     /// With `arbitrate: false` (the wrong-path exemption ablation) the
     /// I-cache access neither checks nor consumes bank/port resources.
+    ///
+    /// The per-instruction loop runs over borrows split **once** per block
+    /// (the thread, the slab, the predictor, the counters), so the host
+    /// does no repeated `threads[ti]` indexing per fetched instruction.
     fn fetch_block(
         &mut self,
         ti: usize,
@@ -196,18 +218,147 @@ impl Simulator {
             AccessResult::Hit => {}
         }
         let line = block_pc >> line_shift;
+        let cycle = self.cycle;
+        let frontend_limit = self.frontend_limit;
+        let decode_cycles = self.cfg.decode_cycles;
+        let misfetch_penalty = self.cfg.misfetch_penalty;
+        let perfect_bp = self
+            .cfg
+            .ablations
+            .contains(Ablation::PerfectBranchPrediction);
+        let insts = &mut self.insts;
+        let bp = &mut self.bp;
+        let f_stats = &mut self.f_stats;
+        let next_seq = &mut self.next_seq;
+        let t = &mut self.threads[ti];
         let mut fetched = 0u32;
         while fetched < cap {
-            if self.threads[ti].frontend.len() >= self.frontend_limit {
+            if t.frontend.len() >= frontend_limit {
                 losses.push((LossCause::FrontendFull, cap - fetched));
                 break;
             }
-            let pc = self.threads[ti].fetch_pc;
+            let pc = t.fetch_pc;
             if pc >> line_shift != line {
                 losses.push((LossCause::Fragmentation, cap - fetched));
                 break;
             }
-            let end_block = self.fetch_one(ti, pc);
+
+            // ---- fetch one instruction at `pc` -----------------------
+            let wrong_path = t.wrong_path;
+            let (inst, outcome) = if wrong_path {
+                (WrongPath::inst_at(&t.program, pc), None)
+            } else {
+                debug_assert_eq!(t.oracle.pc(), pc, "fetch left the oracle's path");
+                let (inst, outcome) = t.oracle.step();
+                (inst, Some(outcome))
+            };
+
+            let mut mem_addr = 0;
+            if inst.op.is_mem() {
+                mem_addr = match outcome {
+                    Some(o) => o.mem_addr,
+                    None => {
+                        t.wp_salt = t.wp_salt.wrapping_add(1);
+                        WrongPath::mem_addr(&t.program, pc, t.wp_salt ^ cycle)
+                    }
+                };
+            }
+
+            let mut pred = None;
+            let mut mispredict = false;
+            let mut end_block = false;
+            let mut misfetch = false;
+            let mut next_fetch = pc + INST_BYTES;
+
+            if inst.op.is_control() {
+                // Perfect-branch-prediction ablation: synthesize an
+                // oracle-perfect prediction instead of consulting the
+                // predictor — `classify_prediction` then always agrees
+                // with the outcome, so no mispredicts, no misfetches, and
+                // the wrong-path machinery never engages. (Fetch cannot be
+                // on the wrong path under this ablation, so `outcome` is
+                // present.)
+                let p = match outcome {
+                    Some(actual) if perfect_bp => Prediction::perfect(actual.taken, actual.next_pc),
+                    _ => bp.predict(id, pc, inst.op),
+                };
+                pred = Some(p);
+                match outcome {
+                    Some(actual) => {
+                        let (goes_wrong, nf, ends, misses) =
+                            classify_prediction(&p, &actual, inst.op, pc, &t.program, inst);
+                        mispredict = goes_wrong;
+                        next_fetch = nf;
+                        end_block = ends;
+                        misfetch = misses;
+                        if goes_wrong {
+                            t.wrong_path = true;
+                        }
+                    }
+                    None => {
+                        // Wrong path: simply follow the prediction.
+                        if p.taken {
+                            match p.target {
+                                Some(tgt) => {
+                                    next_fetch = tgt;
+                                    end_block = true;
+                                }
+                                None => {
+                                    misfetch = true;
+                                    next_fetch = wrong_path_taken_target(&t.program, inst, pc);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            if misfetch {
+                f_stats.misfetches += 1;
+                t.stall_until = cycle + 1 + misfetch_penalty;
+                end_block = true;
+            }
+
+            if wrong_path {
+                f_stats.wrong_path += 1;
+            } else {
+                f_stats.fetched += 1;
+            }
+
+            let seq = *next_seq;
+            *next_seq += 1;
+            let iref = insts.alloc(HotInst {
+                gen: 0, // overwritten with the slot's generation by `alloc`
+                seq,
+                when: cycle + decode_cycles,
+                mem_addr,
+                dest_phys: PREG_NONE,
+                prev_phys: PREG_NONE,
+                srcs_phys: [PREG_NONE, PREG_NONE],
+                flags: HotInst::initial_flags(wrong_path, mispredict),
+                op: inst.op,
+                ti: ti as u8,
+                pending_srcs: 0,
+                dest_log: lreg_pack(inst.dest),
+                srcs_log: [lreg_pack(inst.srcs[0]), lreg_pack(inst.srcs[1])],
+            });
+            // Only correct-path control instructions are ever resolved
+            // against a cold record; everything else skips the array
+            // entirely.
+            if let (Some(o), Some(p)) = (&outcome, &pred) {
+                insts.cold[iref.index()] = ColdInst::for_control(pc, p, o);
+            }
+            t.rob.push_back(iref);
+            t.frontend.push_back((iref, cycle + decode_cycles));
+            t.in_flight += 1;
+            if inst.op.is_control() {
+                // Fetch order is age order: appending keeps the list
+                // sorted.
+                t.unresolved_ctrl.push(seq);
+            }
+            t.fetch_pc = next_fetch;
+            // ---- end of one instruction ------------------------------
+
             fetched += 1;
             if end_block {
                 if fetched < cap {
@@ -217,141 +368,6 @@ impl Simulator {
             }
         }
         fetched
-    }
-
-    /// Fetches the single instruction at `pc` for thread `ti`; returns
-    /// whether the fetch block ends here (taken control or misfetch stall).
-    fn fetch_one(&mut self, ti: usize, pc: Addr) -> bool {
-        let cycle = self.cycle;
-        let wrong_path = self.threads[ti].wrong_path;
-        let (inst, outcome) = if wrong_path {
-            (WrongPath::inst_at(&self.threads[ti].program, pc), None)
-        } else {
-            debug_assert_eq!(
-                self.threads[ti].oracle.pc(),
-                pc,
-                "fetch left the oracle's path"
-            );
-            let (inst, outcome) = self.threads[ti].oracle.step();
-            (inst, Some(outcome))
-        };
-
-        let mut mem_addr = 0;
-        if inst.op.is_mem() {
-            mem_addr = match outcome {
-                Some(o) => o.mem_addr,
-                None => {
-                    let t = &mut self.threads[ti];
-                    t.wp_salt = t.wp_salt.wrapping_add(1);
-                    WrongPath::mem_addr(&t.program, pc, t.wp_salt ^ cycle)
-                }
-            };
-        }
-
-        let mut pred = None;
-        let mut mispredict = false;
-        let mut end_block = false;
-        let mut misfetch = false;
-        let mut next_fetch = pc + INST_BYTES;
-
-        if inst.op.is_control() {
-            let id = self.threads[ti].id;
-            // Perfect-branch-prediction ablation: synthesize an
-            // oracle-perfect prediction instead of consulting the
-            // predictor — `classify_prediction` then always agrees with
-            // the outcome, so no mispredicts, no misfetches, and the
-            // wrong-path machinery never engages. (Fetch cannot be on the
-            // wrong path under this ablation, so `outcome` is present.)
-            let p = match outcome {
-                Some(actual)
-                    if self
-                        .cfg
-                        .ablations
-                        .contains(Ablation::PerfectBranchPrediction) =>
-                {
-                    Prediction::perfect(actual.taken, actual.next_pc)
-                }
-                _ => self.bp.predict(id, pc, inst.op),
-            };
-            pred = Some(p);
-            match outcome {
-                Some(actual) => {
-                    let (goes_wrong, nf, ends, misses) = classify_prediction(
-                        &p,
-                        &actual,
-                        inst.op,
-                        pc,
-                        &self.threads[ti].program,
-                        inst,
-                    );
-                    mispredict = goes_wrong;
-                    next_fetch = nf;
-                    end_block = ends;
-                    misfetch = misses;
-                    if goes_wrong {
-                        self.threads[ti].wrong_path = true;
-                    }
-                }
-                None => {
-                    // Wrong path: simply follow the prediction.
-                    if p.taken {
-                        match p.target {
-                            Some(tgt) => {
-                                next_fetch = tgt;
-                                end_block = true;
-                            }
-                            None => {
-                                misfetch = true;
-                                next_fetch =
-                                    wrong_path_taken_target(&self.threads[ti].program, inst, pc);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        if misfetch {
-            self.f_stats.misfetches += 1;
-            self.threads[ti].stall_until = cycle + 1 + self.cfg.misfetch_penalty;
-            end_block = true;
-        }
-
-        if wrong_path {
-            self.f_stats.wrong_path += 1;
-        } else {
-            self.f_stats.fetched += 1;
-        }
-
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let t = &mut self.threads[ti];
-        let pos = t.next_pos();
-        t.rob.push_back(DynInst {
-            seq,
-            pc,
-            inst,
-            outcome,
-            wrong_path,
-            pred,
-            mispredict,
-            mem_addr,
-            dest_phys: None,
-            prev_phys: None,
-            srcs_phys: [None, None],
-            pending_srcs: 0,
-            state: InstState::Decoding {
-                ready_at: cycle + self.cfg.decode_cycles,
-            },
-        });
-        t.frontend.push_back((seq, pos));
-        t.in_flight += 1;
-        if inst.op.is_control() {
-            // Fetch order is age order: appending keeps the list sorted.
-            t.unresolved_ctrl.push(seq);
-        }
-        t.fetch_pc = next_fetch;
-        end_block
     }
 }
 

@@ -1,18 +1,25 @@
 //! Issue: the [`IssuePolicy`](crate::IssuePolicy) ranks the ready set onto
 //! the functional units.
 //!
-//! The candidates come straight off the per-class ready queues — every
+//! The candidates come straight off the age-sorted ready set — every
 //! entry is a live, Queued instruction whose operands are all available
 //! (the wakeup scheduler put it there exactly once), so no readiness is
-//! re-checked here. Each [`ReadyEntry`] caches the opcode and renamed
-//! sources, so ranking and functional-unit matching touch no ROB at all;
-//! only instructions that actually win a unit are looked up (O(1) via
-//! their stable position) to take their state transition.
+//! re-checked here. Each [`ReadyEntry`] caches the opcode and the
+//! load-speculation bound, so ranking and functional-unit matching touch
+//! no instruction record at all; only instructions that actually win a
+//! unit are looked up (one slab index through their cached
+//! [`InstRef`](super::slab::InstRef)) to take their state transition.
 //!
 //! Ranking sorts on `(policy key, seq, …)`; sequence numbers are globally
 //! unique, so the order — and therefore every downstream counter — is
 //! identical to the scan-based simulator's, which built the same set by
-//! polling the instruction queues.
+//! polling the instruction queues. Pure-age policies
+//! ([`IssuePolicy::age_is_priority`](crate::IssuePolicy::age_is_priority),
+//! i.e. the default OLDEST_FIRST) take a fast path that issues straight
+//! off the ready set: ranking by age would reproduce its order exactly,
+//! so no candidate batch is built at all.
+//!
+//! [`ReadyEntry`]: super::ReadyEntry
 
 use smt_isa::FuKind;
 use smt_mem::AccessResult;
@@ -20,12 +27,51 @@ use smt_mem::AccessResult;
 use crate::config::MAX_THREADS;
 use crate::policy::IssueCandidate;
 
-use super::{InstState, Simulator};
+use super::slab::InstState;
+use super::Simulator;
+
+/// Ready-set tombstone for issued entries (sequence numbers never reach
+/// `u64::MAX`), swept after the winner loop — no allocation.
+const ISSUED: u64 = u64::MAX;
+
+/// Functional units still available this cycle.
+struct UnitBudget {
+    int_left: usize,
+    ldst_left: usize,
+    fp_left: usize,
+}
+
+impl UnitBudget {
+    fn exhausted(&self) -> bool {
+        self.int_left == 0 && self.fp_left == 0
+    }
+}
 
 impl Simulator {
     // ---- phase 4: issue ----------------------------------------------
 
     pub(super) fn issue(&mut self) {
+        let mut budget = UnitBudget {
+            int_left: self.cfg.int_units,
+            ldst_left: self.cfg.ldst_units,
+            fp_left: self.cfg.fp_units,
+        };
+
+        if self.cfg.issue.age_is_priority() {
+            // Fast path: the ready set is already in issue order.
+            let mut issued_any = false;
+            for qi in 0..self.ready_q.len() {
+                if budget.exhausted() {
+                    break;
+                }
+                issued_any |= self.issue_slot(qi, &mut budget);
+            }
+            if issued_any {
+                self.ready_q.retain(|e| e.seq != ISSUED);
+            }
+            return;
+        }
+
         let cycle = self.cycle;
         // Oldest unresolved branch per thread marks younger work
         // speculative (maintained incrementally; the sorted list's front
@@ -38,23 +84,23 @@ impl Simulator {
         // Build the candidate batch off the age-sorted ready set, rank it
         // in ONE policy call (see `IssuePolicy::priority_batch`), then
         // sort. Because candidates arrive in ascending `seq`, age-keyed
-        // policies (OLDEST_FIRST) produce an already-sorted array and the
-        // sort below is a single O(n) ascending-run check.
+        // policies produce an already-sorted array and the sort below is a
+        // single O(n) ascending-run check.
         let mut cands = std::mem::take(&mut self.issue_cand_scratch);
         cands.clear();
         for e in &self.ready_q {
             debug_assert!(
-                self.threads[e.ti]
-                    .locate(e.seq, e.pos)
-                    .map(|idx| &self.threads[e.ti].rob[idx])
-                    .is_some_and(|i| {
-                        i.state == InstState::Queued
-                            && i.srcs_phys
-                                .iter()
-                                .flatten()
-                                .all(|&(c, p)| self.regs[c.index()].is_ready(p))
-                            && e.opt_until == super::opt_until_of(&self.regs, &i.srcs_phys)
-                    }),
+                {
+                    let i = &self.insts.hot[e.iref.index()];
+                    i.seq == e.seq
+                        && i.state() == InstState::Queued
+                        && i.srcs_phys.iter().all(|&s| {
+                            s == super::PREG_NONE
+                                || self.regs[super::slab::preg_class(s)]
+                                    .is_ready(super::slab::preg_index(s))
+                        })
+                        && e.opt_until == super::opt_until_of(&self.regs, &i.srcs_phys)
+                },
                 "ready set holds a stale or not-ready instruction"
             );
             // One compare replaces the per-cycle scoreboard probes: the
@@ -63,10 +109,10 @@ impl Simulator {
             cands.push(IssueCandidate {
                 age: e.seq,
                 // Thread ids are the thread indexes by construction.
-                thread: smt_isa::ThreadId(e.ti as u8),
+                thread: smt_isa::ThreadId(e.ti),
                 queue: e.op.queue(),
                 is_branch: e.op.is_control(),
-                speculative: oldest_branch[e.ti].is_some_and(|b| e.seq > b),
+                speculative: oldest_branch[usize::from(e.ti)].is_some_and(|b| e.seq > b),
                 optimistic,
             });
         }
@@ -82,86 +128,90 @@ impl Simulator {
         self.issue_key_scratch = keys;
         ranked.sort_unstable();
 
-        // Issued entries are tombstoned in place (sequence numbers never
-        // reach `u64::MAX`) and swept after the loop — no allocation.
-        const ISSUED: u64 = u64::MAX;
-        let mut int_used = 0usize;
-        let mut ldst_used = 0usize;
-        let mut fp_used = 0usize;
-        for &(_, seq, qi) in &ranked {
-            if int_used == self.cfg.int_units && fp_used == self.cfg.fp_units {
+        let mut issued_any = false;
+        for &(_, _, qi) in &ranked {
+            if budget.exhausted() {
                 break;
             }
-            let e = self.ready_q[qi as usize];
-            let op = e.op;
-            match op.fu_kind() {
-                FuKind::IntAlu if int_used < self.cfg.int_units => int_used += 1,
-                FuKind::LdSt
-                    if int_used < self.cfg.int_units && ldst_used < self.cfg.ldst_units =>
-                {
-                    int_used += 1;
-                    ldst_used += 1;
-                }
-                FuKind::Fp if fp_used < self.cfg.fp_units => fp_used += 1,
-                _ => continue, // no unit of the right kind left this cycle
-            }
-            let ti = e.ti;
-            let id = self.threads[ti].id;
-            let idx = self.threads[ti]
-                .locate(seq, e.pos)
-                .expect("candidate is live");
-            debug_assert_eq!(self.threads[ti].rob[idx].state, InstState::Queued);
-            debug_assert_eq!(self.threads[ti].rob[idx].pending_srcs, 0);
-            let state = if op.is_mem() {
-                let addr = self.threads[ti].rob[idx].mem_addr;
-                match self.mem.dcache_access(id, addr, op.is_store()) {
-                    AccessResult::Hit => InstState::Executing { done_at: cycle + 1 },
-                    AccessResult::Miss(req) => {
-                        if op.is_load() {
-                            self.pending_loads.insert(req, (ti, seq, e.pos));
-                            InstState::WaitingMem
-                        } else {
-                            // Stores retire into the write buffer; the miss
-                            // traffic still occupies the hierarchy.
-                            InstState::Executing { done_at: cycle + 1 }
-                        }
-                    }
-                    AccessResult::BankConflict => {
-                        // The issue slot is spent but the access must retry:
-                        // the instruction stays Queued and therefore stays
-                        // in its ready queue for next cycle.
-                        self.i_stats.bank_conflicts += 1;
-                        continue;
-                    }
-                }
-            } else {
-                InstState::Executing {
-                    done_at: cycle + u64::from(op.latency().max(1)),
-                }
-            };
-            // Leaving the instruction queue: schedule the writeback event
-            // (a WaitingMem load schedules it on miss completion instead).
-            if let InstState::Executing { done_at } = state {
-                self.schedule_writeback(done_at, seq, ti, e.pos);
-            } else {
-                self.threads[ti].outstanding_misses += 1;
-            }
-            self.iq_len[op.queue().index()] -= 1;
-            self.ready_q[qi as usize].seq = ISSUED;
-            let t = &mut self.threads[ti];
-            t.in_flight -= 1;
-            let i = &mut t.rob[idx];
-            i.state = state;
-            if i.wrong_path {
-                self.i_stats.wrong_path += 1;
-            } else {
-                self.i_stats.issued += 1;
-            }
+            issued_any |= self.issue_slot(qi as usize, &mut budget);
         }
         self.issue_rank_scratch = ranked;
         // Sweep issued entries out of the ready set; bank-conflict bounces
         // were never tombstoned and stay ready for next cycle. (Retain
         // preserves order, so the set stays age-sorted.)
-        self.ready_q.retain(|e| e.seq != ISSUED);
+        if issued_any {
+            self.ready_q.retain(|e| e.seq != ISSUED);
+        }
+    }
+
+    /// Tries to issue the ready-set entry at `qi`: claims a functional
+    /// unit of the right kind, performs the D-cache access for memory
+    /// operations, schedules the writeback event and tombstones the entry.
+    /// Returns whether the entry was tombstoned (issued or sent to wait on
+    /// a miss); bank-conflict bounces spend their unit but stay ready.
+    #[inline]
+    fn issue_slot(&mut self, qi: usize, budget: &mut UnitBudget) -> bool {
+        let e = self.ready_q[qi];
+        let op = e.op;
+        match op.fu_kind() {
+            FuKind::IntAlu if budget.int_left > 0 => budget.int_left -= 1,
+            FuKind::LdSt if budget.int_left > 0 && budget.ldst_left > 0 => {
+                budget.int_left -= 1;
+                budget.ldst_left -= 1;
+            }
+            FuKind::Fp if budget.fp_left > 0 => budget.fp_left -= 1,
+            _ => return false, // no unit of the right kind left this cycle
+        }
+        let cycle = self.cycle;
+        let ti = usize::from(e.ti);
+        let iref = e.iref;
+        debug_assert_eq!(self.insts.hot[iref.index()].seq, e.seq);
+        debug_assert_eq!(self.insts.hot[iref.index()].state(), InstState::Queued);
+        debug_assert_eq!(self.insts.hot[iref.index()].pending_srcs, 0);
+        let (state, when) = if op.is_mem() {
+            let id = self.threads[ti].id;
+            let addr = self.insts.hot[iref.index()].mem_addr;
+            match self.mem.dcache_access(id, addr, op.is_store()) {
+                AccessResult::Hit => (InstState::Executing, cycle + 1),
+                AccessResult::Miss(req) => {
+                    if op.is_load() {
+                        self.pending_loads.insert(req, self.insts.tag(iref));
+                        (InstState::WaitingMem, 0)
+                    } else {
+                        // Stores retire into the write buffer; the miss
+                        // traffic still occupies the hierarchy.
+                        (InstState::Executing, cycle + 1)
+                    }
+                }
+                AccessResult::BankConflict => {
+                    // The issue slot is spent but the access must retry:
+                    // the instruction stays Queued and therefore stays
+                    // in its ready queue for next cycle.
+                    self.i_stats.bank_conflicts += 1;
+                    return false;
+                }
+            }
+        } else {
+            (InstState::Executing, cycle + u64::from(op.latency().max(1)))
+        };
+        // Leaving the instruction queue: schedule the writeback event
+        // (a WaitingMem load schedules it on miss completion instead).
+        if state == InstState::Executing {
+            self.schedule_writeback(when, e.seq, self.insts.tag(iref));
+        } else {
+            self.threads[ti].outstanding_misses += 1;
+        }
+        self.iq_len[op.queue().index()] -= 1;
+        self.ready_q[qi].seq = ISSUED;
+        self.threads[ti].in_flight -= 1;
+        let i = &mut self.insts.hot[iref.index()];
+        i.set_state(state);
+        i.when = when;
+        if i.wrong_path() {
+            self.i_stats.wrong_path += 1;
+        } else {
+            self.i_stats.issued += 1;
+        }
+        true
     }
 }

@@ -1,4 +1,5 @@
-//! The cycle-level SMT pipeline, built around an **event-driven scheduler**.
+//! The cycle-level SMT pipeline, built around an **event-driven scheduler**
+//! over **data-oriented state**.
 //!
 //! Eight logical stages on the paper's machine collapse here into five
 //! simulated phases per cycle, processed oldest-work-first so data flows
@@ -42,6 +43,21 @@
 //!   exactly one bucket per cycle instead of scanning for
 //!   `done_at <= cycle`.
 //!
+//! # Data-oriented state (PR 5)
+//!
+//! All in-flight instructions live in one generation-indexed
+//! [`InstSlab`](slab::InstSlab): packed 48-byte hot records in one array,
+//! cold report/resolution payload in a parallel array, 4-byte
+//! [`InstRef`](slab::InstRef) handles everywhere else. Per-thread ROBs,
+//! the front-end queues, the ready set, wakeup lists, calendar events and
+//! pending-load completions all store refs into the slab; stale artifacts
+//! die on a generation compare ([`slab::GenRef`]). Outstanding D-miss
+//! loads live in a [`PendingLoads`](slab::PendingLoads) table indexed by
+//! request id, so a miss completion is an array index, not a hash probe.
+//! Every per-cycle structure is pooled or reused in place — the warmed
+//! steady state performs **zero heap allocations per cycle** (pinned by an
+//! allocation-guard test in `smt-bench`).
+//!
 //! Per-thread policy counters (ICOUNT / BRCOUNT / MISSCOUNT) are maintained
 //! incrementally at the same transitions, so fetch ranking reads them in
 //! O(1). The stage phases live in sibling modules ([`fetch`], [`rename`],
@@ -60,14 +76,14 @@ mod fetch;
 mod issue;
 mod rename;
 mod scheduler;
+pub(crate) mod slab;
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use smt_branch::{BranchPredictor, Prediction};
-use smt_isa::{Addr, Outcome, RegClass, StaticInst, ThreadId};
+use smt_branch::BranchPredictor;
+use smt_isa::{Addr, ThreadId};
 use smt_mem::{MemoryHierarchy, ReqId};
-use smt_stats::hash::FastHashMap;
 use smt_stats::Ratio;
 use smt_workload::{Program, ThreadContext};
 
@@ -75,76 +91,42 @@ use crate::config::SimConfig;
 use crate::regfile::{PhysRegFile, RenameMap};
 use crate::report::{FetchBreakdown, IssueBreakdown, SimReport, ThreadReport};
 
-/// Lifecycle of one in-flight instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum InstState {
-    /// In the front end (decode/rename pipe); eligible to enter a queue at
-    /// `ready_at`.
-    Decoding {
-        /// Cycle at which decode finishes.
-        ready_at: u64,
-    },
-    /// In an instruction queue, waiting for operands and a functional unit.
-    Queued,
-    /// Issued; result available at `done_at`.
-    Executing {
-        /// Cycle at which the result is written back.
-        done_at: u64,
-    },
-    /// A load waiting on an outstanding D-cache miss.
-    WaitingMem,
-    /// Executed; awaiting in-order retirement.
-    Done,
-}
-
-/// One dynamic (in-flight) instruction.
-#[derive(Debug, Clone)]
-struct DynInst {
-    seq: u64,
-    pc: Addr,
-    inst: StaticInst,
-    /// Architectural outcome; `None` on the wrong path.
-    outcome: Option<Outcome>,
-    wrong_path: bool,
-    pred: Option<Prediction>,
-    /// Correct-path control instruction whose prediction was wrong; resolves
-    /// with a squash and redirect.
-    mispredict: bool,
-    /// Effective address for memory instructions (synthesized on the wrong
-    /// path).
-    mem_addr: Addr,
-    dest_phys: Option<(RegClass, u16)>,
-    prev_phys: Option<(RegClass, u16)>,
-    srcs_phys: [Option<(RegClass, u16)>; 2],
-    /// Source operands still outstanding. While non-zero the instruction
-    /// sits only in wakeup lists; it joins a ready queue when this reaches
-    /// zero.
-    pending_srcs: u8,
-    state: InstState,
-}
+use slab::{GenRef, InstRef, InstSlab, PendingLoads, PREG_NONE};
 
 /// One ready instruction, parked in the age-sorted ready set until issued.
 ///
-/// Carries everything ranking needs — the static opcode and the
-/// load-speculation window bound — so building issue candidates touches
-/// neither the ROB nor the register scoreboard; the ROB is consulted only
-/// for instructions that actually win a functional unit.
+/// Carries everything ranking needs — the slab handle, the static opcode
+/// and the load-speculation window bound — so building issue candidates
+/// touches neither the slab nor the register scoreboard; the slab is
+/// consulted only for instructions that actually win a functional unit.
 #[derive(Debug, Clone, Copy)]
 struct ReadyEntry {
-    /// Owning thread index.
-    ti: usize,
     /// Global age (the issue policies' `age` field).
     seq: u64,
-    /// Stable ROB position for O(1) lookup (see [`Thread::locate`]).
-    pos: u64,
-    /// The instruction's opcode (functional-unit kind, queue, latency).
-    op: smt_isa::Opcode,
     /// Last cycle at which this instruction still issues on a load-hit
     /// assumption (the OPT_LAST tag): the maximum
     /// [`opt_window_end`](crate::regfile::PhysRegFile::opt_window_end)
     /// over its sources, cached at entry creation — source scoreboard
     /// state is immutable while a consumer is ready (see that method).
     opt_until: u64,
+    /// The instruction's slab slot. Ready entries are removed eagerly on
+    /// squash, so (unlike wakeup/calendar artifacts) they never go stale
+    /// and need no generation.
+    iref: InstRef,
+    /// The instruction's opcode (functional-unit kind, queue, latency).
+    op: smt_isa::Opcode,
+    /// Owning thread index.
+    ti: u8,
+}
+
+/// One scheduled writeback: the completion event for an issued (or
+/// miss-completed) instruction, parked in its due cycle's calendar bucket.
+/// `seq` orders the bucket (global age order) and the tagged ref fails its
+/// slab lookup if the instruction was squashed after scheduling.
+#[derive(Debug, Clone, Copy)]
+struct ExecEvent {
+    seq: u64,
+    inst: GenRef,
 }
 
 /// Size of the writeback calendar ring: a power of two comfortably above
@@ -156,81 +138,79 @@ const EXEC_RING: usize = 64;
 /// near the tail (readiness correlates with age), so the binary search
 /// plus short memmove is cheap.
 fn insert_ready(ready_q: &mut Vec<ReadyEntry>, e: ReadyEntry) {
-    let at = ready_q.partition_point(|r| r.seq < e.seq);
-    ready_q.insert(at, e);
+    // Dispatch inserts are usually the youngest instruction in the set:
+    // check the tail before paying for a binary search.
+    if ready_q.last().is_none_or(|l| l.seq < e.seq) {
+        ready_q.push(e);
+    } else {
+        let at = ready_q.partition_point(|r| r.seq < e.seq);
+        ready_q.insert(at, e);
+    }
 }
 
 /// The [`ReadyEntry::opt_until`] bound for an instruction with the given
-/// renamed (and all-ready) sources.
-fn opt_until_of(regs: &[PhysRegFile; 2], srcs: &[Option<(RegClass, u16)>; 2]) -> u64 {
-    srcs.iter()
-        .flatten()
-        .map(|&(c, p)| regs[c.index()].opt_window_end(p))
-        .max()
-        .unwrap_or(0)
+/// packed (and all-ready) sources.
+fn opt_until_of(regs: &[PhysRegFile; 2], srcs: &[u16; 2]) -> u64 {
+    let mut end = 0;
+    for &s in srcs {
+        if s != PREG_NONE {
+            end = end.max(regs[slab::preg_class(s)].opt_window_end(slab::preg_index(s)));
+        }
+    }
+    end
 }
 
 /// One hardware context.
+///
+/// `repr(C)` pins the field order: the members the every-cycle fetch
+/// ranking reads (PC, stall/miss gates, the live policy counters, and the
+/// unresolved-control list whose length is BRCOUNT) lead the struct, so
+/// building a [`ThreadFetchView`](crate::policy::ThreadFetchView) touches
+/// the first cache line instead of sampling a ~400-byte struct at random
+/// offsets.
+#[repr(C)]
 struct Thread {
-    id: ThreadId,
-    oracle: ThreadContext,
-    program: Arc<Program>,
-    map: RenameMap,
-    /// All in-flight instructions in fetch order (the per-thread ROB).
-    rob: VecDeque<DynInst>,
-    /// Instructions retired (popped from the ROB front) over this thread's
-    /// lifetime. An instruction's *stable position* is `popped_front` at
-    /// fetch time plus its ROB index; squash only pops from the back, so
-    /// the stable position never changes — [`Thread::locate`] resolves it
-    /// back to a ROB index in O(1), replacing binary searches.
-    popped_front: u64,
-    /// `(seq, stable position)` of instructions still in the front end.
-    frontend: VecDeque<(u64, u64)>,
     fetch_pc: Addr,
-    /// Fetch has diverged from the correct path.
-    wrong_path: bool,
     /// Fetch suppressed until this cycle (misfetch/redirect penalties).
     stall_until: u64,
     /// Outstanding I-cache miss blocking fetch.
     icache_req: Option<ReqId>,
-    /// Salt for wrong-path address synthesis.
-    wp_salt: u64,
-    committed: u64,
-    /// `committed` snapshot at the last `reset_stats` (reports measure the
-    /// window since then).
-    committed_base: u64,
     /// Live ICOUNT counter: instructions in decode, rename and the queues
     /// (fetched but not yet issued). Incremented at fetch, decremented at
     /// issue and squash — never recomputed by scanning.
     in_flight: u32,
     /// Live MISSCOUNT counter: loads waiting on outstanding D-misses.
     outstanding_misses: u32,
+    /// Fetch has diverged from the correct path.
+    wrong_path: bool,
+    id: ThreadId,
+    /// Instructions still in the front end (fetched, not yet renamed),
+    /// paired with the cycle decode finishes: rename gates on the head's
+    /// ready cycle straight from this queue, touching the slab only for
+    /// instructions it actually dispatches.
+    frontend: VecDeque<(InstRef, u64)>,
     /// Sequence numbers of fetched control instructions not yet executed
-    /// (state before [`InstState::Done`]) — BRCOUNT is its size, and its
-    /// front is the speculation boundary the issue policies consult.
+    /// (state before [`slab::InstState::Done`]) — BRCOUNT is its size, and
+    /// its front is the speculation boundary the issue policies consult.
     /// Always sorted: fetch appends monotonically increasing sequence
     /// numbers, writeback removes by binary search, and squash truncates
     /// the (youngest) tail.
     unresolved_ctrl: Vec<u64>,
+    /// All in-flight instructions in fetch order (the per-thread ROB) —
+    /// 4-byte slab handles; commit pops the front, squash pops the back.
+    rob: VecDeque<InstRef>,
+    /// Salt for wrong-path address synthesis.
+    wp_salt: u64,
+    committed: u64,
+    /// `committed` snapshot at the last `reset_stats` (reports measure the
+    /// window since then).
+    committed_base: u64,
+    map: RenameMap,
+    oracle: ThreadContext,
+    program: Arc<Program>,
 }
 
 impl Thread {
-    /// Resolves a stable position back to a ROB index, or `None` when the
-    /// instruction is gone (committed or squashed). `seq` authenticates
-    /// the slot: scheduler artifacts (wakeup-list entries, writeback
-    /// events, pending-load completions) go stale rather than being hunted
-    /// down on squash, and sequence numbers are never reused, so a stale
-    /// artifact simply fails this check.
-    fn locate(&self, seq: u64, pos: u64) -> Option<usize> {
-        let idx = pos.checked_sub(self.popped_front)? as usize;
-        (idx < self.rob.len() && self.rob[idx].seq == seq).then_some(idx)
-    }
-
-    /// The stable position the next fetched instruction will occupy.
-    fn next_pos(&self) -> u64 {
-        self.popped_front + self.rob.len() as u64
-    }
-
     /// Removes one resolved control instruction from the unresolved list
     /// (no-op if absent, e.g. removed by an earlier squash).
     fn resolve_ctrl(&mut self, seq: u64) {
@@ -264,6 +244,8 @@ pub struct Simulator {
     stats_base_cycle: u64,
     next_seq: u64,
     threads: Vec<Thread>,
+    /// Every in-flight instruction, across all threads (see [`slab`]).
+    insts: InstSlab,
     regs: [PhysRegFile; 2],
     /// The ready set: Queued instructions whose operands are all
     /// available. Instructions enter exactly once (see module docs) and
@@ -276,17 +258,18 @@ pub struct Simulator {
     /// or not their operands are ready (dispatch back-pressure).
     iq_len: [usize; 2],
     /// Scheduled writebacks, as a calendar ring: bucket `c % EXEC_RING`
-    /// holds the `(done cycle, seq, thread index, stable position)` events
-    /// due at cycle `c`. Every event is scheduled at most
-    /// [`EXEC_RING`]` - 1` cycles ahead (the longest functional-unit
-    /// latency is 30; memory misses schedule on completion), so push and
-    /// drain are O(1) with no heap discipline. Events for squashed
-    /// instructions go stale and are skipped when their bucket drains
-    /// (sequence numbers are never reused).
-    exec_done: Vec<Vec<(u64, u64, usize, u64)>>,
+    /// holds the [`ExecEvent`]s due at cycle `c`. Every event is scheduled
+    /// at most [`EXEC_RING`]` - 1` cycles ahead (the longest
+    /// functional-unit latency is 30; memory misses schedule on
+    /// completion), so push and drain are O(1) with no heap discipline.
+    /// Events for squashed instructions go stale and are skipped when
+    /// their bucket drains (the slot generation moved on).
+    exec_done: Vec<Vec<ExecEvent>>,
     mem: MemoryHierarchy,
     bp: BranchPredictor,
-    pending_loads: FastHashMap<ReqId, (usize, u64, u64)>,
+    /// Outstanding D-miss loads, keyed by request id (see
+    /// [`slab::PendingLoads`]).
+    pending_loads: PendingLoads,
     f_stats: FetchBreakdown,
     i_stats: IssueBreakdown,
     cond_pred: Ratio,
@@ -309,7 +292,23 @@ pub struct Simulator {
     loss_scratch: Vec<(fetch::LossCause, u32)>,
     /// Reused miss-completion drain buffer.
     completion_scratch: Vec<smt_mem::Completion>,
+    /// Reused wakeup drain buffer (filled by `PhysRegFile::set_ready`).
+    woken_scratch: Vec<crate::regfile::Consumer>,
 }
+
+/// Per-phase wall-clock accumulators behind the `phase-timing` feature
+/// (memory begin-cycle, completions, writeback, commit, issue, rename,
+/// fetch) — see "Profiling the hot loop" in the `smt-bench` crate docs.
+#[cfg(feature = "phase-timing")]
+pub static PHASE_NS: [std::sync::atomic::AtomicU64; 7] = [
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+];
 
 impl Simulator {
     /// Builds the machine described by `cfg`. Prefer [`SimConfig::build`].
@@ -344,32 +343,35 @@ impl Simulator {
         } else {
             (cfg.frontend_depth, cfg.iq_entries)
         };
-        let thread_state = programs
+        let thread_state: Vec<Thread> = programs
             .iter()
             .enumerate()
             .map(|(i, program)| Thread {
+                fetch_pc: program.entry(),
+                stall_until: 0,
+                icache_req: None,
+                in_flight: 0,
+                outstanding_misses: 0,
+                wrong_path: false,
                 id: ThreadId(i as u8),
+                unresolved_ctrl: Vec::new(),
+                frontend: VecDeque::new(),
+                rob: VecDeque::new(),
+                wp_salt: 0,
+                committed: 0,
+                committed_base: 0,
+                map: RenameMap::new(&mut regs),
                 oracle: ThreadContext::new(
                     program.clone(),
                     cfg.seed ^ (i as u64).wrapping_mul(0x9e37),
                 ),
                 program: program.clone(),
-                map: RenameMap::new(&mut regs),
-                rob: VecDeque::new(),
-                popped_front: 0,
-                frontend: VecDeque::new(),
-                fetch_pc: program.entry(),
-                wrong_path: false,
-                stall_until: 0,
-                icache_req: None,
-                wp_salt: 0,
-                committed: 0,
-                committed_base: 0,
-                in_flight: 0,
-                outstanding_misses: 0,
-                unresolved_ctrl: Vec::new(),
             })
             .collect();
+        // Generous initial slab capacity: a bounded machine's in-flight
+        // population stays well under this, so the steady state never
+        // grows the slab (the allocation guard in `smt-bench` pins it).
+        let slab_capacity = 64 * thread_state.len().max(8);
         Simulator {
             cfg,
             frontend_limit,
@@ -378,13 +380,14 @@ impl Simulator {
             stats_base_cycle: 0,
             next_seq: 0,
             threads: thread_state,
+            insts: InstSlab::with_capacity(slab_capacity),
             regs,
-            ready_q: Vec::new(),
+            ready_q: Vec::with_capacity(256),
             iq_len: [0, 0],
-            exec_done: vec![Vec::new(); EXEC_RING],
+            exec_done: (0..EXEC_RING).map(|_| Vec::with_capacity(128)).collect(),
             mem,
             bp,
-            pending_loads: FastHashMap::default(),
+            pending_loads: PendingLoads::with_capacity(256),
             f_stats: FetchBreakdown::default(),
             i_stats: IssueBreakdown::default(),
             cond_pred: Ratio::new(),
@@ -398,6 +401,7 @@ impl Simulator {
             issue_key_scratch: Vec::new(),
             loss_scratch: Vec::new(),
             completion_scratch: Vec::new(),
+            woken_scratch: Vec::new(),
         }
     }
 
@@ -466,14 +470,34 @@ impl Simulator {
 
     /// Advances the machine by one cycle.
     pub fn step_cycle(&mut self) {
+        #[cfg(feature = "phase-timing")]
+        let mut t = std::time::Instant::now();
+        #[cfg(feature = "phase-timing")]
+        let mut lap = |i: usize| {
+            let now = std::time::Instant::now();
+            PHASE_NS[i].fetch_add(
+                (now - t).as_nanos() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            t = now;
+        };
+        #[cfg(not(feature = "phase-timing"))]
+        let lap = |_i: usize| {};
         self.cycle += 1;
         self.mem.begin_cycle(self.cycle);
+        lap(0);
         self.drain_completions();
+        lap(1);
         self.writeback();
+        lap(2);
         self.commit();
+        lap(3);
         self.issue();
+        lap(4);
         self.rename();
+        lap(5);
         self.fetch();
+        lap(6);
     }
 
     /// The report for the current measurement window (everything since the
@@ -525,6 +549,7 @@ impl Simulator {
 mod tests {
     use std::collections::BTreeSet;
 
+    use super::slab::InstState;
     use super::*;
     use crate::policy::{FetchPartition, RoundRobin};
     use smt_workload::Benchmark;
@@ -553,7 +578,11 @@ mod tests {
         // The oracle inside the simulator has stepped exactly
         // committed + in-flight correct-path instructions.
         for (ti, t) in sim.threads.iter().enumerate() {
-            let in_flight_correct = t.rob.iter().filter(|i| !i.wrong_path).count() as u64;
+            let in_flight_correct = t
+                .rob
+                .iter()
+                .filter(|r| !sim.insts.hot[r.index()].wrong_path())
+                .count() as u64;
             assert_eq!(
                 t.oracle.executed(),
                 report.threads[ti].committed + in_flight_correct,
@@ -600,7 +629,10 @@ mod tests {
                 .threads
                 .iter()
                 .flat_map(|t| t.rob.iter())
-                .filter(|i| i.dest_phys.map(|(c, _)| c.index()) == Some(ci))
+                .filter(|r| {
+                    let d = sim.insts.hot[r.index()].dest_phys;
+                    d != PREG_NONE && slab::preg_class(d) == ci
+                })
                 .count();
             let mapped = smt_isa::LOGICAL_REGS * sim.threads.len();
             let total = mapped + sim.cfg.extra_phys_regs;
@@ -609,6 +641,26 @@ mod tests {
                 total,
                 "register leak in class {ci}"
             );
+        }
+    }
+
+    #[test]
+    fn slab_population_matches_rob_contents() {
+        // Every ROB entry is a live slab slot; the slab holds nothing else.
+        let mut sim = tiny_config().build();
+        let _ = sim.run(2_500);
+        let rob_total: usize = sim.threads.iter().map(|t| t.rob.len()).sum();
+        assert_eq!(sim.insts.live_count(), rob_total, "slab leaked slots");
+        let mut seen = BTreeSet::new();
+        for t in &sim.threads {
+            for r in &t.rob {
+                assert!(seen.insert(r.index()), "two ROB entries share a slot");
+                assert_eq!(
+                    sim.insts.live(sim.insts.tag(*r)),
+                    Some(*r),
+                    "ROB entry's slot is not live"
+                );
+            }
         }
     }
 
@@ -712,19 +764,20 @@ mod tests {
                 let mut in_flight = 0u32;
                 let mut misses = 0u32;
                 let mut unresolved = Vec::new();
-                for i in &t.rob {
-                    match i.state {
-                        InstState::Decoding { .. } => in_flight += 1,
+                for r in &t.rob {
+                    let h = &sim.insts.hot[r.index()];
+                    match h.state() {
+                        InstState::Decoding => in_flight += 1,
                         InstState::Queued => {
                             in_flight += 1;
-                            iq_len[i.inst.op.queue().index()] += 1;
+                            iq_len[h.op.queue().index()] += 1;
                         }
                         InstState::WaitingMem => misses += 1,
                         _ => {}
                     }
-                    if i.inst.op.is_control() && i.state != InstState::Done {
+                    if h.op.is_control() && h.state() != InstState::Done {
                         // ROB order is age order, so this stays sorted.
-                        unresolved.push(i.seq);
+                        unresolved.push(h.seq);
                     }
                 }
                 assert_eq!(t.in_flight, in_flight, "ICOUNT drifted");
@@ -741,23 +794,23 @@ mod tests {
                 assert!(seen.insert(e.seq), "duplicate ready entry {}", e.seq);
                 assert!(prev_seq < Some(e.seq), "ready set lost its age order");
                 prev_seq = Some(e.seq);
-                let idx = sim.threads[e.ti]
-                    .locate(e.seq, e.pos)
-                    .expect("ready entry is live");
-                let inst = &sim.threads[e.ti].rob[idx];
-                assert_eq!(inst.state, InstState::Queued);
+                let inst = &sim.insts.hot[e.iref.index()];
+                assert_eq!(inst.seq, e.seq, "ready entry names a recycled slot");
+                assert_eq!(usize::from(e.ti), usize::from(inst.ti));
+                assert_eq!(inst.state(), InstState::Queued);
                 assert_eq!(inst.pending_srcs, 0);
-                assert_eq!(inst.inst.op, e.op, "cached opcode drifted");
+                assert_eq!(inst.op, e.op, "cached opcode drifted");
                 assert_eq!(
                     e.opt_until,
                     opt_until_of(&sim.regs, &inst.srcs_phys),
                     "cached load-speculation window drifted"
                 );
-                assert!(inst
-                    .srcs_phys
-                    .iter()
-                    .flatten()
-                    .all(|&(c, p)| sim.regs[c.index()].is_ready(p)));
+                for &s in &inst.srcs_phys {
+                    assert!(
+                        s == PREG_NONE
+                            || sim.regs[slab::preg_class(s)].is_ready(slab::preg_index(s))
+                    );
+                }
             }
         }
     }

@@ -8,8 +8,15 @@
 //! register's wakeup list, and an instruction with no outstanding sources
 //! goes straight onto its class's ready queue. Either way it is never
 //! polled again.
+//!
+//! The whole stage works off the packed hot record: logical registers were
+//! re-encoded into single bytes at fetch ([`slab::lreg_pack`]), so rename
+//! never touches the cold array.
+//!
+//! [`slab::lreg_pack`]: super::slab::lreg_pack
 
-use super::{InstState, ReadyEntry, Simulator};
+use super::slab::{lreg_unpack, preg_pack, InstState, LREG_NONE};
+use super::{ReadyEntry, Simulator};
 
 impl Simulator {
     // ---- phase 5a: rename / dispatch ---------------------------------
@@ -26,23 +33,28 @@ impl Simulator {
                     break 'threads;
                 }
                 let t = &mut self.threads[ti];
-                let Some(&(seq, pos)) = t.frontend.front() else {
+                // The head's decode-ready cycle rides in the queue entry,
+                // so a not-yet-decoded head costs no slab touch.
+                let Some(&(iref, ready_at)) = t.frontend.front() else {
                     break;
-                };
-                let idx = t
-                    .locate(seq, pos)
-                    .expect("front-end entries track live instructions");
-                let InstState::Decoding { ready_at } = t.rob[idx].state else {
-                    unreachable!("front-end instruction must be decoding")
                 };
                 if ready_at > cycle {
                     break;
                 }
-                let class = t.rob[idx].inst.op.queue();
+                let hot = &self.insts.hot[iref.index()];
+                debug_assert_eq!(
+                    hot.state(),
+                    InstState::Decoding,
+                    "front-end instruction must be decoding"
+                );
+                debug_assert_eq!(hot.when, ready_at);
+                let class = hot.op.queue();
                 if self.iq_len[class.index()] >= self.iq_limit {
                     break; // IQ full: dispatch stalls, fetch feels back-pressure
                 }
-                if let Some(d) = t.rob[idx].inst.dest {
+                let dest_log = hot.dest_log;
+                if dest_log != LREG_NONE {
+                    let d = lreg_unpack(dest_log);
                     if self.regs[d.class().index()].free_count() == 0 {
                         break; // out of renaming registers
                     }
@@ -51,38 +63,52 @@ impl Simulator {
                 // A source that is not ready registers this instruction on
                 // the producer's wakeup list; readiness is monotone for live
                 // instructions, so the count can only fall from here.
-                let srcs = t.rob[idx].inst.srcs;
+                let srcs_log = hot.srcs_log;
+                let seq = hot.seq;
+                let tag = self.insts.tag(iref);
+                let mut srcs_phys = [super::PREG_NONE; 2];
                 let mut pending: u8 = 0;
-                for (si, s) in srcs.iter().enumerate() {
-                    if let Some(r) = s {
-                        let p = t.map.lookup(*r);
-                        t.rob[idx].srcs_phys[si] = Some((r.class(), p));
-                        if !self.regs[r.class().index()].is_ready(p) {
-                            self.regs[r.class().index()].add_waiter(p, (ti, seq, pos));
-                            pending += 1;
+                let mut opt_until = 0u64;
+                for (si, &s) in srcs_log.iter().enumerate() {
+                    if s != LREG_NONE {
+                        let r = lreg_unpack(s);
+                        let ci = r.class().index();
+                        let p = t.map.lookup(r);
+                        srcs_phys[si] = preg_pack(r.class(), p);
+                        // One record touch decides ready/opt-window or
+                        // registers the wakeup, instead of an is-ready
+                        // probe plus a second opt-window pass.
+                        match self.regs[ci].check_or_wait(p, tag) {
+                            Some(end) => opt_until = opt_until.max(end),
+                            None => pending += 1,
                         }
                     }
                 }
-                if let Some(d) = t.rob[idx].inst.dest {
+                let hot = &mut self.insts.hot[iref.index()];
+                hot.srcs_phys = srcs_phys;
+                if dest_log != LREG_NONE {
+                    let d = lreg_unpack(dest_log);
                     let p = self.regs[d.class().index()]
                         .alloc()
                         .expect("free count checked above");
                     let prev = t.map.redefine(d, p);
-                    t.rob[idx].dest_phys = Some((d.class(), p));
-                    t.rob[idx].prev_phys = Some((d.class(), prev));
+                    hot.dest_phys = preg_pack(d.class(), p);
+                    hot.prev_phys = preg_pack(d.class(), prev);
                 }
-                t.rob[idx].pending_srcs = pending;
-                t.rob[idx].state = InstState::Queued;
+                hot.pending_srcs = pending;
+                hot.set_state(InstState::Queued);
+                let op = hot.op;
                 t.frontend.pop_front();
                 self.iq_len[class.index()] += 1;
                 if pending == 0 {
                     // All operands already available: ready from dispatch.
+                    debug_assert_eq!(opt_until, super::opt_until_of(&self.regs, &srcs_phys));
                     let e = ReadyEntry {
-                        ti,
                         seq,
-                        pos,
-                        op: t.rob[idx].inst.op,
-                        opt_until: super::opt_until_of(&self.regs, &t.rob[idx].srcs_phys),
+                        opt_until,
+                        iref,
+                        op,
+                        ti: ti as u8,
                     };
                     super::insert_ready(&mut self.ready_q, e);
                 }

@@ -5,7 +5,9 @@
 //!
 //! * **Miss completions** arrive from `smt-mem` as [`Completion`] events
 //!   (scheduled when the miss started, delivered the cycle the data
-//!   returns) and are matched to waiting loads / blocked fetch units.
+//!   returns) and are matched to waiting loads through the
+//!   [`PendingLoads`](super::slab::PendingLoads) table — one array index
+//!   per completion — or to blocked fetch units.
 //! * **Writeback** drains one bucket of the `exec_done` calendar ring per
 //!   cycle — every instruction scheduled its own writeback into its
 //!   completion cycle's bucket when it issued (so events must land within
@@ -19,8 +21,9 @@
 //!   moment the count reaches zero — entering exactly once, never polled.
 //!
 //! Events for squashed instructions go stale rather than being hunted down:
-//! sequence numbers are never reused, so a stale completion, writeback
-//! event, or wakeup-list entry simply fails its ROB lookup and is dropped.
+//! freeing a slab slot bumps its generation, so a stale completion,
+//! writeback event, or wakeup-list entry simply fails its
+//! [`InstSlab::live`](super::slab::InstSlab::live) check and is dropped.
 //!
 //! [`PhysRegFile::set_ready`]: crate::regfile::PhysRegFile::set_ready
 //! [`Completion`]: smt_mem::Completion
@@ -29,7 +32,8 @@ use smt_isa::Opcode;
 
 use crate::regfile::Consumer;
 
-use super::{InstState, ReadyEntry, Simulator};
+use super::slab::{preg_class, preg_index, InstState, PREG_NONE};
+use super::{ExecEvent, GenRef, ReadyEntry, Simulator};
 
 impl Simulator {
     // ---- phase 1: miss completions -----------------------------------
@@ -44,15 +48,17 @@ impl Simulator {
         comps.clear();
         self.mem.drain_completions_into(&mut comps);
         for done in &comps {
-            if let Some((ti, seq, pos)) = self.pending_loads.remove(&done.req) {
-                let t = &mut self.threads[ti];
-                if let Some(idx) = t.locate(seq, pos) {
-                    if t.rob[idx].state == InstState::WaitingMem {
-                        t.rob[idx].state = InstState::Executing { done_at: cycle };
-                        t.outstanding_misses -= 1;
+            if let Some(tag) = self.pending_loads.remove(done.req) {
+                if let Some(iref) = self.insts.live(tag) {
+                    let h = &mut self.insts.hot[iref.index()];
+                    if h.state() == InstState::WaitingMem {
+                        h.set_state(InstState::Executing);
+                        h.when = cycle;
+                        let seq = h.seq;
+                        self.threads[usize::from(h.ti)].outstanding_misses -= 1;
                         // Completions drain before writeback, so scheduling
                         // into the current cycle's bucket is still in time.
-                        self.schedule_writeback(cycle, seq, ti, pos);
+                        self.schedule_writeback(cycle, seq, tag);
                     }
                 }
             } else {
@@ -68,9 +74,9 @@ impl Simulator {
 
     // ---- phase 2: writeback / branch resolution ----------------------
 
-    /// Schedules instruction `(seq, ti, pos)`'s writeback for `done_at`
-    /// by dropping it into the calendar ring bucket for that cycle.
-    pub(super) fn schedule_writeback(&mut self, done_at: u64, seq: u64, ti: usize, pos: u64) {
+    /// Schedules instruction `(seq, inst)`'s writeback for `done_at` by
+    /// dropping it into the calendar ring bucket for that cycle.
+    pub(super) fn schedule_writeback(&mut self, done_at: u64, seq: u64, inst: GenRef) {
         // Hard assert: a latency past the ring horizon would wrap into a
         // nearer bucket and silently write back (and commit) early in
         // release builds. Latencies come from `smt-isa`, which this module
@@ -82,43 +88,55 @@ impl Simulator {
             self.cycle,
             super::EXEC_RING
         );
-        self.exec_done[done_at as usize % super::EXEC_RING].push((done_at, seq, ti, pos));
+        self.exec_done[done_at as usize % super::EXEC_RING].push(ExecEvent { seq, inst });
     }
 
     /// Drains the writeback events due this cycle. The bucket is processed
     /// in `seq` order (global age order, exactly the order the scan-based
     /// simulator produced by sorting finished instructions) — an older
     /// mispredict squashes younger work before that work can act, and the
-    /// younger instructions' events then fail their ROB lookup here.
+    /// younger instructions' events then fail their slab lookup here.
     pub(super) fn writeback(&mut self) {
         let cycle = self.cycle;
         let slot = cycle as usize % super::EXEC_RING;
         let mut bucket = std::mem::take(&mut self.exec_done[slot]);
-        bucket.sort_unstable();
-        for &(done_at, seq, ti, pos) in &bucket {
-            debug_assert_eq!(done_at, cycle, "event drained outside its cycle");
-            let Some(idx) = self.threads[ti].locate(seq, pos) else {
+        if bucket.len() > 1 {
+            bucket.sort_unstable_by_key(|e| e.seq);
+        }
+        for &ExecEvent { seq, inst } in &bucket {
+            let Some(iref) = self.insts.live(inst) else {
                 continue; // squashed after scheduling this writeback
             };
-            let t = &mut self.threads[ti];
+            let h = &mut self.insts.hot[iref.index()];
+            debug_assert_eq!(h.seq, seq);
             debug_assert_eq!(
-                t.rob[idx].state,
-                InstState::Executing { done_at },
+                (h.state(), h.when),
+                (InstState::Executing, cycle),
                 "stale writeback event for a live instruction"
             );
-            t.rob[idx].state = InstState::Done;
-            let is_ctrl = t.rob[idx].inst.op.is_control();
+            h.set_state(InstState::Done);
+            let ti = usize::from(h.ti);
+            let op = h.op;
+            let dest = h.dest_phys;
+            let wrong_path = h.wrong_path();
+            let is_ctrl = op.is_control();
             if is_ctrl {
-                t.resolve_ctrl(seq);
+                self.threads[ti].resolve_ctrl(seq);
             }
-            if let Some((class, p)) = t.rob[idx].dest_phys {
-                let by_load = t.rob[idx].inst.op.is_load();
-                let woken = self.regs[class.index()].set_ready(p, cycle, by_load);
+            if dest != PREG_NONE {
+                let mut woken = std::mem::take(&mut self.woken_scratch);
+                woken.clear();
+                self.regs[preg_class(dest)].set_ready(
+                    preg_index(dest),
+                    cycle,
+                    op.is_load(),
+                    &mut woken,
+                );
                 self.wake_consumers(&woken);
-                self.regs[class.index()].recycle(woken);
+                self.woken_scratch = woken;
             }
-            if is_ctrl && !self.threads[ti].rob[idx].wrong_path {
-                self.resolve_branch(ti, idx);
+            if is_ctrl && !wrong_path {
+                self.resolve_branch(ti, iref);
             }
         }
         // Hand the (drained) bucket's allocation back to the ring.
@@ -128,17 +146,16 @@ impl Simulator {
 
     /// Delivers one register's drained wakeup list: each live consumer
     /// loses one outstanding operand and joins its class's ready queue when
-    /// none remain. Stale entries (squashed consumers) fail the ROB lookup
+    /// none remain. Stale entries (squashed consumers) fail the slab lookup
     /// and are dropped.
     fn wake_consumers(&mut self, woken: &[Consumer]) {
-        for &(wti, wseq, wpos) in woken {
-            let t = &mut self.threads[wti];
-            let Some(widx) = t.locate(wseq, wpos) else {
+        for &tag in woken {
+            let Some(iref) = self.insts.live(tag) else {
                 continue; // consumer was squashed while waiting
             };
-            let inst = &mut t.rob[widx];
+            let inst = &mut self.insts.hot[iref.index()];
             debug_assert_eq!(
-                inst.state,
+                inst.state(),
                 InstState::Queued,
                 "a waiting consumer can only be in a queue"
             );
@@ -146,25 +163,26 @@ impl Simulator {
             inst.pending_srcs -= 1;
             if inst.pending_srcs == 0 {
                 let e = ReadyEntry {
-                    ti: wti,
-                    seq: wseq,
-                    pos: wpos,
-                    op: inst.inst.op,
+                    seq: inst.seq,
                     opt_until: super::opt_until_of(&self.regs, &inst.srcs_phys),
+                    iref,
+                    op: inst.op,
+                    ti: inst.ti,
                 };
                 super::insert_ready(&mut self.ready_q, e);
             }
         }
     }
 
-    fn resolve_branch(&mut self, ti: usize, idx: usize) {
-        let (seq, pc, op, pred, outcome, mispredict) = {
-            let i = &self.threads[ti].rob[idx];
-            (i.seq, i.pc, i.inst.op, i.pred, i.outcome, i.mispredict)
+    fn resolve_branch(&mut self, ti: usize, iref: super::InstRef) {
+        let (seq, op, mispredict) = {
+            let h = &self.insts.hot[iref.index()];
+            (h.seq, h.op, h.mispredict())
         };
+        // The packed resolution payload, written at fetch for every
+        // correct-path control instruction (the only callers here).
+        let c = self.insts.cold[iref.index()];
         let id = self.threads[ti].id;
-        let outcome = outcome.expect("correct-path control instruction carries its outcome");
-        let pred = pred.expect("control instruction carries its prediction");
         // Under the perfect-branch-prediction ablation the predictor was
         // never consulted, so it is not trained either (the synthesized
         // predictions carry placeholder PHT/history fields); the
@@ -176,15 +194,15 @@ impl Simulator {
             .contains(crate::Ablation::PerfectBranchPrediction);
         match op {
             Opcode::CondBranch => {
-                self.cond_pred.record(pred.taken == outcome.taken);
+                self.cond_pred.record(c.pred_taken() == c.outcome_taken());
                 if train {
                     self.bp
-                        .resolve_cond(id, pc, pred.pht_index, outcome.taken, outcome.next_pc);
+                        .resolve_cond(id, c.pc, c.pht_index, c.outcome_taken(), c.next_pc);
                 }
             }
             Opcode::Jump | Opcode::JumpInd | Opcode::Call => {
                 if train {
-                    self.bp.resolve_uncond(id, pc, op, outcome.next_pc);
+                    self.bp.resolve_uncond(id, c.pc, op, c.next_pc);
                 }
             }
             Opcode::Return => {}
@@ -195,13 +213,13 @@ impl Simulator {
             self.squash_after(ti, seq);
             if op == Opcode::CondBranch {
                 self.bp
-                    .repair_history(id, pred.history_before, outcome.taken);
+                    .repair_history(id, c.history_before, c.outcome_taken());
             } else {
-                self.bp.restore_history(id, pred.history_before);
+                self.bp.restore_history(id, c.history_before);
             }
             let t = &mut self.threads[ti];
             t.wrong_path = false;
-            t.fetch_pc = outcome.next_pc;
+            t.fetch_pc = c.next_pc;
             t.stall_until = self.cycle + 1;
             t.icache_req = None;
         }
@@ -211,38 +229,45 @@ impl Simulator {
     /// their renames youngest-first, releasing their registers, and rolling
     /// the scheduler state back: live counters, queue occupancy and ready
     /// queues. Stale wakeup-list entries, writeback events and pending-load
-    /// completions are left to die on lookup (sequence numbers are unique).
+    /// completions are left to die on lookup (freeing the slab slot bumps
+    /// its generation).
     fn squash_after(&mut self, ti: usize, seq: u64) {
         let t = &mut self.threads[ti];
-        while let Some(back) = t.rob.back() {
-            if back.seq <= seq {
+        while let Some(&back) = t.rob.back() {
+            let h = self.insts.hot[back.index()];
+            if h.seq <= seq {
                 break;
             }
-            let dead = t.rob.pop_back().expect("just observed");
-            if let Some((class, p)) = dead.dest_phys {
-                if let (Some(d), Some((_, prev))) = (dead.inst.dest, dead.prev_phys) {
-                    t.map.redefine(d, prev);
+            t.rob.pop_back();
+            if h.dest_phys != PREG_NONE {
+                if h.prev_phys != PREG_NONE {
+                    t.map.redefine(
+                        super::slab::lreg_unpack(h.dest_log),
+                        preg_index(h.prev_phys),
+                    );
                 }
                 // Releasing also drops the register's wakeup list: every
                 // listed consumer is younger and dying in this same squash.
-                self.regs[class.index()].release(p);
+                self.regs[preg_class(h.dest_phys)].release(preg_index(h.dest_phys));
             }
-            match dead.state {
-                InstState::Decoding { .. } => t.in_flight -= 1,
+            match h.state() {
+                InstState::Decoding => t.in_flight -= 1,
                 InstState::Queued => {
                     t.in_flight -= 1;
-                    self.iq_len[dead.inst.op.queue().index()] -= 1;
+                    self.iq_len[h.op.queue().index()] -= 1;
                 }
                 InstState::WaitingMem => t.outstanding_misses -= 1,
-                InstState::Executing { .. } | InstState::Done => {}
+                InstState::Executing | InstState::Done => {}
             }
             self.squashed_insts += 1;
+            self.insts.free(back);
         }
         // The squashed tail takes all younger unresolved branches with it.
         t.squash_ctrl_after(seq);
         // Everything still in the front end is younger than any resolvable
         // branch (rename is in order), so the whole buffer dies.
         t.frontend.clear();
-        self.ready_q.retain(|e| e.ti != ti || e.seq <= seq);
+        let ti8 = ti as u8;
+        self.ready_q.retain(|e| e.ti != ti8 || e.seq <= seq);
     }
 }

@@ -91,6 +91,20 @@ pub struct ThreadFetchView {
     pub outstanding_misses: u32,
 }
 
+/// The live per-thread counter a shipped fetch policy ranks by — the fast
+/// path behind [`FetchPolicy::ranking_counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchCounter {
+    /// The rotating thread order itself ([`RoundRobin`]).
+    Rotation,
+    /// [`ThreadFetchView::in_flight`] ([`ICount`]).
+    InFlight,
+    /// [`ThreadFetchView::unresolved_branches`] ([`BrCount`]).
+    UnresolvedBranches,
+    /// [`ThreadFetchView::outstanding_misses`] ([`MissCount`]).
+    OutstandingMisses,
+}
+
 /// Ranks hardware contexts for fetch each cycle.
 ///
 /// Lower keys fetch first. The simulator computes a key for every thread
@@ -116,6 +130,18 @@ pub trait FetchPolicy: Send {
     fn priority_batch(&self, cycle: u64, views: &[ThreadFetchView], keys: &mut Vec<i64>) {
         keys.extend(views.iter().map(|v| self.priority(cycle, v)));
     }
+
+    /// The single live counter this policy's key equals, if any — e.g.
+    /// `Some(FetchCounter::InFlight)` for ICOUNT. When set, the simulator
+    /// reads that counter directly while scanning for fetchable threads
+    /// instead of materializing [`ThreadFetchView`]s and paying the
+    /// ranking round-trip; the resulting order is identical by definition.
+    /// Policies whose key is any other function of the view (or of the
+    /// cycle) must keep the default `None` and rely on
+    /// [`priority_batch`](FetchPolicy::priority_batch).
+    fn ranking_counter(&self) -> Option<FetchCounter> {
+        None
+    }
 }
 
 /// The rotating thread order: at cycle `c`, thread `c mod n` ranks first,
@@ -139,6 +165,10 @@ impl FetchPolicy for RoundRobin {
     fn priority(&self, cycle: u64, view: &ThreadFetchView) -> i64 {
         rotating_rank(cycle, view.thread, view.thread_count) as i64
     }
+
+    fn ranking_counter(&self) -> Option<FetchCounter> {
+        Some(FetchCounter::Rotation)
+    }
 }
 
 /// Favor threads with the fewest instructions in decode, rename and the
@@ -153,6 +183,10 @@ impl FetchPolicy for ICount {
 
     fn priority(&self, _cycle: u64, view: &ThreadFetchView) -> i64 {
         i64::from(view.in_flight)
+    }
+
+    fn ranking_counter(&self) -> Option<FetchCounter> {
+        Some(FetchCounter::InFlight)
     }
 }
 
@@ -169,6 +203,10 @@ impl FetchPolicy for BrCount {
     fn priority(&self, _cycle: u64, view: &ThreadFetchView) -> i64 {
         i64::from(view.unresolved_branches)
     }
+
+    fn ranking_counter(&self) -> Option<FetchCounter> {
+        Some(FetchCounter::UnresolvedBranches)
+    }
 }
 
 /// Favor threads with the fewest outstanding D-cache misses (`MISSCOUNT`),
@@ -183,6 +221,10 @@ impl FetchPolicy for MissCount {
 
     fn priority(&self, _cycle: u64, view: &ThreadFetchView) -> i64 {
         i64::from(view.outstanding_misses)
+    }
+
+    fn ranking_counter(&self) -> Option<FetchCounter> {
+        Some(FetchCounter::OutstandingMisses)
     }
 }
 
@@ -236,6 +278,20 @@ pub trait IssuePolicy: Send {
     fn priority_batch(&self, candidates: &[IssueCandidate], keys: &mut Vec<i64>) {
         keys.extend(candidates.iter().map(|c| self.priority(c)));
     }
+
+    /// Whether this policy's key is exactly the candidate's age
+    /// (`priority(c) == c.age as i64` for **every** possible candidate).
+    ///
+    /// The simulator keeps its ready set age-sorted, so a `true` here lets
+    /// it skip building and ranking the candidate batch entirely and issue
+    /// straight off the ready set — the shipped [`OldestFirst`] policy's
+    /// fast path, worth ~10% of total simulator throughput. The result is
+    /// identical by construction (ranking by age reproduces the ready
+    /// set's order); policies whose key depends on anything besides age
+    /// must keep the default `false`.
+    fn age_is_priority(&self) -> bool {
+        false
+    }
 }
 
 /// Key offset used by the deferring issue policies: anything deferred still
@@ -253,6 +309,10 @@ impl IssuePolicy for OldestFirst {
 
     fn priority(&self, c: &IssueCandidate) -> i64 {
         c.age as i64
+    }
+
+    fn age_is_priority(&self) -> bool {
+        true
     }
 }
 

@@ -15,34 +15,49 @@
 
 use smt_isa::{Reg, RegClass, LOGICAL_REGS};
 
-/// A dispatched instruction waiting on a register, identified by
-/// `(thread index, sequence number, stable ROB position)`. Entries may go
-/// stale when the instruction is squashed; the pipeline skips them on
-/// wakeup (sequence numbers are never reused, so the lookup fails).
-pub(crate) type Consumer = (usize, u64, u64);
+/// A dispatched instruction waiting on a register: an 8-byte
+/// generation-authenticated slab handle
+/// ([`GenRef`](crate::pipeline::slab::GenRef)). Entries may go stale when
+/// the instruction is squashed; the pipeline skips them on wakeup (freeing
+/// a slab slot bumps its generation, so the lookup fails).
+pub(crate) type Consumer = crate::pipeline::slab::GenRef;
 
-/// Scoreboard state of one physical register, packed so the issue loop's
-/// readiness and load-speculation queries touch a single cache line.
+/// How many consumers one register's record stores inline. Dependence
+/// chains in a renamed window rarely hang more than a couple of readers
+/// off one physical register; the rare overflow spills to a shared
+/// side list.
+const INLINE_WAITERS: usize = 3;
+
+/// One physical register's complete record — scoreboard state plus the
+/// wakeup list — packed into 40 bytes so the rename path's
+/// readiness-check-then-register sequence and the writeback path's
+/// set-ready-then-drain sequence each touch one cache line.
 #[derive(Debug, Clone, Copy)]
 struct RegState {
+    /// Cycle at which the register last became ready.
+    ready_at: u64,
+    /// The first [`INLINE_WAITERS`] waiting consumers, in registration
+    /// order.
+    inline: [Consumer; INLINE_WAITERS],
+    /// Number of waiting consumers (inline plus spilled).
+    waiting: u16,
     ready: bool,
     /// Whether the last writer was a load (drives OPT_LAST tagging).
     by_load: bool,
-    /// Cycle at which the register last became ready.
-    ready_at: u64,
 }
 
-/// One class's physical register file: a free list, per-register
-/// scoreboard state, and the consumer wakeup lists.
+/// One class's physical register file: a free list and the per-register
+/// records. Wakeup lists live inline in the records; the rare register
+/// with more than [`INLINE_WAITERS`] consumers spills the excess to
+/// `spill`, keyed by register, in registration order.
 #[derive(Debug, Clone)]
 pub(crate) struct PhysRegFile {
     free: Vec<u16>,
     state: Vec<RegState>,
-    /// Consumers waiting for each register; non-empty only while not ready.
-    waiters: Vec<Vec<Consumer>>,
-    /// Recycled wakeup-list buffers ([`recycle`](PhysRegFile::recycle)),
-    /// so the steady state allocates nothing per producer-consumer chain.
-    pool: Vec<Vec<Consumer>>,
+    /// Overflow consumers as `(register, consumer)` pairs in registration
+    /// order. Kept tiny (usually empty): scanned only when a register's
+    /// `waiting` exceeds its inline capacity.
+    spill: Vec<(u16, Consumer)>,
 }
 
 impl PhysRegFile {
@@ -56,14 +71,15 @@ impl PhysRegFile {
             free: (0..total as u16).rev().collect(),
             state: vec![
                 RegState {
+                    ready_at: 0,
+                    inline: [Consumer::NULL; INLINE_WAITERS],
+                    waiting: 0,
                     ready: true,
                     by_load: false,
-                    ready_at: 0,
                 };
                 total
             ],
-            waiters: vec![Vec::new(); total],
-            pool: Vec::new(),
+            spill: Vec::new(),
         }
     }
 
@@ -74,12 +90,10 @@ impl PhysRegFile {
     /// Allocates a not-ready register, or `None` when the file is exhausted.
     pub(crate) fn alloc(&mut self) -> Option<u16> {
         let p = self.free.pop()?;
-        self.state[p as usize].ready = false;
-        self.state[p as usize].by_load = false;
-        debug_assert!(
-            self.waiters[p as usize].is_empty(),
-            "freed register {p} carried stale waiters"
-        );
+        let s = &mut self.state[p as usize];
+        s.ready = false;
+        s.by_load = false;
+        debug_assert_eq!(s.waiting, 0, "freed register {p} carried stale waiters");
         Some(p)
     }
 
@@ -91,52 +105,82 @@ impl PhysRegFile {
             !self.free.contains(&p),
             "double free of physical register {p}"
         );
-        self.state[p as usize].ready = true;
-        self.waiters[p as usize].clear();
+        let s = &mut self.state[p as usize];
+        s.ready = true;
+        if usize::from(s.waiting) > INLINE_WAITERS {
+            self.spill.retain(|&(r, _)| r != p);
+        }
+        s.waiting = 0;
         self.free.push(p);
     }
 
-    /// Registers a consumer to be woken when `p` becomes ready. Only legal
-    /// while the register is not ready (a ready register never un-readies
-    /// while referenced, so consumers of ready registers never wait).
+    /// Registers a consumer to be woken when `p` becomes ready — the
+    /// test-visible form of the [`check_or_wait`](PhysRegFile::check_or_wait)
+    /// fast path. Only legal while the register is not ready (a ready
+    /// register never un-readies while referenced, so consumers of ready
+    /// registers never wait).
+    #[cfg(test)]
     pub(crate) fn add_waiter(&mut self, p: u16, consumer: Consumer) {
-        debug_assert!(
-            !self.state[p as usize].ready,
-            "waiting on already-ready register {p}"
-        );
-        let list = &mut self.waiters[p as usize];
-        if list.capacity() == 0 {
-            if let Some(recycled) = self.pool.pop() {
-                *list = recycled;
-            }
+        let s = &mut self.state[p as usize];
+        debug_assert!(!s.ready, "waiting on already-ready register {p}");
+        let n = usize::from(s.waiting);
+        if n < INLINE_WAITERS {
+            s.inline[n] = consumer;
+        } else {
+            self.spill.push((p, consumer));
         }
-        list.push(consumer);
+        s.waiting += 1;
     }
 
-    /// Marks a register's value available as of `cycle` and returns the
-    /// consumers waiting on it, in registration (dispatch) order. The
-    /// caller decrements each consumer's outstanding-operand count and
+    /// Dispatch-time source check, fused into one record touch: if `p` is
+    /// ready, returns its load-speculation window end
+    /// ([`opt_window_end`](PhysRegFile::opt_window_end)); otherwise
+    /// registers `consumer` on `p`'s wakeup list and returns `None`.
+    #[inline]
+    pub(crate) fn check_or_wait(&mut self, p: u16, consumer: Consumer) -> Option<u64> {
+        let s = &mut self.state[p as usize];
+        if s.ready {
+            return Some(if s.by_load { s.ready_at + 1 } else { 0 });
+        }
+        let n = usize::from(s.waiting);
+        if n < INLINE_WAITERS {
+            s.inline[n] = consumer;
+        } else {
+            self.spill.push((p, consumer));
+        }
+        s.waiting += 1;
+        None
+    }
+
+    /// Marks a register's value available as of `cycle` and appends the
+    /// consumers waiting on it to `out`, in registration (dispatch) order.
+    /// The caller decrements each consumer's outstanding-operand count and
     /// moves newly-complete ones to a ready queue.
-    pub(crate) fn set_ready(&mut self, p: u16, cycle: u64, by_load: bool) -> Vec<Consumer> {
-        self.state[p as usize] = RegState {
-            ready: true,
-            by_load,
-            ready_at: cycle,
-        };
-        std::mem::take(&mut self.waiters[p as usize])
+    pub(crate) fn set_ready(&mut self, p: u16, cycle: u64, by_load: bool, out: &mut Vec<Consumer>) {
+        let s = &mut self.state[p as usize];
+        s.ready = true;
+        s.by_load = by_load;
+        s.ready_at = cycle;
+        let n = usize::from(s.waiting);
+        if n > 0 {
+            out.extend_from_slice(&s.inline[..n.min(INLINE_WAITERS)]);
+            s.waiting = 0;
+            if n > INLINE_WAITERS {
+                // Spilled tail, still in registration order (`retain`
+                // preserves order for the remaining registers).
+                out.extend(
+                    self.spill
+                        .iter()
+                        .filter(|&&(r, _)| r == p)
+                        .map(|&(_, consumer)| consumer),
+                );
+                self.spill.retain(|&(r, _)| r != p);
+            }
+        }
     }
 
     pub(crate) fn is_ready(&self, p: u16) -> bool {
         self.state[p as usize].ready
-    }
-
-    /// Returns a drained wakeup list's buffer for reuse by later
-    /// [`add_waiter`](PhysRegFile::add_waiter) calls.
-    pub(crate) fn recycle(&mut self, mut buffer: Vec<Consumer>) {
-        if buffer.capacity() > 0 {
-            buffer.clear();
-            self.pool.push(buffer);
-        }
     }
 
     /// The last cycle at which a consumer of `p` still counts as
@@ -169,12 +213,13 @@ impl RenameMap {
     /// mappings are ready (architectural state exists at start).
     pub(crate) fn new(files: &mut [PhysRegFile; 2]) -> RenameMap {
         let mut map = [[0u16; LOGICAL_REGS]; 2];
+        let mut woken = Vec::new();
         for class in RegClass::ALL {
             for slot in map[class.index()].iter_mut() {
                 let p = files[class.index()]
                     .alloc()
                     .expect("physical file must cover the architectural state");
-                let woken = files[class.index()].set_ready(p, 0, false);
+                files[class.index()].set_ready(p, 0, false, &mut woken);
                 debug_assert!(woken.is_empty(), "no consumers exist before rename");
                 *slot = p;
             }
@@ -206,7 +251,8 @@ mod tests {
         let p = f.alloc().unwrap();
         assert!(!f.is_ready(p));
         assert_eq!(f.free_count(), 39);
-        let woken = f.set_ready(p, 5, true);
+        let mut woken = Vec::new();
+        f.set_ready(p, 5, true, &mut woken);
         assert!(woken.is_empty());
         assert!(f.is_ready(p));
         // Written by a load at cycle 5: consumers issuing at cycle <= 6
@@ -215,7 +261,7 @@ mod tests {
         f.release(p);
         assert_eq!(f.free_count(), 40);
         let q = f.alloc().unwrap();
-        f.set_ready(q, 9, false);
+        f.set_ready(q, 9, false, &mut woken);
         assert_eq!(f.opt_window_end(q), 0, "non-load writers open no window");
     }
 
@@ -232,24 +278,30 @@ mod tests {
     fn waiters_drain_once_in_dispatch_order() {
         let mut f = PhysRegFile::new(40);
         let p = f.alloc().unwrap();
-        f.add_waiter(p, (0, 7, 2));
-        f.add_waiter(p, (1, 9, 0));
-        let woken = f.set_ready(p, 3, false);
-        assert_eq!(woken, vec![(0, 7, 2), (1, 9, 0)]);
-        // Drained: a second query sees nothing.
-        assert!(f.set_ready(p, 3, false).is_empty());
+        let (a, b) = (Consumer::synthetic(7, 2), Consumer::synthetic(9, 0));
+        f.add_waiter(p, a);
+        f.add_waiter(p, b);
+        let mut woken = Vec::new();
+        f.set_ready(p, 3, false, &mut woken);
+        assert_eq!(woken, vec![a, b]);
+        // Drained: a second query sees nothing (and appends after what the
+        // caller's scratch already holds).
+        f.set_ready(p, 3, false, &mut woken);
+        assert_eq!(woken.len(), 2);
     }
 
     #[test]
     fn release_drops_stale_waiters_without_waking() {
         let mut f = PhysRegFile::new(40);
         let p = f.alloc().unwrap();
-        f.add_waiter(p, (0, 11, 0));
+        f.add_waiter(p, Consumer::synthetic(11, 0));
         // Squash path: the register dies with its (also-dead) consumers.
         f.release(p);
         let q = f.alloc().unwrap();
         assert_eq!(q, p, "free list is LIFO");
-        assert!(f.set_ready(q, 1, false).is_empty(), "stale waiters leaked");
+        let mut woken = Vec::new();
+        f.set_ready(q, 1, false, &mut woken);
+        assert!(woken.is_empty(), "stale waiters leaked");
     }
 
     #[test]

@@ -92,9 +92,15 @@ impl Default for AblationStudyConfig {
         AblationStudyConfig {
             fetch_policies: vec!["rr".into(), "icount".into()],
             ablations: Ablation::ALL.iter().map(|a| a.name().to_string()).collect(),
-            partitions: vec![FetchPartition::new(2, 8)],
+            // Widened in PR 5 alongside the issue-policy study defaults:
+            // the 2.2/4.4 partitions and seed 7 ride the hot-loop speedup.
+            partitions: vec![
+                FetchPartition::new(2, 2),
+                FetchPartition::new(2, 8),
+                FetchPartition::new(4, 4),
+            ],
             mixes: vec!["standard".into(), "int8".into(), "fp8".into()],
-            seeds: vec![42, 1337],
+            seeds: vec![42, 1337, 7],
             cycles: 20_000,
             warmup: 10_000,
             jobs: 0,
@@ -639,9 +645,15 @@ mod tests {
     fn default_config_is_valid_and_sized() {
         let cfg = AblationStudyConfig::default();
         cfg.validate().unwrap();
-        // (1 baseline + 4 ablations) × 2 fetch × 1 partition × 3 mixes
-        // × 2 seeds × 2 windows.
-        assert_eq!(cfg.cell_count(), 120);
+        // (1 baseline + 4 ablations) × 2 fetch × 3 partitions × 3 mixes
+        // × 3 seeds × 2 windows.
+        assert_eq!(cfg.cell_count(), 540);
+        assert!(cfg.seeds.contains(&7), "widened matrix carries seed 7");
+        assert!(
+            cfg.partitions.contains(&FetchPartition::new(2, 2))
+                && cfg.partitions.contains(&FetchPartition::new(4, 4)),
+            "widened matrix carries the 2.2/4.4 partitions"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! let study = run_study(&StudyConfig {
 //!     fetch_policies: vec!["rr".into(), "icount".into()],
 //!     issue_policies: vec!["oldest".into(), "spec_last".into()],
+//!     partitions: vec![smt_core::FetchPartition::new(2, 8)],
 //!     mixes: vec!["mixed4".into()],
 //!     seeds: vec![42],
 //!     cycles: 400,
@@ -561,7 +562,11 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                         defaults.fetch_policies
                     },
                     issue_policies: issue_list.unwrap_or(defaults.issue_policies),
-                    partitions: exp.partitions,
+                    partitions: if args.iter().any(|a| a == "--partition") {
+                        exp.partitions
+                    } else {
+                        defaults.partitions
+                    },
                     mixes: mixes.unwrap_or(defaults.mixes),
                     seeds: seeds.unwrap_or_else(|| {
                         if args.iter().any(|a| a == "--seed") {
@@ -595,7 +600,11 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                         defaults.fetch_policies
                     },
                     ablations: ablations.unwrap_or(defaults.ablations),
-                    partitions: exp.partitions,
+                    partitions: if args.iter().any(|a| a == "--partition") {
+                        exp.partitions
+                    } else {
+                        defaults.partitions
+                    },
                     mixes: mixes.unwrap_or(defaults.mixes),
                     seeds: seeds.unwrap_or_else(|| {
                         if args.iter().any(|a| a == "--seed") {

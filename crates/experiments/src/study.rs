@@ -106,9 +106,17 @@ impl Default for StudyConfig {
                 "spec_last".into(),
                 "branch_first".into(),
             ],
-            partitions: vec![FetchPartition::new(2, 8)],
+            // PR 5's hot-loop speedup bought the wider default matrix the
+            // PR-3 roadmap item asked for: the 2.2 (narrow per-thread) and
+            // 4.4 (over-provisioned) partitions bracket the paper's 2.8,
+            // and a third seed tightens every mean.
+            partitions: vec![
+                FetchPartition::new(2, 2),
+                FetchPartition::new(2, 8),
+                FetchPartition::new(4, 4),
+            ],
             mixes: vec!["standard".into(), "int8".into(), "fp8".into()],
-            seeds: vec![42, 1337],
+            seeds: vec![42, 1337, 7],
             cycles: 20_000,
             warmup: 10_000,
             jobs: 0,
@@ -488,8 +496,18 @@ mod tests {
     fn default_config_is_valid_and_sized() {
         let cfg = StudyConfig::default();
         cfg.validate().unwrap();
-        // 2 fetch × 4 issue × 1 partition × 3 mixes × 2 seeds.
-        assert_eq!(cfg.cell_count(), 48);
+        // 2 fetch × 4 issue × 3 partitions × 3 mixes × 3 seeds.
+        assert_eq!(cfg.cell_count(), 216);
+        assert!(
+            cfg.seeds.contains(&7),
+            "the widened default matrix carries seed 7"
+        );
+        for p in ["2.2", "4.4", "2.8"] {
+            assert!(
+                cfg.partitions.contains(&FetchPartition::parse(p).unwrap()),
+                "the widened default matrix carries the {p} partition"
+            );
+        }
     }
 
     #[test]

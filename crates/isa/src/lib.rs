@@ -86,8 +86,13 @@ impl fmt::Display for RegClass {
 /// Register `r31`/`f31` is *not* special-cased as a zero register; the
 /// workload generator simply never uses it as a destination for
 /// dependence-carrying values it cares about.
+///
+/// Internally a biased `NonZeroU8` (class in bit 7, index below, plus
+/// one), so `Option<Reg>` occupies a single byte and [`StaticInst`] packs
+/// into 8 — a third off every program image the fetch stage streams
+/// through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Reg(u8);
+pub struct Reg(std::num::NonZeroU8);
 
 impl Reg {
     /// Creates an integer register.
@@ -101,7 +106,7 @@ impl Reg {
             (idx as usize) < LOGICAL_REGS,
             "integer register index out of range"
         );
-        Reg(idx)
+        Reg(std::num::NonZeroU8::new(idx + 1).expect("idx + 1 > 0"))
     }
 
     /// Creates a floating-point register.
@@ -115,13 +120,13 @@ impl Reg {
             (idx as usize) < LOGICAL_REGS,
             "fp register index out of range"
         );
-        Reg(idx | 0x80)
+        Reg(std::num::NonZeroU8::new((idx | 0x80) + 1).expect("nonzero by construction"))
     }
 
     /// The register's class.
     #[inline]
     pub fn class(self) -> RegClass {
-        if self.0 & 0x80 == 0 {
+        if (self.0.get() - 1) & 0x80 == 0 {
             RegClass::Int
         } else {
             RegClass::Fp
@@ -131,7 +136,7 @@ impl Reg {
     /// The register's index within its class (`0..32`).
     #[inline]
     pub fn index(self) -> usize {
-        (self.0 & 0x7f) as usize
+        ((self.0.get() - 1) & 0x7f) as usize
     }
 }
 
@@ -519,6 +524,15 @@ mod tests {
         assert_eq!(Reg::int(5).to_string(), "r5");
         assert_eq!(Reg::fp(31).to_string(), "f31");
         assert_eq!(RegClass::Int.to_string(), "int");
+    }
+
+    #[test]
+    fn static_inst_is_packed() {
+        // `Reg`'s NonZeroU8 niche makes Option<Reg> one byte, so the whole
+        // static instruction is 8 — the code-image footprint the fetch
+        // stage streams through every cycle.
+        assert_eq!(std::mem::size_of::<Option<Reg>>(), 1);
+        assert_eq!(std::mem::size_of::<StaticInst>(), 8);
     }
 
     #[test]

@@ -50,7 +50,6 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use smt_isa::{Addr, ThreadId};
-use smt_stats::hash::FastHashMap;
 
 /// Parameters of one cache level (one row of Table 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -241,11 +240,16 @@ pub struct MemStats {
     pub mshr_merges: u64,
 }
 
+/// One tag-array line, packed to 8 bytes: the tag is stored truncated to
+/// 32 bits, which is exact for any address below 2^(32 + tag shift) —
+/// ≥ 2^47 for every level here, far beyond the simulator's synthetic
+/// address space (debug builds assert it). Halving the line doubles how
+/// many sets fit in one host cache line on the per-fetch probe path.
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
+    tag: u32,
     valid: bool,
     dirty: bool,
-    tag: u64,
     lru: u8,
 }
 
@@ -290,8 +294,12 @@ impl TagArray {
     }
 
     #[inline]
-    fn tag_of(&self, addr: Addr) -> u64 {
-        addr >> self.tag_shift
+    fn tag_of(&self, addr: Addr) -> u32 {
+        debug_assert!(
+            addr >> self.tag_shift <= u64::from(u32::MAX),
+            "address beyond the packed 32-bit tag range"
+        );
+        (addr >> self.tag_shift) as u32
     }
 
     /// Probe without updating replacement state.
@@ -348,7 +356,7 @@ impl TagArray {
             });
         let evicted = &self.lines[base + victim];
         let wb = if evicted.valid && evicted.dirty {
-            Some((evicted.tag << self.tag_shift) | ((set as u64) << self.line_shift))
+            Some((u64::from(evicted.tag) << self.tag_shift) | ((set as u64) << self.line_shift))
         } else {
             None
         };
@@ -359,9 +367,9 @@ impl TagArray {
             }
         }
         self.lines[base + victim] = Line {
+            tag,
             valid: true,
             dirty,
-            tag,
             lru: 0,
         };
         wb
@@ -371,18 +379,51 @@ impl TagArray {
 /// A fully-associative, LRU, thread-tagged TLB.
 ///
 /// Recency is tracked with unique monotonic use-stamps instead of a
-/// physically ordered list: a hit is one hash lookup plus a stamp bump
-/// (O(1), on the pipeline's per-access hot path), and eviction — only on a
-/// miss with a full TLB — scans for the minimum stamp, which is exactly
-/// the least-recently-used entry an ordered list would evict. Stamps are
-/// unique, so the victim is deterministic.
+/// physically ordered list: a hit bumps one stamp (O(1), on the pipeline's
+/// per-access hot path), and eviction — only on a miss with a full TLB —
+/// scans for the minimum stamp, which is exactly the least-recently-used
+/// entry an ordered list would evict. Stamps are unique, so the victim is
+/// deterministic.
+///
+/// Storage is a small open-addressed table (linear probing over
+/// `(thread, vpn)` keys) fronted by a **per-thread last-translation
+/// cache**: memory access streams are page-local, so most lookups match
+/// the thread's previous page and resolve to a direct stamp write in the
+/// remembered slot — no hashing, no probing. The filter stores the slot
+/// index, so LRU stamps stay exact.
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    /// Occupied-slot marker. Deletion compacts the probe chain
+    /// (backward-shift), so an unoccupied slot always terminates a probe —
+    /// no tombstones.
+    live: bool,
+    thread: u8,
+    vpn: u64,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbFilter {
+    vpn: u64,
+    slot: u32,
+}
+
 #[derive(Debug, Clone)]
 struct Tlb {
-    entries: FastHashMap<(u8, u64), u64>, // (thread, vpn) -> last use
+    slots: Vec<TlbEntry>,
+    mask: usize,
+    /// Per-thread last translation: slot of the thread's previous page.
+    last: [Option<TlbFilter>; MAX_TLB_THREADS],
+    len: usize,
     capacity: usize,
     page_shift: u32,
     tick: u64,
 }
+
+/// The per-thread filter covers the whole `ThreadId` (u8) range, so no
+/// caller-visible precondition narrows the public API; only the handful
+/// of entries belonging to live contexts are ever touched.
+const MAX_TLB_THREADS: usize = 256;
 
 impl Tlb {
     fn new(capacity: usize, page_bytes: u64) -> Tlb {
@@ -390,34 +431,114 @@ impl Tlb {
             page_bytes.is_power_of_two(),
             "page size must be a power of two"
         );
+        // 2x capacity keeps linear probes short; never smaller than 8.
+        let table = (capacity * 2).next_power_of_two().max(8);
         Tlb {
-            entries: FastHashMap::default(),
+            slots: vec![TlbEntry::default(); table],
+            mask: table - 1,
+            last: [None; MAX_TLB_THREADS],
+            len: 0,
             capacity,
             page_shift: page_bytes.trailing_zeros(),
             tick: 0,
         }
     }
 
+    #[inline]
+    fn home(&self, thread: u8, vpn: u64) -> usize {
+        // FxHash-style mix of the (thread, vpn) key.
+        let h = (vpn ^ (u64::from(thread) << 57)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> 32) as usize & self.mask
+    }
+
     /// Returns true on hit; on miss the translation is installed (the miss
     /// *penalty* is charged by the hierarchy).
     fn access(&mut self, thread: ThreadId, addr: Addr) -> bool {
-        let key = (thread.0, addr >> self.page_shift);
+        let vpn = addr >> self.page_shift;
         self.tick += 1;
-        if let Some(stamp) = self.entries.get_mut(&key) {
-            *stamp = self.tick;
-            return true;
+        // Fast path: same page as this thread's previous access, and the
+        // remembered slot still holds it (eviction invalidates lazily).
+        if let Some(f) = self.last[usize::from(thread.0)] {
+            let s = &mut self.slots[f.slot as usize];
+            if f.vpn == vpn && s.live && s.vpn == vpn && s.thread == thread.0 {
+                s.stamp = self.tick;
+                return true;
+            }
         }
-        if self.entries.len() == self.capacity {
-            let victim = *self
-                .entries
+        // Probe the open-addressed table (chains are compact: the first
+        // unoccupied slot proves the key absent).
+        let mut i = self.home(thread.0, vpn);
+        while self.slots[i].live {
+            let s = &mut self.slots[i];
+            if s.thread == thread.0 && s.vpn == vpn {
+                s.stamp = self.tick;
+                self.last[usize::from(thread.0)] = Some(TlbFilter {
+                    vpn,
+                    slot: i as u32,
+                });
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+        // Miss: evict the LRU entry when full (unique stamps make the
+        // victim deterministic), then install.
+        if self.len == self.capacity {
+            let victim = self
+                .slots
                 .iter()
-                .min_by_key(|&(_, &stamp)| stamp)
-                .expect("full TLB is non-empty")
-                .0;
-            self.entries.remove(&victim);
+                .enumerate()
+                .filter(|(_, s)| s.live)
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(i, _)| i)
+                .expect("full TLB is non-empty");
+            self.remove_slot(victim);
+            self.len -= 1;
+            // Compaction may have shifted entries into this key's chain;
+            // re-find its terminating unoccupied slot.
+            i = self.home(thread.0, vpn);
+            while self.slots[i].live {
+                debug_assert!(self.slots[i].thread != thread.0 || self.slots[i].vpn != vpn);
+                i = (i + 1) & self.mask;
+            }
         }
-        self.entries.insert(key, self.tick);
+        self.slots[i] = TlbEntry {
+            live: true,
+            thread: thread.0,
+            vpn,
+            stamp: self.tick,
+        };
+        self.len += 1;
+        self.last[usize::from(thread.0)] = Some(TlbFilter {
+            vpn,
+            slot: i as u32,
+        });
         false
+    }
+
+    /// Removes the entry at `i`, compacting the probe chain behind it
+    /// (backward-shift deletion): every follower that cannot reach its
+    /// home slot without passing the hole moves into it. Per-thread
+    /// last-translation filters may now point at moved slots; they
+    /// re-validate against the stored key, so stale ones simply miss.
+    fn remove_slot(&mut self, mut i: usize) {
+        self.slots[i] = TlbEntry::default();
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let e = self.slots[j];
+            if !e.live {
+                return;
+            }
+            let home = self.home(e.thread, e.vpn);
+            // `e` may fill the hole if its home lies outside (i, j]
+            // cyclically — i.e. probing from `home` reaches `i` no later
+            // than `j`.
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                self.slots[i] = e;
+                self.slots[j] = TlbEntry::default();
+                i = j;
+            }
+        }
     }
 }
 
@@ -472,6 +593,10 @@ pub struct MemoryHierarchy {
     bus_mem_free: u64,
 
     mshrs: Vec<Mshr>,
+    /// Recycled MSHR waiter-list buffers: an MSHR's list is handed back
+    /// when its completion drains, so steady-state misses allocate
+    /// nothing.
+    waiter_pool: Vec<Vec<ReqId>>,
     completions: BinaryHeap<Reverse<(u64, u64)>>, // (cycle, mshr key)
     pending_fills: Vec<(u64, Side, Addr)>,        // (cycle, side, line)
     delay_only: Vec<(u64, ReqId)>,                // TLB walks on tag hits
@@ -515,11 +640,15 @@ impl MemoryHierarchy {
             bus_l1d_free: 0,
             bus_l2_free: 0,
             bus_mem_free: 0,
-            mshrs: Vec::new(),
-            completions: BinaryHeap::new(),
-            pending_fills: Vec::new(),
-            delay_only: Vec::new(),
-            ready: Vec::new(),
+            // Event lists are pre-sized past any plausible steady-state
+            // high-water mark so the warmed cycle path never grows them
+            // (the allocation-guard test in `smt-bench` pins this).
+            mshrs: Vec::with_capacity(64),
+            waiter_pool: Vec::with_capacity(64),
+            completions: BinaryHeap::with_capacity(128),
+            pending_fills: Vec::with_capacity(128),
+            delay_only: Vec::with_capacity(256),
+            ready: Vec::with_capacity(128),
             next_req: 0,
             next_fill_at: u64::MAX,
             next_delay_at: u64::MAX,
@@ -605,10 +734,12 @@ impl MemoryHierarchy {
                 .iter()
                 .position(|m| m.complete_at == t && key == Self::mshr_key(m))
             {
-                let m = self.mshrs.swap_remove(pos);
-                for req in m.waiters {
+                let mut m = self.mshrs.swap_remove(pos);
+                for &req in &m.waiters {
                     self.ready.push(Completion { req, at_cycle: t });
                 }
+                m.waiters.clear();
+                self.waiter_pool.push(m.waiters);
             }
         }
     }
@@ -750,11 +881,13 @@ impl MemoryHierarchy {
         }
         let start = self.cycle + 1 + extra_delay;
         let complete_at = self.service_miss(side, line, start);
+        let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+        waiters.push(req);
         let m = Mshr {
             line,
             side,
             complete_at,
-            waiters: vec![req],
+            waiters,
         };
         self.completions
             .push(Reverse((complete_at, Self::mshr_key(&m))));

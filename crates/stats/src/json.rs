@@ -146,6 +146,14 @@ impl Json {
         }
     }
 
+    /// The object's ordered `(key, value)` pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// The elements, if the value is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {

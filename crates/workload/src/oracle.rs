@@ -33,7 +33,16 @@ pub struct ThreadContext {
     pc: Addr,
     executed: u64,
     branch_execs: Vec<u32>,
+    /// Per-branch loop phase (`execs % trip`, maintained incrementally):
+    /// loop back-edges resolve with a compare instead of a variable-divisor
+    /// `%`, which costs tens of host cycles on every executed branch.
+    loop_phase: Vec<u32>,
     mem_execs: Vec<u64>,
+    /// Per-memory-model stride state `(offset, step)` with
+    /// `offset == (n · stride) % span` maintained incrementally (`step` is
+    /// `stride % span`, precomputed): strided address generation needs no
+    /// division either.
+    stride_state: Vec<(u64, u64)>,
     ret_stack: Vec<Addr>,
 }
 
@@ -43,7 +52,17 @@ impl ThreadContext {
     /// patterns), so equal seeds replay identical dynamic streams.
     pub fn new(program: Arc<Program>, seed: u64) -> ThreadContext {
         let branch_execs = vec![0; program.branch_count()];
+        let loop_phase = vec![0; program.branch_count()];
         let mem_execs = vec![0; program.mem_count()];
+        let stride_state = (0..program.mem_count() as u32)
+            .map(|meta| match program.mem_model(meta).pattern {
+                MemPattern::Stride { region, stride } => {
+                    let span = (program.regions()[region as usize].size & !7).max(8);
+                    (0, u64::from(stride) % span)
+                }
+                MemPattern::Random { .. } => (0, 0),
+            })
+            .collect();
         let pc = program.entry();
         ThreadContext {
             program,
@@ -51,7 +70,9 @@ impl ThreadContext {
             pc,
             executed: 0,
             branch_execs,
+            loop_phase,
             mem_execs,
+            stride_state,
             ret_stack: Vec::with_capacity(MAX_CALL_DEPTH),
         }
     }
@@ -111,7 +132,17 @@ impl ThreadContext {
         match inst.op {
             Opcode::CondBranch => {
                 let taken = match model.behavior {
-                    BranchBehavior::Loop { trip } => n % trip != trip - 1,
+                    BranchBehavior::Loop { trip } => {
+                        // `phase == n % trip`, maintained without dividing.
+                        let phase = &mut self.loop_phase[inst.meta as usize];
+                        debug_assert_eq!(*phase, n % trip);
+                        let taken = *phase != trip - 1;
+                        *phase += 1;
+                        if *phase == trip {
+                            *phase = 0;
+                        }
+                        taken
+                    }
                     BranchBehavior::Bernoulli { taken_milli } => {
                         let h = mix64(self.seed ^ (u64::from(inst.meta) << 32) ^ u64::from(n));
                         h % 1000 < u64::from(taken_milli)
@@ -162,10 +193,19 @@ impl ThreadContext {
         let n = self.mem_execs[inst.meta as usize];
         self.mem_execs[inst.meta as usize] = n.wrapping_add(1);
         match model.pattern {
-            MemPattern::Stride { region, stride } => {
+            MemPattern::Stride { region, stride: _ } => {
                 let r = self.program.regions()[region as usize];
-                let span = r.size & !7;
-                (r.base + (n * u64::from(stride)) % span.max(8)) & !7
+                let span = (r.size & !7).max(8);
+                // `offset == (n · stride) % span` without the division:
+                // `step < span`, so one conditional subtraction per
+                // execution keeps the running offset exact.
+                let (offset, step) = &mut self.stride_state[inst.meta as usize];
+                let addr = (r.base + *offset) & !7;
+                *offset += *step;
+                if *offset >= span {
+                    *offset -= span;
+                }
+                addr
             }
             MemPattern::Random { region } => {
                 let r = self.program.regions()[region as usize];
