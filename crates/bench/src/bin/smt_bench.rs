@@ -8,7 +8,7 @@
 //! baselines carry).
 //!
 //! ```text
-//! smt_bench [CYCLES] [--json PATH] [--reference-only]
+//! smt_bench [CYCLES] [--json PATH] [--reference-only] [--checkpoint]
 //!           [--baseline PATH | --baseline-latest DIR] [--max-regress FRAC]
 //! ```
 //!
@@ -16,7 +16,10 @@
 //! additionally writes the machine-readable `"smt-bench"` document
 //! (schema 3: per-reference `insts_per_sec` under `references`).
 //! `--reference-only` measures just ICOUNT/standard — the quick local
-//! check. `--baseline` reads a previously written document (e.g. the
+//! check. `--checkpoint` additionally measures each reference's
+//! warmed-state checkpoint: size in bytes plus best-of-3 save and restore
+//! latency, printed and carried in the JSON document's `checkpoints` map
+//! (additive; the schema version is unchanged). `--baseline` reads a previously written document (e.g. the
 //! committed `BENCH_*.json` trajectory files) and prints the speedup
 //! factor per reference; `--baseline-latest DIR` auto-picks the
 //! `BENCH_PR<N>.json` in `DIR` with the highest PR number, so the
@@ -28,8 +31,8 @@
 //! guarded.)
 
 use smt_bench::{
-    baseline_reference_rates, bench_to_json, find_latest_baseline, ReferenceResult,
-    REFERENCE_FETCHES, REFERENCE_MIXES,
+    baseline_reference_rates, bench_checkpoint, bench_to_json_with_checkpoints,
+    find_latest_baseline, CheckpointBench, ReferenceResult, REFERENCE_FETCHES, REFERENCE_MIXES,
 };
 
 fn main() {
@@ -38,6 +41,7 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut max_regress: Option<f64> = None;
     let mut reference_only = false;
+    let mut checkpoint = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,6 +50,7 @@ fn main() {
                 None => die("--json requires a path"),
             },
             "--reference-only" => reference_only = true,
+            "--checkpoint" => checkpoint = true,
             "--baseline" => match args.next() {
                 Some(path) => match baseline_path {
                     None => baseline_path = Some(path),
@@ -73,7 +78,7 @@ fn main() {
             _ => match arg.parse() {
                 Ok(n) => cycles = n,
                 Err(_) => die(&format!(
-                    "usage: smt_bench [CYCLES] [--json PATH] [--reference-only] \
+                    "usage: smt_bench [CYCLES] [--json PATH] [--reference-only] [--checkpoint] \
                      [--baseline PATH | --baseline-latest DIR] [--max-regress FRAC]   \
                      (CYCLES must be a number, got '{arg}')"
                 )),
@@ -85,6 +90,7 @@ fn main() {
     }
 
     let mut references: Vec<ReferenceResult> = Vec::new();
+    let mut checkpoints: Vec<CheckpointBench> = Vec::new();
     for fetch in REFERENCE_FETCHES {
         for mix in REFERENCE_MIXES {
             if reference_only && (fetch != "icount" || mix != "standard") {
@@ -96,6 +102,19 @@ fn main() {
             }
             println!("{:16} best : {}", r.name, r.best);
             references.push(r);
+            if checkpoint {
+                let c = bench_checkpoint(fetch, mix, cycles, 3);
+                println!(
+                    "{:16} ckpt : {} bytes, save {:.3} ms, restore {:.3} ms \
+                     (warmed {} cycles)",
+                    c.name,
+                    c.bytes,
+                    c.save.as_secs_f64() * 1e3,
+                    c.restore.as_secs_f64() * 1e3,
+                    c.warm_cycles
+                );
+                checkpoints.push(c);
+            }
         }
     }
     let headline = references
@@ -109,7 +128,8 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        if let Err(e) = std::fs::write(&path, bench_to_json(&references).render_pretty()) {
+        let doc = bench_to_json_with_checkpoints(&references, &checkpoints);
+        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
             die(&format!("failed to write {path}: {e}"));
         }
         println!("wrote {path}");

@@ -167,6 +167,88 @@ impl ReferenceResult {
     }
 }
 
+/// Checkpoint micro-benchmark result for one reference configuration:
+/// the warmed machine's checkpoint size plus best-of-N save and restore
+/// latencies (`smt_bench --checkpoint`).
+#[derive(Debug, Clone)]
+pub struct CheckpointBench {
+    /// Canonical reference name ([`reference_name`]).
+    pub name: String,
+    /// Cycles the machine was warmed before checkpointing.
+    pub warm_cycles: u64,
+    /// Serialized checkpoint size in bytes.
+    pub bytes: u64,
+    /// Best wall-clock time to serialize the checkpoint.
+    pub save: Duration,
+    /// Best wall-clock time to restore a simulator from the checkpoint.
+    pub restore: Duration,
+}
+
+impl CheckpointBench {
+    /// This measurement as a JSON object (one entry of the `checkpoints`
+    /// map in the `"smt-bench"` document).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("warm_cycles", Json::from(self.warm_cycles)),
+            ("checkpoint_bytes", Json::from(self.bytes)),
+            ("save_seconds", Json::from(self.save.as_secs_f64())),
+            ("restore_seconds", Json::from(self.restore.as_secs_f64())),
+        ])
+    }
+}
+
+/// Measures checkpoint size and save/restore latency for one reference
+/// `(fetch, mix)` machine warmed for `cycles` cycles; latencies are the
+/// best of `runs` attempts. The restore is validated to land on the saved
+/// cycle — this doubles as an in-process round-trip check on the reference
+/// machines.
+///
+/// # Panics
+///
+/// Panics if `fetch` or `mix` is not a known name, or if the just-written
+/// checkpoint fails to restore (a bug, not an input error).
+pub fn bench_checkpoint(fetch: &str, mix: &str, cycles: u64, runs: usize) -> CheckpointBench {
+    let benchmarks = smt_experiments::study::mix_by_name(mix)
+        .unwrap_or_else(|| panic!("unknown benchmark mix '{mix}'"));
+    let mk_cfg = || {
+        let policy = smt_core::fetch_policy_by_name(fetch)
+            .unwrap_or_else(|| panic!("unknown fetch policy '{fetch}'"));
+        SimConfig::new()
+            .with_benchmarks(benchmarks.clone(), 42)
+            .with_fetch(policy)
+    };
+    let mut sim = mk_cfg().build();
+    for _ in 0..cycles {
+        sim.step_cycle();
+    }
+    let mut bytes = Vec::new();
+    sim.save_checkpoint(&mut bytes)
+        .expect("writing a checkpoint to a Vec cannot fail");
+    let mut save = Duration::MAX;
+    let mut restore = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let mut buf = Vec::with_capacity(bytes.len());
+        let start = Instant::now();
+        sim.save_checkpoint(&mut buf)
+            .expect("writing a checkpoint to a Vec cannot fail");
+        save = save.min(start.elapsed());
+
+        let cfg = mk_cfg();
+        let start = Instant::now();
+        let restored = smt_core::Simulator::restore_checkpoint(cfg, &mut bytes.as_slice())
+            .expect("a just-written checkpoint must restore");
+        restore = restore.min(start.elapsed());
+        assert_eq!(restored.cycle(), sim.cycle(), "restore landed off-cycle");
+    }
+    CheckpointBench {
+        name: reference_name(fetch, mix),
+        warm_cycles: cycles,
+        bytes: bytes.len() as u64,
+        save,
+        restore,
+    }
+}
+
 /// The machine-readable benchmark document: one entry per measured
 /// reference plus the headline. `smt_bench --json` writes this,
 /// pretty-rendered.
@@ -176,11 +258,22 @@ impl ReferenceResult {
 /// the `references` map, keyed by canonical name, and the CI guard
 /// compares those like for like against the committed baseline.
 pub fn bench_to_json(references: &[ReferenceResult]) -> Json {
+    bench_to_json_with_checkpoints(references, &[])
+}
+
+/// [`bench_to_json`] plus the `--checkpoint` measurements: when
+/// `checkpoints` is non-empty the document carries an additional
+/// `checkpoints` map keyed by reference name (additive — the schema
+/// version is unchanged and documents without the flag are identical).
+pub fn bench_to_json_with_checkpoints(
+    references: &[ReferenceResult],
+    checkpoints: &[CheckpointBench],
+) -> Json {
     let headline = references
         .iter()
         .max_by(|a, b| a.best.ips().total_cmp(&b.best.ips()))
         .expect("at least one reference");
-    Json::object([
+    let mut fields = vec![
         ("schema_version", Json::from(JSON_SCHEMA_VERSION)),
         ("kind", Json::from("smt-bench")),
         ("reference", Json::from(headline.name.clone())),
@@ -198,14 +291,21 @@ pub fn bench_to_json(references: &[ReferenceResult]) -> Json {
                 )
             })),
         ),
-        // Legacy mirror of the headline reference, so older consumers keep
-        // parsing the document.
-        (
-            "runs",
-            Json::array(headline.runs.iter().map(BenchResult::to_json)),
-        ),
-        ("best", headline.best.to_json()),
-    ])
+    ];
+    if !checkpoints.is_empty() {
+        fields.push((
+            "checkpoints",
+            Json::object(checkpoints.iter().map(|c| (c.name.as_str(), c.to_json()))),
+        ));
+    }
+    // Legacy mirror of the headline reference, so older consumers keep
+    // parsing the document.
+    fields.push((
+        "runs",
+        Json::array(headline.runs.iter().map(BenchResult::to_json)),
+    ));
+    fields.push(("best", headline.best.to_json()));
+    Json::object(fields)
 }
 
 /// Extracts the headline insts/s rate from a rendered `"smt-bench"`
@@ -420,6 +520,36 @@ mod tests {
                 assert!(r.best.committed > 0, "{} made no progress", r.name);
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_bench_measures_and_serializes() {
+        let c = bench_checkpoint("icount", "standard", 400, 1);
+        assert_eq!(c.name, "ICOUNT/standard");
+        assert_eq!(c.warm_cycles, 400);
+        assert!(c.bytes > 0, "checkpoint must have a size");
+        assert!(c.save > Duration::ZERO && c.restore > Duration::ZERO);
+
+        let r = run_reference(300);
+        let refs = [reference_of(r, "icount", "standard")];
+        // Additive: without checkpoints the document is unchanged …
+        let plain = bench_to_json(&refs).render_pretty();
+        assert!(!plain.contains("\"checkpoints\""));
+        // … and with them it carries the per-reference map.
+        let doc = bench_to_json_with_checkpoints(&refs, std::slice::from_ref(&c));
+        let back = Json::parse(&doc.render_pretty()).unwrap();
+        let entry = back
+            .get("checkpoints")
+            .and_then(|m| m.get("ICOUNT/standard"))
+            .expect("checkpoint entry present");
+        assert_eq!(
+            entry.get("checkpoint_bytes").and_then(Json::as_u64),
+            Some(c.bytes)
+        );
+        assert!(entry
+            .get("restore_seconds")
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v > 0.0));
     }
 
     #[test]

@@ -570,7 +570,133 @@ impl BranchPredictor {
     pub fn history(&self, thread: ThreadId) -> u16 {
         self.history[thread.index()]
     }
+
+    /// Serializes the predictor's complete deterministic state — BTB
+    /// entries, PHT counters, every RAS, per-thread global histories and
+    /// prediction statistics — through `w`, as the `smt-branch` section of
+    /// a simulator checkpoint. The configuration is not written; it is
+    /// covered by the checkpoint header's fingerprint and
+    /// [`restore_state`](BranchPredictor::restore_state) targets a
+    /// predictor freshly built from it.
+    pub fn save_state<W: std::io::Write>(&self, w: &mut BinWriter<W>) -> std::io::Result<()> {
+        w.len(self.btb.entries.len())?;
+        for e in &self.btb.entries {
+            w.bool(e.valid)?;
+            w.u64(e.tag)?;
+            w.u8(e.thread)?;
+            w.u64(e.target)?;
+            w.u8(e.lru)?;
+        }
+        w.len(self.pht.counters.len())?;
+        for &c in &self.pht.counters {
+            w.u8(c)?;
+        }
+        w.len(self.ras.len())?;
+        for ras in &self.ras {
+            w.len(ras.slots.len())?;
+            for &a in &ras.slots {
+                w.u64(a)?;
+            }
+            w.len(ras.top)?;
+            w.len(ras.depth)?;
+        }
+        w.len(self.history.len())?;
+        for &h in &self.history {
+            w.u16(h)?;
+        }
+        w.u64(self.stats.predictions)?;
+        w.u64(self.stats.btb_lookups)?;
+        w.u64(self.stats.btb_hits)?;
+        w.u64(self.stats.ras_predictions)?;
+        w.u64(self.stats.ras_underflows)
+    }
+
+    /// Restores state written by
+    /// [`save_state`](BranchPredictor::save_state) into this predictor,
+    /// which must have been built from a configuration with identical
+    /// table geometry. Malformed data yields
+    /// [`std::io::ErrorKind::InvalidData`] / `UnexpectedEof` errors, never
+    /// a panic; on error the predictor is left partially written and must
+    /// be discarded.
+    pub fn restore_state<R: std::io::Read>(&mut self, r: &mut BinReader<R>) -> std::io::Result<()> {
+        let n = r.len()?;
+        if n != self.btb.entries.len() {
+            return Err(binio::invalid(format!(
+                "BTB has {n} entries, configuration expects {}",
+                self.btb.entries.len()
+            )));
+        }
+        for e in &mut self.btb.entries {
+            e.valid = r.bool()?;
+            e.tag = r.u64()?;
+            e.thread = r.u8()?;
+            e.target = r.u64()?;
+            e.lru = r.u8()?;
+        }
+        let n = r.len()?;
+        if n != self.pht.counters.len() {
+            return Err(binio::invalid(format!(
+                "PHT has {n} counters, configuration expects {}",
+                self.pht.counters.len()
+            )));
+        }
+        for c in &mut self.pht.counters {
+            *c = r.u8()?;
+            if *c > 3 {
+                return Err(binio::invalid(format!(
+                    "PHT counter value {c} out of 2-bit range"
+                )));
+            }
+        }
+        let n = r.len()?;
+        if n != self.ras.len() {
+            return Err(binio::invalid(format!(
+                "checkpoint has {n} return address stacks, configuration expects {}",
+                self.ras.len()
+            )));
+        }
+        for ras in &mut self.ras {
+            let slots = r.len()?;
+            if slots != ras.slots.len() {
+                return Err(binio::invalid(format!(
+                    "RAS has {slots} slots, configuration expects {}",
+                    ras.slots.len()
+                )));
+            }
+            for a in &mut ras.slots {
+                *a = r.u64()?;
+            }
+            ras.top = r.len()?;
+            ras.depth = r.len()?;
+            if ras.top >= ras.slots.len().max(1) || ras.depth > ras.slots.len() {
+                return Err(binio::invalid(format!(
+                    "RAS pointers (top {}, depth {}) out of range for {} slots",
+                    ras.top,
+                    ras.depth,
+                    ras.slots.len()
+                )));
+            }
+        }
+        let n = r.len()?;
+        if n != self.history.len() {
+            return Err(binio::invalid(format!(
+                "checkpoint has {n} history registers, configuration expects {}",
+                self.history.len()
+            )));
+        }
+        for h in &mut self.history {
+            *h = r.u16()?;
+        }
+        self.stats.predictions = r.u64()?;
+        self.stats.btb_lookups = r.u64()?;
+        self.stats.btb_hits = r.u64()?;
+        self.stats.ras_predictions = r.u64()?;
+        self.stats.ras_underflows = r.u64()?;
+        Ok(())
+    }
 }
+
+use smt_stats::binio::{self, BinReader, BinWriter};
 
 #[cfg(test)]
 mod tests {

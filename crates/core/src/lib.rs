@@ -84,6 +84,7 @@
 #![warn(missing_docs)]
 
 mod ablation;
+pub mod checkpoint;
 mod config;
 mod pipeline;
 mod policy;
@@ -91,6 +92,7 @@ mod regfile;
 mod report;
 
 pub use ablation::{Ablation, Ablations};
+pub use checkpoint::CheckpointError;
 pub use config::{SimConfig, MAX_THREADS};
 pub use pipeline::Simulator;
 pub use policy::{

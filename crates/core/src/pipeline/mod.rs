@@ -71,6 +71,7 @@
 //! slots, rename registers, queue entries and functional units exactly as
 //! the paper requires.
 
+mod checkpoint;
 mod commit;
 mod fetch;
 mod issue;
@@ -275,6 +276,11 @@ pub struct Simulator {
     cond_pred: Ratio,
     squashes: u64,
     squashed_insts: u64,
+    /// Provenance marker copied into [`SimReport`]: set only by
+    /// [`mark_restored_from_checkpoint`](Simulator::mark_restored_from_checkpoint),
+    /// never serialized and never restored (restoring must reproduce a
+    /// straight-through simulator bit for bit).
+    restored_from_checkpoint: bool,
     /// Reused sort buffer for fetch ranking (allocation-free hot loop).
     fetch_rank_scratch: Vec<(i64, u64, usize)>,
     /// Reused view batch handed to `FetchPolicy::priority_batch`.
@@ -393,6 +399,7 @@ impl Simulator {
             cond_pred: Ratio::new(),
             squashes: 0,
             squashed_insts: 0,
+            restored_from_checkpoint: false,
             fetch_rank_scratch: Vec::new(),
             fetch_view_scratch: Vec::new(),
             fetch_key_scratch: Vec::new(),
@@ -507,6 +514,7 @@ impl Simulator {
         SimReport {
             cycles: window,
             warmup_cycles: self.stats_base_cycle,
+            restored_from_checkpoint: self.restored_from_checkpoint,
             fetch_policy: self.cfg.fetch.name().to_string(),
             issue_policy: self.cfg.issue.name().to_string(),
             ablations: self

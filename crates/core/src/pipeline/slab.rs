@@ -39,6 +39,7 @@
 use smt_branch::Prediction;
 use smt_isa::{Addr, Opcode, Outcome, Reg, RegClass};
 use smt_mem::ReqId;
+use smt_stats::binio::{invalid, BinReader, BinWriter};
 
 const COLD_PRED_TAKEN: u8 = 1 << 0;
 const COLD_OUTCOME_TAKEN: u8 = 1 << 1;
@@ -52,6 +53,19 @@ impl InstRef {
     #[inline]
     pub(crate) fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The raw slot index (checkpoint serialization).
+    #[inline]
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reassembles a handle from a serialized slot index (checkpoint
+    /// restore; the caller validates the index against the slab).
+    #[inline]
+    pub(crate) fn from_raw(i: u32) -> InstRef {
+        InstRef(i)
     }
 }
 
@@ -83,6 +97,24 @@ impl GenRef {
             iref: InstRef(slot),
             gen,
         }
+    }
+
+    /// The slot handle (checkpoint serialization).
+    #[inline]
+    pub(crate) fn slot(self) -> InstRef {
+        self.iref
+    }
+
+    /// The observed generation (checkpoint serialization).
+    #[inline]
+    pub(crate) fn generation(self) -> u32 {
+        self.gen
+    }
+
+    /// Reassembles a handle from its serialized parts (checkpoint restore).
+    #[inline]
+    pub(crate) fn from_parts(iref: InstRef, gen: u32) -> GenRef {
+        GenRef { iref, gen }
     }
 }
 
@@ -354,6 +386,127 @@ impl InstSlab {
     pub(crate) fn live(&self, t: GenRef) -> Option<InstRef> {
         (self.hot[t.iref.index()].gen == t.gen).then_some(t.iref)
     }
+
+    /// Serializes every slot (hot and cold records, field by field) and the
+    /// free list through `w` (checkpoint save).
+    pub(crate) fn save_state<W: std::io::Write>(
+        &self,
+        w: &mut BinWriter<W>,
+    ) -> std::io::Result<()> {
+        w.len(self.hot.len())?;
+        for h in &self.hot {
+            w.u32(h.gen)?;
+            w.u64(h.seq)?;
+            w.u64(h.when)?;
+            w.u64(h.mem_addr)?;
+            w.u16(h.dest_phys)?;
+            w.u16(h.prev_phys)?;
+            w.u16(h.srcs_phys[0])?;
+            w.u16(h.srcs_phys[1])?;
+            w.u8(h.flags)?;
+            w.u8(h.op.code())?;
+            w.u8(h.ti)?;
+            w.u8(h.pending_srcs)?;
+            w.u8(h.dest_log)?;
+            w.u8(h.srcs_log[0])?;
+            w.u8(h.srcs_log[1])?;
+        }
+        for c in &self.cold {
+            w.u64(c.pc)?;
+            w.u64(c.next_pc)?;
+            w.u32(c.pht_index)?;
+            w.u16(c.history_before)?;
+            w.u8(c.cflags)?;
+        }
+        w.len(self.free.len())?;
+        for &i in &self.free {
+            w.u32(i)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a slab from its serialized form (checkpoint restore).
+    /// Every slot index, opcode, flag byte and free-list entry is
+    /// validated; malformed data yields
+    /// [`std::io::ErrorKind::InvalidData`] errors, never a panic.
+    pub(crate) fn restore_state<R: std::io::Read>(
+        r: &mut BinReader<R>,
+    ) -> std::io::Result<InstSlab> {
+        let n = r.len()?;
+        let mut slab = InstSlab::with_capacity(n);
+        for _ in 0..n {
+            let gen = r.u32()?;
+            let seq = r.u64()?;
+            let when = r.u64()?;
+            let mem_addr = r.u64()?;
+            let dest_phys = r.u16()?;
+            let prev_phys = r.u16()?;
+            let srcs_phys = [r.u16()?, r.u16()?];
+            let flags = r.u8()?;
+            if flags & STATE_MASK > InstState::Done as u8
+                || flags & !(STATE_MASK | FLAG_WRONG_PATH | FLAG_MISPREDICT) != 0
+            {
+                return Err(invalid(format!(
+                    "invalid instruction flag byte {flags:#04x}"
+                )));
+            }
+            let op_code = r.u8()?;
+            let op = Opcode::from_code(op_code)
+                .ok_or_else(|| invalid(format!("invalid opcode code {op_code}")))?;
+            let ti = r.u8()?;
+            let pending_srcs = r.u8()?;
+            let dest_log = r.u8()?;
+            let srcs_log = [r.u8()?, r.u8()?];
+            slab.hot.push(HotInst {
+                gen,
+                seq,
+                when,
+                mem_addr,
+                dest_phys,
+                prev_phys,
+                srcs_phys,
+                flags,
+                op,
+                ti,
+                pending_srcs,
+                dest_log,
+                srcs_log,
+            });
+        }
+        for _ in 0..n {
+            let pc = r.u64()?;
+            let next_pc = r.u64()?;
+            let pht_index = r.u32()?;
+            let history_before = r.u16()?;
+            let cflags = r.u8()?;
+            if cflags & !(COLD_PRED_TAKEN | COLD_OUTCOME_TAKEN) != 0 {
+                return Err(invalid(format!("invalid cold flag byte {cflags:#04x}")));
+            }
+            slab.cold.push(ColdInst {
+                pc,
+                next_pc,
+                pht_index,
+                history_before,
+                cflags,
+            });
+        }
+        let n_free = r.len()?;
+        if n_free > n {
+            return Err(invalid(format!(
+                "free list has {n_free} entries for a {n}-slot slab"
+            )));
+        }
+        let mut seen = vec![false; n];
+        for _ in 0..n_free {
+            let i = r.u32()?;
+            let idx = i as usize;
+            if idx >= n || std::mem::replace(&mut seen[idx], true) {
+                return Err(invalid(format!("invalid free-list slot {i}")));
+            }
+            slab.free.push(i);
+        }
+        Ok(slab)
+    }
 }
 
 /// Outstanding D-cache-miss loads, keyed by [`ReqId`] in an open-addressed
@@ -431,6 +584,65 @@ impl PendingLoads {
         self.slots[idx].req = EMPTY;
         self.len -= 1;
         Some(slot.load)
+    }
+
+    /// Serializes the table capacity and the live entries in slot order
+    /// (checkpoint save). Slot order is deterministic for a given logical
+    /// content and capacity, so identical state produces identical bytes.
+    pub(crate) fn save_state<W: std::io::Write>(
+        &self,
+        w: &mut BinWriter<W>,
+    ) -> std::io::Result<()> {
+        w.len(self.slots.len())?;
+        w.len(self.len)?;
+        for s in &self.slots {
+            if s.req != EMPTY {
+                w.u64(s.req)?;
+                w.u32(s.load.slot().raw())?;
+                w.u32(s.load.generation())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a table from its serialized form (checkpoint restore),
+    /// re-inserting each live entry into a table of the saved capacity so
+    /// the slot layout — and thus any subsequent checkpoint — reproduces
+    /// exactly. `slab_len` bounds the load handles.
+    pub(crate) fn restore_state<R: std::io::Read>(
+        r: &mut BinReader<R>,
+        slab_len: usize,
+    ) -> std::io::Result<PendingLoads> {
+        let cap = r.len()?;
+        if !cap.is_power_of_two() || cap > 1 << 24 {
+            return Err(invalid(format!(
+                "invalid pending-load table capacity {cap}"
+            )));
+        }
+        let n = r.len()?;
+        if n > cap {
+            return Err(invalid(format!(
+                "{n} pending loads exceed table capacity {cap}"
+            )));
+        }
+        let mut table = PendingLoads::with_capacity(cap);
+        for _ in 0..n {
+            let req = r.u64()?;
+            if req == EMPTY {
+                return Err(invalid(
+                    "pending-load request id collides with the empty sentinel",
+                ));
+            }
+            let slot = r.u32()?;
+            if slot as usize >= slab_len {
+                return Err(invalid(format!(
+                    "pending-load slot {slot} outside the slab"
+                )));
+            }
+            let gen = r.u32()?;
+            table.insert(ReqId(req), GenRef::from_parts(InstRef::from_raw(slot), gen));
+        }
+        Ok(table)
     }
 
     /// Doubles the table and re-places the live entries (their home slot

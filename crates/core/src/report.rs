@@ -82,6 +82,15 @@ pub struct SimReport {
     /// [`reset_stats`](crate::Simulator::reset_stats)); `0` for a
     /// cold-start measurement.
     pub warmup_cycles: u64,
+    /// Whether this simulator's warmed state was restored from a
+    /// checkpoint ([`Simulator::restore_checkpoint`]) rather than
+    /// simulated in-process — provenance only, set by the experiment
+    /// layer via [`Simulator::mark_restored_from_checkpoint`]; a restored
+    /// run's numbers are bit-identical to a straight-through run's.
+    ///
+    /// [`Simulator::restore_checkpoint`]: crate::Simulator::restore_checkpoint
+    /// [`Simulator::mark_restored_from_checkpoint`]: crate::Simulator::mark_restored_from_checkpoint
+    pub restored_from_checkpoint: bool,
     /// Fetch policy name (e.g. `"ICOUNT"`).
     pub fetch_policy: String,
     /// Issue policy name (e.g. `"OLDEST_FIRST"`).
@@ -157,9 +166,15 @@ impl SimReport {
                 Json::array(self.ablations.iter().map(String::as_str)),
             ));
         }
+        fields.push(("cycles", Json::from(self.cycles)));
+        fields.push(("warmup_cycles", Json::from(self.warmup_cycles)));
+        // Like `ablations`: emitted only when non-default, so documents
+        // from in-process warmups (and the pre-checkpoint goldens) carry
+        // no key at all.
+        if self.restored_from_checkpoint {
+            fields.push(("restored_from_checkpoint", Json::from(true)));
+        }
         fields.extend([
-            ("cycles", Json::from(self.cycles)),
-            ("warmup_cycles", Json::from(self.warmup_cycles)),
             ("total_ipc", Json::from(self.total_ipc())),
             ("total_committed", Json::from(self.total_committed())),
             (
@@ -322,6 +337,7 @@ mod tests {
         SimReport {
             cycles: 1000,
             warmup_cycles: 0,
+            restored_from_checkpoint: false,
             fetch_policy: "ICOUNT".into(),
             issue_policy: "OLDEST_FIRST".into(),
             ablations: Vec::new(),
@@ -405,6 +421,21 @@ mod tests {
         assert_eq!(names.len(), 1);
         assert_eq!(names[0].as_str(), Some("perfect_icache"));
         assert!(r.to_string().contains("[ablations: perfect_icache]"));
+    }
+
+    #[test]
+    fn restored_flag_emitted_only_when_set() {
+        let mut r = report();
+        assert!(
+            !r.to_json().render().contains("restored_from_checkpoint"),
+            "in-process warmups must not carry a restored_from_checkpoint key"
+        );
+        r.restored_from_checkpoint = true;
+        let back = Json::parse(&r.to_json().render()).unwrap();
+        assert_eq!(
+            back.get("restored_from_checkpoint").and_then(Json::as_bool),
+            Some(true)
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!
 //! Cells are independent simulations and run in parallel across OS
 //! threads; `smt_exp --study ablation --json out.json` writes the
-//! schema-version-2 document described in the crate docs.
+//! schema-version-3 document described in the crate docs. Warm-window
+//! cells fork from checkpoints warmed under each cell's own fetch policy
+//! and ablation set — see [`crate::warmup`] for why ablations, unlike the
+//! issue study's policy axes, preclude sharing one warmup across cells.
 
 use std::fmt;
 
@@ -85,6 +88,19 @@ pub struct AblationStudyConfig {
     pub warmup: u64,
     /// Worker threads for the sweep; `0` means one per available core.
     pub jobs: usize,
+    /// Run warm-window cells through the checkpoint path: each warm cell
+    /// forks from a checkpoint warmed under its own configuration, served
+    /// from [`AblationStudyConfig::checkpoint_dir`] when it holds a valid
+    /// entry (an ablation changes the machine itself, so — unlike the
+    /// issue study — warmups here cannot be shared *across* cells without
+    /// changing the attribution numbers; the cache dedups repeat sweeps
+    /// instead). `false` (`--cold-warmup`) recomputes every warmup,
+    /// ignoring the cache; results are byte-identical either way.
+    pub share_warmup: bool,
+    /// Cache the per-key warmup checkpoints in this directory
+    /// (`--checkpoint-dir`); entries are fingerprint-validated on load and
+    /// recomputed on any mismatch.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for AblationStudyConfig {
@@ -104,6 +120,8 @@ impl Default for AblationStudyConfig {
             cycles: 20_000,
             warmup: 10_000,
             jobs: 0,
+            share_warmup: true,
+            checkpoint_dir: None,
         }
     }
 }
@@ -205,11 +223,20 @@ pub struct AblationStudy {
     /// (mix, seed, partition, fetch, window, ablation) order with the
     /// baseline first within each group.
     pub cells: Vec<AblationCell>,
+    /// Warmup simulations actually executed for the warm windows: one per
+    /// warm cell on a cold cache, fewer (down to zero) when a checkpoint
+    /// directory served cached entries. Deliberately not part of
+    /// [`AblationStudy::to_json`] — the cached and cold paths produce
+    /// byte-identical documents.
+    pub warmups_performed: usize,
 }
 
 /// Runs the full ablation matrix, parallelized across OS threads. Program
 /// images are generated once per (mix, seed) and shared between the cells
-/// that use them.
+/// that use them; with [`AblationStudyConfig::share_warmup`] (the default)
+/// every warm cell forks from a checkpoint warmed under its own
+/// configuration, served from the `--checkpoint-dir` cache across repeat
+/// sweeps (see [`crate::warmup`]).
 ///
 /// # Errors
 ///
@@ -255,27 +282,58 @@ pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, St
         }
     }
 
-    let cells = crate::parallel_map(specs.len(), cfg.jobs, |i| {
+    // Each warm cell forks from a checkpoint warmed under the cell's OWN
+    // fetch policy and ablation set — an ablation changes the machine
+    // itself, so warming it any other way would contaminate the
+    // attribution numbers (the warmed state of a perfect-I-cache machine
+    // is not the warmed state of the baseline). Within one run every warm
+    // cell's key is therefore unique; the sharing win is across repeat
+    // sweeps, via the `--checkpoint-dir` cache. Cold cells never warm.
+    let outcomes = crate::parallel_map(specs.len(), cfg.jobs, |i| {
         let spec = &specs[i];
         let programs = images[&(spec.mix.to_string(), spec.seed)].clone();
         let ablations = match spec.ablation {
             Some(a) => Ablations::only(a),
             None => Ablations::none(),
         };
-        let warmup = match spec.window {
-            Window::Cold => 0,
-            Window::Warm => cfg.warmup,
+        let build = || {
+            SimConfig::new()
+                .with_programs(programs.clone())
+                .with_seed(spec.seed)
+                .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
+                .with_partition(spec.partition)
+                .with_ablations(ablations)
         };
-        let report = SimConfig::new()
-            .with_programs(programs)
-            .with_seed(spec.seed)
-            .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
-            .with_partition(spec.partition)
-            .with_warmup(warmup)
-            .with_ablations(ablations)
-            .build()
-            .run(cfg.cycles);
-        AblationCell {
+        let (report, warmed) = match spec.window {
+            Window::Cold => (build().build().run(cfg.cycles), false),
+            Window::Warm => {
+                let (checkpoint, computed) = if cfg.share_warmup {
+                    let stem = format!(
+                        "warm-{}-s{}-p{}.{}-f{}-a{}",
+                        spec.mix,
+                        spec.seed,
+                        spec.partition.threads_per_cycle,
+                        spec.partition.insts_per_thread,
+                        spec.fetch,
+                        spec.ablation.map_or("baseline", |a| a.name()),
+                    );
+                    crate::warmup::warm_checkpoint_under(
+                        build,
+                        &stem,
+                        cfg.warmup,
+                        cfg.checkpoint_dir.as_deref(),
+                    )
+                } else {
+                    let bytes = crate::warmup::compute_checkpoint_under(build(), cfg.warmup);
+                    (std::sync::Arc::new(bytes), true)
+                };
+                (
+                    crate::warmup::fork_cell(build(), &checkpoint, cfg.cycles),
+                    computed,
+                )
+            }
+        };
+        let cell = AblationCell {
             ablation: spec.ablation.map(|a| a.name().to_string()),
             fetch: report.fetch_policy.clone(),
             partition: spec.partition,
@@ -283,11 +341,15 @@ pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, St
             seed: spec.seed,
             window: spec.window,
             report,
-        }
+        };
+        (cell, warmed)
     });
+    let warmups_performed = outcomes.iter().filter(|(_, warmed)| *warmed).count();
+    let cells = outcomes.into_iter().map(|(cell, _)| cell).collect();
     Ok(AblationStudy {
         config: cfg.clone(),
         cells,
+        warmups_performed,
     })
 }
 
@@ -704,6 +766,48 @@ mod tests {
             assert_eq!(c.report.mem.icache.misses, 0);
             assert_eq!(c.report.fetch.lost_icache, 0);
         }
+    }
+
+    #[test]
+    fn checkpoint_and_cold_warmup_paths_are_byte_identical() {
+        let dir =
+            std::env::temp_dir().join(format!("smt-exp-ablation-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = AblationStudyConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..tiny_ablation_study()
+        };
+        let first = run_ablation_study(&cfg).unwrap();
+        let cold = run_ablation_study(&AblationStudyConfig {
+            share_warmup: false,
+            ..cfg.clone()
+        })
+        .unwrap();
+        // Each warm cell warms under its own configuration, so a cold
+        // cache computes one warmup per warm cell in both modes …
+        assert_eq!(first.warmups_performed, cfg.cell_count() / 2);
+        assert_eq!(cold.warmups_performed, cfg.cell_count() / 2);
+        assert_eq!(
+            first.to_json().render_pretty(),
+            cold.to_json().render_pretty(),
+            "the checkpoint path changed the ablation study's results"
+        );
+        // … and a repeat sweep is served entirely from the cache, with
+        // identical results.
+        let repeat = run_ablation_study(&cfg).unwrap();
+        assert_eq!(repeat.warmups_performed, 0);
+        assert_eq!(
+            repeat.to_json().render_pretty(),
+            first.to_json().render_pretty()
+        );
+        // Warm cells carry the provenance flag; cold cells never warmed.
+        for c in &first.cells {
+            match c.window {
+                Window::Warm => assert!(c.report.restored_from_checkpoint),
+                Window::Cold => assert!(!c.report.restored_from_checkpoint),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::process::ExitCode;
 
 use smt_experiments::ablation::{run_ablation_study, Window};
 use smt_experiments::study::run_study;
+use smt_experiments::warmup::{run_checkpoint_verify, run_checkpoint_write};
 use smt_experiments::{matrix_to_json, parse_cli, run_matrix, Command, USAGE};
 
 fn main() -> ExitCode {
@@ -147,6 +148,20 @@ fn main() -> ExitCode {
                 println!("wrote {path}");
             }
         }
+        Command::CheckpointWrite(cfg) => match run_checkpoint_write(&cfg) {
+            Ok(line) => println!("{line}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Command::CheckpointVerify(cfg) => match run_checkpoint_verify(&cfg) {
+            Ok(line) => println!("{line}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
     }
     ExitCode::SUCCESS
 }

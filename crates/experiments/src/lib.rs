@@ -17,6 +17,20 @@
 //!
 //! The `smt_exp` binary is a thin CLI over all three ([`parse_cli`]).
 //!
+//! Both studies measure behind a warmup window and fork their warm cells
+//! off `smt-core` checkpoints ([`warmup`]). The issue study's warmup
+//! trajectory depends only on the machine and workload identity — not on
+//! the policy axes being compared — so it computes each warmup **once**
+//! per unique (mix, seed, partition), under a canonical configuration,
+//! and forks the warmed state across the whole fetch × issue
+//! cross-product. The ablation study's warm cells warm under their own
+//! fetch policy and ablation set (an ablation changes the machine being
+//! warmed), deduplicated across repeat sweeps by the cache instead.
+//! `--cold-warmup` disables checkpoint reuse (byte-identical results, one
+//! warmup per cell), `--checkpoint-dir` caches the checkpoints on disk
+//! across invocations, and the `checkpoint-write` / `checkpoint-verify`
+//! subcommands perform a cross-process save/restore round trip for CI.
+//!
 //! # Examples
 //!
 //! Run a miniature Section-5 study and inspect the qualitative result
@@ -41,18 +55,22 @@
 //! assert!(json.contains("\"schema_version\""));
 //! ```
 //!
-//! # JSON schema (version 2)
+//! # JSON schema (version 3)
 //!
 //! `smt_exp --study issue --json out.json` writes one pretty-rendered JSON
 //! object ([`study::Study::to_json`]); `--json` in matrix mode writes the
 //! analogous `"smt-exp-matrix"` document. Consumers should accept unknown
 //! fields and check `schema_version`. Version 2 added the ablation-study
-//! document below and the optional per-report `ablations` field (version-1
-//! documents are otherwise forward-compatible).
+//! document below and the optional per-report `ablations` field; version 3
+//! added the optional per-report `restored_from_checkpoint` flag (present
+//! and `true` exactly when the cell was forked off a warmed-state
+//! checkpoint — every issue-study cell and every warm-window ablation cell
+//! under the default shared-warmup path). Version-1/2 documents are
+//! otherwise forward-compatible.
 //!
 //! ```text
 //! {
-//!   "schema_version": 2,                // bumped on breaking changes
+//!   "schema_version": 3,                // bumped on breaking changes
 //!   "kind": "smt-exp-study",            // or "smt-exp-matrix"
 //!   "study": "issue",                   // study mode only
 //!   "config": {
@@ -70,7 +88,10 @@
 //!                                       // cycles, warmup_cycles, threads[],
 //!                                       // fetch/issue/branch/mem breakdowns,
 //!                                       // plus "ablations": [str] when any
-//!                                       // ablation was active
+//!                                       // ablation was active and
+//!                                       // "restored_from_checkpoint": true
+//!                                       // when the cell forked a warmed
+//!                                       // checkpoint
 //!   }],
 //!   "summary": {
 //!     "baseline_issue": "OLDEST_FIRST",
@@ -88,7 +109,7 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "kind": "smt-exp-study",
 //!   "study": "ablation",
 //!   "config": {
@@ -139,6 +160,7 @@
 
 pub mod ablation;
 pub mod study;
+pub mod warmup;
 
 use std::sync::Arc;
 
@@ -149,6 +171,7 @@ use smt_workload::{standard_mix, Benchmark, Program};
 
 use crate::ablation::AblationStudyConfig;
 use crate::study::{StudyConfig, JSON_SCHEMA_VERSION, STUDY_MIXES};
+use crate::warmup::CheckpointCliConfig;
 
 /// Runs `count` independent jobs across a pool of OS threads and returns
 /// the results in job-index order. `jobs == 0` uses one worker per
@@ -357,6 +380,66 @@ pub enum Command {
         /// Where `--json` asked the result document to be written.
         json: Option<String>,
     },
+    /// `smt_exp checkpoint-write`: write one canonical warmed checkpoint
+    /// to a file ([`warmup::run_checkpoint_write`]).
+    CheckpointWrite(CheckpointCliConfig),
+    /// `smt_exp checkpoint-verify`: restore a checkpoint file (written by
+    /// any process) and verify bit-equivalence against a straight-through
+    /// run ([`warmup::run_checkpoint_verify`]).
+    CheckpointVerify(CheckpointCliConfig),
+}
+
+/// Parses the flags of the `checkpoint-write` / `checkpoint-verify`
+/// subcommands (everything after the subcommand name).
+fn parse_checkpoint_cli(args: &[String]) -> Result<CheckpointCliConfig, String> {
+    let mut cfg = CheckpointCliConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--mix" => {
+                let v = value("--mix")?;
+                if study::mix_by_name(&v).is_none() {
+                    return Err(format!(
+                        "unknown mix '{v}' (known: {})",
+                        STUDY_MIXES.join(", ")
+                    ));
+                }
+                cfg.mix = v;
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?;
+            }
+            "--partition" => {
+                let v = value("--partition")?;
+                cfg.partition = FetchPartition::parse(&v)
+                    .ok_or_else(|| format!("bad partition '{v}' (expected T.I)"))?;
+            }
+            "--warmup" => {
+                cfg.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|_| "--warmup expects a number".to_string())?;
+            }
+            "--cycles" => {
+                cfg.cycles = value("--cycles")?
+                    .parse()
+                    .map_err(|_| "--cycles expects a number".to_string())?;
+            }
+            "--path" => cfg.path = value("--path")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    if cfg.path.is_empty() {
+        return Err("checkpoint subcommands require --path FILE".to_string());
+    }
+    Ok(cfg)
 }
 
 /// Parses CLI arguments (everything after the program name) into a
@@ -367,6 +450,16 @@ pub enum Command {
 /// Returns a usage-style message on unknown flags, bad values or unknown
 /// policy/mix names. `--help` returns [`USAGE`] as the error message.
 pub fn parse_cli(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        Some("checkpoint-write") => {
+            return parse_checkpoint_cli(&args[1..]).map(Command::CheckpointWrite)
+        }
+        Some("checkpoint-verify") => {
+            return parse_checkpoint_cli(&args[1..]).map(Command::CheckpointVerify)
+        }
+        _ => {}
+    }
+
     let mut exp = ExpConfig::default();
     let mut study_kind: Option<String> = None;
     let mut issue_list: Option<Vec<String>> = None;
@@ -375,6 +468,8 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
     let mut warmup: Option<u64> = None;
     let mut jobs: Option<usize> = None;
     let mut ablations: Option<Vec<String>> = None;
+    let mut cold_warmup = false;
+    let mut checkpoint_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -509,6 +604,8 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                 );
             }
             "--json" => exp.json = Some(value("--json")?),
+            "--cold-warmup" => cold_warmup = true,
+            "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
             "--verbose" | "-v" => exp.verbose = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -527,6 +624,8 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                 (seeds.is_some(), "--seeds"),
                 (jobs.is_some(), "--jobs"),
                 (ablations.is_some(), "--ablations"),
+                (cold_warmup, "--cold-warmup"),
+                (checkpoint_dir.is_some(), "--checkpoint-dir"),
             ] {
                 if given {
                     return Err(format!("{flag} requires a --study mode"));
@@ -578,6 +677,8 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                     cycles: exp.cycles,
                     warmup: warmup.unwrap_or(defaults.warmup),
                     jobs: jobs.unwrap_or(0),
+                    share_warmup: !cold_warmup,
+                    checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
                 };
                 cfg.validate()?;
                 Ok(Command::Study {
@@ -616,6 +717,8 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                     cycles: exp.cycles,
                     warmup: warmup.unwrap_or(defaults.warmup),
                     jobs: jobs.unwrap_or(0),
+                    share_warmup: !cold_warmup,
+                    checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
                 };
                 cfg.validate()?;
                 Ok(Command::Ablation {
@@ -634,10 +737,14 @@ usage: smt_exp [--fetch rr,icount,brcount,misscount|all] [--issue oldest|opt_las
                [--seed N] [--verbose] [--json PATH]
        smt_exp --study issue [--fetch LIST] [--issue LIST|all] [--partition LIST|all]
                [--mixes standard,int8,fp8,mixed4|all] [--seeds N,N,...] [--cycles N]
-               [--warmup N] [--jobs N] [--json PATH]
+               [--warmup N] [--jobs N] [--cold-warmup] [--checkpoint-dir DIR] [--json PATH]
        smt_exp --study ablation [--fetch LIST] [--ablations LIST|all] [--partition LIST|all]
                [--mixes LIST|all] [--seeds N,N,...] [--cycles N] [--warmup N]
-               [--jobs N] [--json PATH]
+               [--jobs N] [--cold-warmup] [--checkpoint-dir DIR] [--json PATH]
+       smt_exp checkpoint-write --path FILE [--mix NAME] [--seed N] [--partition T.I]
+               [--warmup N]
+       smt_exp checkpoint-verify --path FILE [--mix NAME] [--seed N] [--partition T.I]
+               [--warmup N] [--cycles N]
 
 Reproduces the throughput comparisons of Tullsen et al., ISCA 1996. The default
 mode is the Section-4 matrix (one row per fetch partition, one column per fetch
@@ -648,7 +755,19 @@ ablation' runs every mechanism ablation (exempt_wrong_path_bank_arbitration,
 perfect_icache, perfect_branch_prediction, infinite_frontend_queues) against
 the un-ablated baseline over cold and warm measurement windows, quantifying
 the paper's ~2% wrong-path claim and the ICOUNT-vs-RR gap decomposition;
-'--json' writes the versioned machine-readable result document.";
+'--json' writes the versioned machine-readable result document.
+
+Both studies fork their warm cells off warmed-state checkpoints: '--study
+issue' computes each warmup once per unique (mix, seed, partition) and forks it
+across the whole policy cross-product, while '--study ablation' warms each warm
+cell under its own fetch policy and ablation set (sharing across repeat sweeps
+via the cache); '--cold-warmup' recomputes every warmup per cell instead
+(byte-identical results, more work) and '--checkpoint-dir DIR' caches the
+warmup checkpoints on disk across invocations. 'checkpoint-write' simulates one
+canonical warmup (ICOUNT fetch, OLDEST_FIRST issue, no ablations) and writes
+the checkpoint to --path; 'checkpoint-verify' restores such a file — from any
+process — and fails unless the restored run's report is byte-identical to a
+straight-through run of the same machine.";
 
 #[cfg(test)]
 mod tests {

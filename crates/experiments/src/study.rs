@@ -12,6 +12,7 @@
 //! the crate docs.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use smt_core::{fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport};
@@ -22,8 +23,10 @@ use smt_workload::{standard_mix, Benchmark, Program};
 /// Version of the JSON documents emitted by [`Study::to_json`],
 /// [`crate::ablation::AblationStudy::to_json`] and `smt_exp --json`. Bump
 /// on any breaking change to a schema. Version 2 added the ablation-study
-/// document (and the optional per-report `ablations` field).
-pub const JSON_SCHEMA_VERSION: u64 = 2;
+/// document (and the optional per-report `ablations` field). Version 3
+/// added the optional per-report `restored_from_checkpoint` provenance
+/// flag written by the shared-warmup sweep path.
+pub const JSON_SCHEMA_VERSION: u64 = 3;
 
 /// The issue policy every delta is measured against.
 pub const BASELINE_ISSUE: &str = "OLDEST_FIRST";
@@ -94,6 +97,15 @@ pub struct StudyConfig {
     pub warmup: u64,
     /// Worker threads for the sweep; `0` means one per available core.
     pub jobs: usize,
+    /// Warm each unique (mix, seed, partition) once under the canonical
+    /// configuration and fork the checkpoint across the policy
+    /// cross-product (see [`crate::warmup`]). `false` recomputes the same
+    /// canonical warmup per cell; results are byte-identical either way.
+    pub share_warmup: bool,
+    /// Cache the per-key warmup checkpoints in this directory
+    /// (`--checkpoint-dir`); entries are fingerprint-validated on load and
+    /// recomputed on any mismatch.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -120,6 +132,8 @@ impl Default for StudyConfig {
             cycles: 20_000,
             warmup: 10_000,
             jobs: 0,
+            share_warmup: true,
+            checkpoint_dir: None,
         }
     }
 }
@@ -195,12 +209,21 @@ pub struct Study {
     /// One entry per matrix cell, in deterministic
     /// (mix, seed, partition, fetch, issue) order.
     pub cells: Vec<StudyCell>,
+    /// Warmup simulations actually executed: one per unique (mix, seed,
+    /// partition) when warmups are shared, one per cell when not, fewer
+    /// when a checkpoint directory served cached entries. Deliberately not
+    /// part of [`Study::to_json`] — the shared and cold paths produce
+    /// byte-identical documents.
+    pub warmups_performed: usize,
 }
 
 /// Runs the full study matrix, parallelized across OS threads. Each cell is
 /// an independent [`Simulator`](smt_core::Simulator), so the sweep scales to
 /// the available cores; program images are generated once per (mix, seed)
-/// and shared between the cells that use them.
+/// and shared between the cells that use them. With
+/// [`StudyConfig::share_warmup`] (the default) the warmup window is also
+/// computed once per unique (mix, seed, partition) and forked across the
+/// fetch × issue cross-product as a checkpoint (see [`crate::warmup`]).
 ///
 /// # Errors
 ///
@@ -237,18 +260,60 @@ pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
         }
     }
 
+    // One canonical warmup checkpoint per unique (mix, seed, partition),
+    // computed up front (in parallel) and forked across every cell that
+    // shares the key. The cold path recomputes the identical canonical
+    // warmup per cell instead, so both paths yield byte-identical cells.
+    let mut keys: Vec<(String, u64, FetchPartition)> = Vec::new();
+    for mix in &cfg.mixes {
+        for &seed in &cfg.seeds {
+            for &partition in &cfg.partitions {
+                keys.push((mix.clone(), seed, partition));
+            }
+        }
+    }
+    let (shared, mut warmups_performed) = if cfg.share_warmup {
+        let blobs = crate::parallel_map(keys.len(), cfg.jobs, |i| {
+            let (mix, seed, partition) = &keys[i];
+            crate::warmup::warm_checkpoint(
+                &images[&(mix.clone(), *seed)],
+                mix,
+                *seed,
+                *partition,
+                cfg.warmup,
+                cfg.checkpoint_dir.as_deref(),
+            )
+        });
+        let computed = blobs.iter().filter(|(_, computed)| *computed).count();
+        let map: HashMap<(String, u64, FetchPartition), Arc<Vec<u8>>> = keys
+            .iter()
+            .cloned()
+            .zip(blobs.into_iter().map(|(bytes, _)| bytes))
+            .collect();
+        (Some(map), computed)
+    } else {
+        (None, 0)
+    };
+
     let cells = crate::parallel_map(specs.len(), cfg.jobs, |i| {
         let spec = &specs[i];
         let programs = images[&(spec.mix.to_string(), spec.seed)].clone();
-        let report = SimConfig::new()
+        let checkpoint = match &shared {
+            Some(map) => map[&(spec.mix.to_string(), spec.seed, spec.partition)].clone(),
+            None => Arc::new(crate::warmup::compute_checkpoint(
+                programs.clone(),
+                spec.seed,
+                spec.partition,
+                cfg.warmup,
+            )),
+        };
+        let cell_cfg = SimConfig::new()
             .with_programs(programs)
             .with_seed(spec.seed)
             .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
             .with_issue(issue_policy_by_name(spec.issue).expect("validated"))
-            .with_partition(spec.partition)
-            .with_warmup(cfg.warmup)
-            .build()
-            .run(cfg.cycles);
+            .with_partition(spec.partition);
+        let report = crate::warmup::fork_cell(cell_cfg, &checkpoint, cfg.cycles);
         StudyCell {
             fetch: report.fetch_policy.clone(),
             issue: report.issue_policy.clone(),
@@ -258,9 +323,13 @@ pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
             report,
         }
     });
+    if !cfg.share_warmup {
+        warmups_performed = cells.len();
+    }
     Ok(Study {
         config: cfg.clone(),
         cells,
+        warmups_performed,
     })
 }
 
@@ -568,6 +637,53 @@ mod tests {
                 (b.fetch.clone(), b.issue.clone())
             );
         }
+    }
+
+    #[test]
+    fn shared_and_cold_warmup_paths_are_byte_identical() {
+        let cfg = tiny_study();
+        let shared = run_study(&cfg).unwrap();
+        let cold = run_study(&StudyConfig {
+            share_warmup: false,
+            ..cfg.clone()
+        })
+        .unwrap();
+        // One warmup per unique (mix, seed, partition) vs one per cell.
+        assert_eq!(
+            shared.warmups_performed,
+            cfg.mixes.len() * cfg.seeds.len() * cfg.partitions.len()
+        );
+        assert_eq!(cold.warmups_performed, cfg.cell_count());
+        assert!(shared.warmups_performed < cold.warmups_performed);
+        // The sharing must be invisible in the result document.
+        assert_eq!(
+            shared.to_json().render_pretty(),
+            cold.to_json().render_pretty(),
+            "warmup sharing changed the study's results"
+        );
+        // Every cell self-describes its checkpoint provenance.
+        for c in &shared.cells {
+            assert!(c.report.restored_from_checkpoint);
+        }
+    }
+
+    #[test]
+    fn checkpoint_dir_serves_repeat_sweeps_from_disk() {
+        let dir = std::env::temp_dir().join(format!("smt-exp-study-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StudyConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..tiny_study()
+        };
+        let first = run_study(&cfg).unwrap();
+        assert!(first.warmups_performed > 0, "cold cache must compute");
+        let second = run_study(&cfg).unwrap();
+        assert_eq!(second.warmups_performed, 0, "warm cache must serve");
+        assert_eq!(
+            first.to_json().render_pretty(),
+            second.to_json().render_pretty()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

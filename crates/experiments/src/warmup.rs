@@ -1,0 +1,417 @@
+//! Shared warmed-state checkpoints for the study sweeps.
+//!
+//! Both studies measure behind a warmup window, and before this module
+//! every cell re-simulated its own warmup — the single most redundant work
+//! in a sweep. The **issue study** warms each unique (mix, seed,
+//! partition) key **once** under the *canonical* configuration — ICOUNT
+//! fetch, OLDEST_FIRST issue, no ablations — and the resulting
+//! [`Simulator::save_checkpoint`] bytes are forked across the whole
+//! fetch × issue cross-product (policies only steer the measured window;
+//! they do not define the machine being warmed). The **ablation study**
+//! cannot share that way — an ablation changes the machine itself, so a
+//! warm cell must warm under its own fetch policy and ablation set to
+//! keep the attribution numbers meaningful — and instead forks each warm
+//! cell from a checkpoint warmed under the cell's own configuration
+//! ([`warm_checkpoint_under`]), which the `--checkpoint-dir` cache dedups
+//! across repeat sweeps.
+//!
+//! Two properties make the sharing observable-behaviour-free:
+//!
+//! * **Bit equivalence.** A restored simulator is bit-equivalent to one
+//!   that ran straight through (`smt-core` pins this with its own tests),
+//!   so forking changes nothing about a cell's measured window.
+//! * **Canonical warmup in both paths.** The cold path
+//!   (`share_warmup: false`, `--cold-warmup`) recomputes the *same*
+//!   canonical warmup per cell instead of memoizing it. Shared and cold
+//!   sweeps therefore produce byte-identical JSON documents; only the
+//!   number of warmup simulations differs (`warmups_performed`).
+//!
+//! With `--checkpoint-dir` the per-key checkpoints are also cached on
+//! disk, keyed by mix, seed, partition, warmup length and the
+//! [`config_fingerprint`] of the canonical machine. Cache entries are
+//! validated on load (header fingerprint, checksum trailer, and the
+//! restored cycle count must equal the requested warmup); any mismatch is
+//! logged and falls back to recomputing — a stale or corrupt cache can
+//! slow a sweep down but never change its results.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use smt_core::checkpoint::config_fingerprint;
+use smt_core::{
+    fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport, Simulator,
+};
+use smt_workload::Program;
+
+use crate::study::mix_by_name;
+
+/// The canonical warmup configuration for a (programs, seed, partition)
+/// key: ICOUNT fetch, OLDEST_FIRST issue, no ablations, no auto-warmup.
+/// Every fork axis is pinned here so that a single warmup serves the whole
+/// cross-product — and so that the cold path can reproduce it exactly.
+pub fn canonical_config(
+    programs: Vec<Arc<Program>>,
+    seed: u64,
+    partition: FetchPartition,
+) -> SimConfig {
+    SimConfig::new()
+        .with_programs(programs)
+        .with_seed(seed)
+        .with_fetch(fetch_policy_by_name("icount").expect("shipped policy"))
+        .with_issue(issue_policy_by_name("oldest").expect("shipped policy"))
+        .with_partition(partition)
+}
+
+/// Simulates `warmup` cycles under the given configuration and serializes
+/// the warmed machine. `warmup == 0` yields a (valid) cycle-zero
+/// checkpoint, so the fork path needs no special case for unwarmed sweeps.
+pub fn compute_checkpoint_under(cfg: SimConfig, warmup: u64) -> Vec<u8> {
+    let mut sim = cfg.build();
+    for _ in 0..warmup {
+        sim.step_cycle();
+    }
+    let mut bytes = Vec::new();
+    sim.save_checkpoint(&mut bytes)
+        .expect("writing a checkpoint to a Vec cannot fail");
+    bytes
+}
+
+/// Simulates the canonical warmup for the key and serializes the warmed
+/// machine (see [`compute_checkpoint_under`]).
+pub fn compute_checkpoint(
+    programs: Vec<Arc<Program>>,
+    seed: u64,
+    partition: FetchPartition,
+    warmup: u64,
+) -> Vec<u8> {
+    compute_checkpoint_under(canonical_config(programs, seed, partition), warmup)
+}
+
+/// One warmed checkpoint for the key, served from the on-disk cache when
+/// `dir` is given and holds a valid entry, computed (and best-effort
+/// cached) otherwise. The second element reports whether a warmup was
+/// actually simulated — the sharing/caching accounting the sweeps expose
+/// as `warmups_performed`.
+pub fn warm_checkpoint(
+    programs: &[Arc<Program>],
+    mix: &str,
+    seed: u64,
+    partition: FetchPartition,
+    warmup: u64,
+    dir: Option<&Path>,
+) -> (Arc<Vec<u8>>, bool) {
+    let stem = format!(
+        "warm-{mix}-s{seed}-p{}.{}",
+        partition.threads_per_cycle, partition.insts_per_thread
+    );
+    warm_checkpoint_under(
+        || canonical_config(programs.to_vec(), seed, partition),
+        &stem,
+        warmup,
+        dir,
+    )
+}
+
+/// One warmed checkpoint for an arbitrary configuration, served from the
+/// on-disk cache when `dir` is given and holds a valid entry, computed
+/// (and best-effort cached) otherwise. `stem` must uniquely name every
+/// cache axis the config fingerprint does not cover (the fingerprint
+/// deliberately excludes the fork axes — fetch/issue policies and
+/// ablations — so a caller whose warmup depends on them, like the
+/// ablation study, encodes them here). The second element reports whether
+/// a warmup was actually simulated.
+pub fn warm_checkpoint_under(
+    build: impl Fn() -> SimConfig,
+    stem: &str,
+    warmup: u64,
+    dir: Option<&Path>,
+) -> (Arc<Vec<u8>>, bool) {
+    let path = dir.map(|d| {
+        let fingerprint = config_fingerprint(&build());
+        d.join(format!("{stem}-w{warmup}-{fingerprint:016x}.ckpt"))
+    });
+
+    if let Some(path) = &path {
+        match load_cached(&build, warmup, path) {
+            Ok(Some(bytes)) => return (Arc::new(bytes), false),
+            Ok(None) => {}
+            Err(why) => {
+                eprintln!(
+                    "checkpoint cache {}: {why}; recomputing the warmup",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    let bytes = compute_checkpoint_under(build(), warmup);
+    if let Some(path) = &path {
+        // Best-effort: a cache that cannot be written only costs time.
+        let write = path
+            .parent()
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(path, &bytes));
+        if let Err(e) = write {
+            eprintln!("checkpoint cache {}: write failed: {e}", path.display());
+        }
+    }
+    (Arc::new(bytes), true)
+}
+
+/// Loads and validates one cache entry. `Ok(None)` means the entry does
+/// not exist (a cold cache, not an error); `Err` is any reason the entry
+/// cannot be trusted.
+fn load_cached(
+    build: impl Fn() -> SimConfig,
+    warmup: u64,
+    path: &Path,
+) -> Result<Option<Vec<u8>>, String> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("read failed: {e}")),
+    };
+    let sim = Simulator::restore_checkpoint(build(), &mut bytes.as_slice())
+        .map_err(|e| format!("invalid cached checkpoint: {e}"))?;
+    if sim.cycle() != warmup {
+        return Err(format!(
+            "cached checkpoint is at cycle {}, expected warmup {warmup}",
+            sim.cycle()
+        ));
+    }
+    Ok(Some(bytes))
+}
+
+/// Forks one measurement cell off a warmed checkpoint: restore under the
+/// cell's configuration (which may differ from the canonical one only in
+/// the fork axes — fetch, issue, ablations), mark the report's provenance
+/// flag, open a fresh measurement window at the warmup boundary and run.
+/// The resulting report is byte-identical to a straight-through
+/// `cfg.with_warmup(warmup).build().run(cycles)` run except for the
+/// `restored_from_checkpoint` flag.
+///
+/// # Panics
+///
+/// Panics if the checkpoint does not match the configuration's machine —
+/// the sweeps only fork checkpoints they wrote for the same key, so a
+/// mismatch is a bug, not an input error.
+pub fn fork_cell(cfg: SimConfig, checkpoint: &[u8], cycles: u64) -> SimReport {
+    let mut sim = Simulator::restore_checkpoint(cfg, &mut &checkpoint[..])
+        .expect("sweep checkpoints share the cell's machine fingerprint");
+    sim.mark_restored_from_checkpoint();
+    sim.reset_stats();
+    sim.run(cycles)
+}
+
+/// What `smt_exp checkpoint-write` / `checkpoint-verify` operate on: one
+/// canonical warmup key plus the file it is written to or read from.
+#[derive(Debug, Clone)]
+pub struct CheckpointCliConfig {
+    /// Workload mix name (see [`mix_by_name`]).
+    pub mix: String,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Fetch partition of the warmed machine.
+    pub partition: FetchPartition,
+    /// Warmup cycles the checkpoint captures.
+    pub warmup: u64,
+    /// Measured cycles for the verification run (`checkpoint-verify` only).
+    pub cycles: u64,
+    /// The checkpoint file (`--path`).
+    pub path: String,
+}
+
+impl Default for CheckpointCliConfig {
+    fn default() -> CheckpointCliConfig {
+        CheckpointCliConfig {
+            mix: "standard".to_string(),
+            seed: 42,
+            partition: FetchPartition::new(2, 8),
+            warmup: 10_000,
+            cycles: 20_000,
+            path: String::new(),
+        }
+    }
+}
+
+fn cli_programs(cfg: &CheckpointCliConfig) -> Result<Vec<Arc<Program>>, String> {
+    let benchmarks = mix_by_name(&cfg.mix).ok_or_else(|| format!("unknown mix '{}'", cfg.mix))?;
+    Ok(benchmarks
+        .iter()
+        .enumerate()
+        .map(|(slot, b)| Arc::new(b.generate(cfg.seed, slot as u32)))
+        .collect())
+}
+
+/// Runs `smt_exp checkpoint-write`: simulates the canonical warmup for the
+/// key and writes the checkpoint to `cfg.path`. Returns the human-readable
+/// success line.
+///
+/// # Errors
+///
+/// Returns a message for an unknown mix or an unwritable path.
+pub fn run_checkpoint_write(cfg: &CheckpointCliConfig) -> Result<String, String> {
+    let programs = cli_programs(cfg)?;
+    let bytes = compute_checkpoint(programs, cfg.seed, cfg.partition, cfg.warmup);
+    std::fs::write(&cfg.path, &bytes).map_err(|e| format!("failed to write {}: {e}", cfg.path))?;
+    Ok(format!(
+        "wrote {} ({} bytes; {} mix, seed {}, partition {}, {} warmup cycles)",
+        cfg.path,
+        bytes.len(),
+        cfg.mix,
+        cfg.seed,
+        cfg.partition,
+        cfg.warmup
+    ))
+}
+
+/// Runs `smt_exp checkpoint-verify`: restores `cfg.path` (written by any
+/// process — this is the cross-process half of the round-trip), runs the
+/// measured window, and byte-compares the report JSON against a
+/// straight-through run of the same machine. Returns the human-readable
+/// success line.
+///
+/// # Errors
+///
+/// Returns a message for an unknown mix, an unreadable or invalid
+/// checkpoint, a checkpoint at the wrong cycle, or — the point of the
+/// command — a restored run that diverges from the straight-through run.
+pub fn run_checkpoint_verify(cfg: &CheckpointCliConfig) -> Result<String, String> {
+    let programs = cli_programs(cfg)?;
+    let bytes =
+        std::fs::read(&cfg.path).map_err(|e| format!("failed to read {}: {e}", cfg.path))?;
+
+    let restored_cfg = canonical_config(programs.clone(), cfg.seed, cfg.partition);
+    let mut sim = Simulator::restore_checkpoint(restored_cfg, &mut bytes.as_slice())
+        .map_err(|e| format!("restore of {} failed: {e}", cfg.path))?;
+    if sim.cycle() != cfg.warmup {
+        return Err(format!(
+            "checkpoint {} is at cycle {}, expected warmup {}",
+            cfg.path,
+            sim.cycle(),
+            cfg.warmup
+        ));
+    }
+    sim.reset_stats();
+    let restored = sim.run(cfg.cycles).to_json().render();
+
+    let straight = canonical_config(programs, cfg.seed, cfg.partition)
+        .with_warmup(cfg.warmup)
+        .build()
+        .run(cfg.cycles)
+        .to_json()
+        .render();
+
+    if restored != straight {
+        return Err(format!(
+            "restored run diverged from the straight-through run \
+             ({} vs {} bytes of report JSON)",
+            restored.len(),
+            straight.len()
+        ));
+    }
+    Ok(format!(
+        "verified {}: restored and straight-through runs are byte-identical \
+         ({} measured cycles, {} bytes of report JSON)",
+        cfg.path,
+        cfg.cycles,
+        restored.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn programs() -> Vec<Arc<Program>> {
+        mix_by_name("mixed4")
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(slot, b)| Arc::new(b.generate(42, slot as u32)))
+            .collect()
+    }
+
+    #[test]
+    fn fork_matches_straight_through_warmup() {
+        let partition = FetchPartition::new(2, 8);
+        let ckpt = compute_checkpoint(programs(), 42, partition, 300);
+        let cell_cfg = canonical_config(programs(), 42, partition);
+        let forked = fork_cell(cell_cfg, &ckpt, 400);
+        let straight = canonical_config(programs(), 42, partition)
+            .with_warmup(300)
+            .build()
+            .run(400);
+        assert!(forked.restored_from_checkpoint);
+        assert_eq!(forked.warmup_cycles, straight.warmup_cycles);
+        assert_eq!(forked.cycles, straight.cycles);
+        assert_eq!(forked.total_committed(), straight.total_committed());
+        // Everything but the provenance flag is byte-identical.
+        let mut forked = forked;
+        forked.restored_from_checkpoint = false;
+        assert_eq!(
+            forked.to_json().render(),
+            straight.to_json().render(),
+            "forked cell diverged from the straight-through run"
+        );
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_survives_corruption() {
+        let dir = std::env::temp_dir().join(format!("smt-exp-warm-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let partition = FetchPartition::new(2, 8);
+        let p = programs();
+
+        let (first, computed) = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
+        assert!(computed, "cold cache must compute");
+        let (second, computed) = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
+        assert!(!computed, "second call must be served from the cache");
+        assert_eq!(*first, *second);
+
+        // A corrupt cache entry is detected and recomputed, not trusted.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&entry, &bytes).unwrap();
+        let (third, computed) = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
+        assert!(computed, "corrupt cache entry must be recomputed");
+        assert_eq!(*first, *third);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_cli_write_then_verify() {
+        let path =
+            std::env::temp_dir().join(format!("smt-exp-cli-roundtrip-{}.ckpt", std::process::id()));
+        let cfg = CheckpointCliConfig {
+            mix: "mixed4".to_string(),
+            warmup: 250,
+            cycles: 300,
+            path: path.to_string_lossy().into_owned(),
+            ..CheckpointCliConfig::default()
+        };
+        let wrote = run_checkpoint_write(&cfg).unwrap();
+        assert!(wrote.contains("bytes"));
+        let verified = run_checkpoint_verify(&cfg).unwrap();
+        assert!(verified.contains("byte-identical"));
+
+        // A wrong expected warmup is refused.
+        let skewed = CheckpointCliConfig {
+            warmup: 99,
+            ..cfg.clone()
+        };
+        assert!(run_checkpoint_verify(&skewed)
+            .unwrap_err()
+            .contains("expected warmup"));
+
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -224,6 +224,61 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Every opcode, in the order of [`Opcode::code`]: `ALL[op.code()]`
+    /// is `op`, which is what [`Opcode::from_code`] relies on.
+    pub const ALL: [Opcode; 17] = [
+        Opcode::IntAlu,
+        Opcode::IntMul,
+        Opcode::IntMulLong,
+        Opcode::CondMove,
+        Opcode::Compare,
+        Opcode::FpOp,
+        Opcode::FpDivSingle,
+        Opcode::FpDivDouble,
+        Opcode::Load,
+        Opcode::FpLoad,
+        Opcode::Store,
+        Opcode::FpStore,
+        Opcode::CondBranch,
+        Opcode::Jump,
+        Opcode::JumpInd,
+        Opcode::Call,
+        Opcode::Return,
+    ];
+
+    /// A stable numeric code for serialization (checkpoints). Codes are
+    /// dense indices into [`Opcode::ALL`]; changing an existing code is a
+    /// checkpoint-format break and must bump the checkpoint format version.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            Opcode::IntAlu => 0,
+            Opcode::IntMul => 1,
+            Opcode::IntMulLong => 2,
+            Opcode::CondMove => 3,
+            Opcode::Compare => 4,
+            Opcode::FpOp => 5,
+            Opcode::FpDivSingle => 6,
+            Opcode::FpDivDouble => 7,
+            Opcode::Load => 8,
+            Opcode::FpLoad => 9,
+            Opcode::Store => 10,
+            Opcode::FpStore => 11,
+            Opcode::CondBranch => 12,
+            Opcode::Jump => 13,
+            Opcode::JumpInd => 14,
+            Opcode::Call => 15,
+            Opcode::Return => 16,
+        }
+    }
+
+    /// Decodes a numeric code written by [`Opcode::code`]; `None` for any
+    /// byte outside the defined range (a corrupt checkpoint, not a panic).
+    #[inline]
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Opcode::ALL.get(usize::from(code)).copied()
+    }
+
     /// Result latency in cycles (Table 1). For loads this is the *cache hit*
     /// latency; misses are determined dynamically by the memory hierarchy.
     ///
@@ -559,6 +614,16 @@ mod tests {
         assert_eq!(RegClass::Int.index(), 0);
         assert_eq!(RegClass::Fp.index(), 1);
         assert_eq!(RegClass::ALL[0], RegClass::Int);
+    }
+
+    #[test]
+    fn opcode_codes_roundtrip_and_are_dense() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(usize::from(op.code()), i, "ALL order must match code()");
+            assert_eq!(Opcode::from_code(op.code()), Some(*op));
+        }
+        assert_eq!(Opcode::from_code(Opcode::ALL.len() as u8), None);
+        assert_eq!(Opcode::from_code(u8::MAX), None);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Hand-rolled little-endian binary serialization with an integrity
+//! checksum, used by the checkpoint subsystem (`smt-core::checkpoint`).
+//!
+//! The workspace is dependency-free by design, so instead of `serde` the
+//! state-owning crates write their state field by field through a
+//! [`BinWriter`] and read it back through a [`BinReader`]. Both sides
+//! accumulate an FNV-1a checksum over every payload byte; [`BinWriter::finish`]
+//! appends the checksum as an 8-byte trailer and [`BinReader::finish`]
+//! verifies it, so arbitrary bit flips anywhere in the payload surface as a
+//! clean [`std::io::ErrorKind::InvalidData`] error instead of silently
+//! corrupt state. Truncation surfaces as
+//! [`std::io::ErrorKind::UnexpectedEof`] from whichever read hits the end.
+//!
+//! All integers are little-endian. Lengths are `u64`. Booleans are one byte
+//! (`0` or `1`; anything else is rejected). There is intentionally no
+//! self-describing structure — both sides must agree on the field order,
+//! which the checkpoint format version in the file header pins.
+//!
+//! # Examples
+//!
+//! ```
+//! use smt_stats::binio::{BinReader, BinWriter};
+//!
+//! let mut buf = Vec::new();
+//! let mut w = BinWriter::new(&mut buf);
+//! w.u32(7).unwrap();
+//! w.bytes(b"state").unwrap();
+//! w.finish().unwrap();
+//!
+//! let mut r = BinReader::new(&buf[..]);
+//! assert_eq!(r.u32().unwrap(), 7);
+//! let mut s = [0u8; 5];
+//! r.bytes(&mut s).unwrap();
+//! r.finish().unwrap(); // checksum verified
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a checksum.
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A checksumming little-endian binary writer.
+#[derive(Debug)]
+pub struct BinWriter<W: Write> {
+    inner: W,
+    checksum: u64,
+}
+
+impl<W: Write> BinWriter<W> {
+    /// Wraps a writer; the checksum starts at the FNV-1a offset basis.
+    pub fn new(inner: W) -> BinWriter<W> {
+        BinWriter {
+            inner,
+            checksum: FNV_OFFSET,
+        }
+    }
+
+    /// Writes raw bytes (checksummed).
+    pub fn bytes(&mut self, b: &[u8]) -> io::Result<()> {
+        self.checksum = fnv1a(self.checksum, b);
+        self.inner.write_all(b)
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.bytes(&[v])
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> io::Result<()> {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Writes a boolean as one byte (`0` or `1`).
+    pub fn bool(&mut self, v: bool) -> io::Result<()> {
+        self.u8(u8::from(v))
+    }
+
+    /// Writes a collection length as a `u64`.
+    pub fn len(&mut self, n: usize) -> io::Result<()> {
+        self.u64(n as u64)
+    }
+
+    /// The checksum accumulated so far (exposed so callers can derive
+    /// fingerprints from a serialized byte stream without a second hash).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Writes the checksum trailer and flushes. Consumes the writer: no
+    /// payload bytes may follow the trailer.
+    pub fn finish(mut self) -> io::Result<()> {
+        let sum = self.checksum;
+        self.inner.write_all(&sum.to_le_bytes())?;
+        self.inner.flush()
+    }
+}
+
+/// A checksum-verifying little-endian binary reader.
+#[derive(Debug)]
+pub struct BinReader<R: Read> {
+    inner: R,
+    checksum: u64,
+}
+
+// `len` reads a serialized length field (the dual of `BinWriter::len`);
+// there is no container to be empty.
+#[allow(clippy::len_without_is_empty)]
+impl<R: Read> BinReader<R> {
+    /// Wraps a reader; the checksum starts at the FNV-1a offset basis.
+    pub fn new(inner: R) -> BinReader<R> {
+        BinReader {
+            inner,
+            checksum: FNV_OFFSET,
+        }
+    }
+
+    /// Reads exactly `out.len()` raw bytes (checksummed).
+    pub fn bytes(&mut self, out: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(out)?;
+        self.checksum = fnv1a(self.checksum, out);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.bytes(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> io::Result<u16> {
+        let mut b = [0u8; 2];
+        self.bytes(&mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.bytes(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.bytes(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a boolean; any byte other than `0` or `1` is invalid data.
+    pub fn bool(&mut self) -> io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(invalid(format!("invalid boolean byte {other:#04x}"))),
+        }
+    }
+
+    /// Reads a collection length written by [`BinWriter::len`]. The value
+    /// is bounds-checked against `usize` but **not** trusted beyond that:
+    /// callers must read element by element (never preallocate from it), so
+    /// a corrupt length degrades into an EOF or checksum error rather than
+    /// a huge allocation.
+    pub fn len(&mut self) -> io::Result<usize> {
+        let n = self.u64()?;
+        usize::try_from(n).map_err(|_| invalid(format!("length {n} exceeds address space")))
+    }
+
+    /// Reads the checksum trailer and verifies it against the accumulated
+    /// payload checksum. Consumes the reader.
+    pub fn finish(mut self) -> io::Result<()> {
+        let expected = self.checksum;
+        let mut b = [0u8; 8];
+        self.inner.read_exact(&mut b)?;
+        let stored = u64::from_le_bytes(b);
+        if stored != expected {
+            return Err(invalid(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {expected:#018x}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// An [`io::ErrorKind::InvalidData`] error with the given message — the
+/// shape every malformed-payload failure in this module takes.
+pub fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf);
+        w.u8(0xab).unwrap();
+        w.u16(0xbeef).unwrap();
+        w.u32(0xdead_beef).unwrap();
+        w.u64(0x0123_4567_89ab_cdef).unwrap();
+        w.bool(true).unwrap();
+        w.bool(false).unwrap();
+        w.len(3).unwrap();
+        w.bytes(b"xyz").unwrap();
+        w.finish().unwrap();
+
+        let mut r = BinReader::new(&buf[..]);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.len().unwrap(), 3);
+        let mut s = [0u8; 3];
+        r.bytes(&mut s).unwrap();
+        assert_eq!(&s, b"xyz");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn every_bit_flip_fails_the_checksum() {
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf);
+        w.u64(42).unwrap();
+        w.u32(7).unwrap();
+        w.finish().unwrap();
+
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut bad = buf.clone();
+                bad[byte] ^= 1 << bit;
+                let mut r = BinReader::new(&bad[..]);
+                let result = r.u64().and_then(|_| r.u32()).and_then(|_| r.finish());
+                assert!(
+                    result.is_err(),
+                    "bit {bit} of byte {byte} flipped undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf);
+        w.u64(1).unwrap();
+        w.finish().unwrap();
+        for cut in 0..buf.len() {
+            let short = &buf[..cut];
+            let mut r = BinReader::new(short);
+            let err = r.u64().and_then(|_| r.finish()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn invalid_boolean_byte_is_rejected() {
+        let mut r = BinReader::new(&[2u8][..]);
+        let err = r.bool().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let sum = |fields: &[u64]| {
+            let mut buf = Vec::new();
+            let mut w = BinWriter::new(&mut buf);
+            for &f in fields {
+                w.u64(f).unwrap();
+            }
+            let c = w.checksum();
+            w.finish().unwrap();
+            c
+        };
+        assert_ne!(sum(&[1, 2]), sum(&[2, 1]));
+    }
+}

@@ -160,12 +160,12 @@ fn perfect_branch_prediction_removes_all_speculation_cost() {
 #[test]
 fn ablation_document_meets_the_acceptance_schema() {
     // `smt_exp --study ablation --json` writes exactly this document:
-    // schema_version 2, quantifying (a) the wrong-path IPC delta against
+    // schema_version 3, quantifying (a) the wrong-path IPC delta against
     // the paper's 2% claim and (b) the gap decomposition.
     let doc = study().to_json();
     let back = Json::parse(&doc.render_pretty()).expect("document parses");
-    assert_eq!(back.get("schema_version").and_then(Json::as_u64), Some(2));
-    assert_eq!(JSON_SCHEMA_VERSION, 2);
+    assert_eq!(back.get("schema_version").and_then(Json::as_u64), Some(3));
+    assert_eq!(JSON_SCHEMA_VERSION, 3);
     assert_eq!(back.get("study").and_then(Json::as_str), Some("ablation"));
     let summary = back.get("summary").expect("summary present");
     let claim = summary.get("wrong_path_claim").unwrap();
