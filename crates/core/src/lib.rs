@@ -86,6 +86,7 @@
 mod ablation;
 pub mod checkpoint;
 mod config;
+pub mod fleet;
 mod pipeline;
 mod policy;
 mod regfile;
@@ -94,6 +95,7 @@ mod report;
 pub use ablation::{Ablation, Ablations};
 pub use checkpoint::CheckpointError;
 pub use config::{SimConfig, MAX_THREADS};
+pub use fleet::{FleetCell, SimFleet};
 pub use pipeline::Simulator;
 pub use policy::{
     fetch_policy_by_name, issue_policy_by_name, rotating_rank, BrCount, BranchFirst,

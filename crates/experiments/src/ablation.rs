@@ -769,6 +769,34 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_never_leaks_into_the_ablation_document() {
+        // Same scheduler-determinism property as the issue study: the
+        // `--study ablation` document must not change bytes across
+        // worker counts, including an oversubscribed jobs=8.
+        let base = tiny_ablation_study();
+        let reference = run_ablation_study(&AblationStudyConfig {
+            jobs: 1,
+            ..base.clone()
+        })
+        .unwrap()
+        .to_json()
+        .render_pretty();
+        for jobs in [2, 8] {
+            let doc = run_ablation_study(&AblationStudyConfig {
+                jobs,
+                ..base.clone()
+            })
+            .unwrap()
+            .to_json()
+            .render_pretty();
+            assert_eq!(
+                doc, reference,
+                "jobs={jobs} perturbed the ablation document bytes"
+            );
+        }
+    }
+
+    #[test]
     fn checkpoint_and_cold_warmup_paths_are_byte_identical() {
         let dir =
             std::env::temp_dir().join(format!("smt-exp-ablation-cache-{}", std::process::id()));

@@ -178,39 +178,19 @@ use crate::warmup::CheckpointCliConfig;
 /// available core; the pool never exceeds `count`. Shared by the study
 /// runners — every job is an independent simulation, so the sweeps scale
 /// to the available cores.
+///
+/// Delegates to the workspace's work-stealing scheduler
+/// ([`smt_stats::sched::work_steal_map`]): sweep cells have heavily
+/// skewed costs (a warm cell forks a checkpoint in ~1 ms, a cold cell
+/// simulates its ~10 ms warmup), and the shrinking-batch queue rebalances
+/// that skew while keeping the output order — and therefore every study's
+/// JSON document — independent of the worker count.
 pub(crate) fn parallel_map<T, F>(count: usize, jobs: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let workers = if jobs > 0 {
-        jobs
-    } else {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    }
-    .min(count)
-    .max(1);
-    let next = AtomicUsize::new(0);
-    let out: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let result = run(i);
-                out.lock().expect("no panics while holding the lock")[i] = Some(result);
-            });
-        }
-    });
-    out.into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|c| c.expect("every index was processed"))
-        .collect()
+    smt_stats::sched::work_steal_map(count, jobs, run)
 }
 
 /// One experiment sweep: which policies and partitions to run, on what

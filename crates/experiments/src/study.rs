@@ -668,6 +668,35 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_never_leaks_into_the_study_document() {
+        // The scheduler-determinism property: the full `--study issue`
+        // JSON document must be byte-identical whether the sweep runs on
+        // one worker, two, or eight (oversubscribed on this box) — the
+        // work-stealing queue may reorder *execution* but never results.
+        let base = tiny_study();
+        let reference = run_study(&StudyConfig {
+            jobs: 1,
+            ..base.clone()
+        })
+        .unwrap()
+        .to_json()
+        .render_pretty();
+        for jobs in [2, 8] {
+            let doc = run_study(&StudyConfig {
+                jobs,
+                ..base.clone()
+            })
+            .unwrap()
+            .to_json()
+            .render_pretty();
+            assert_eq!(
+                doc, reference,
+                "jobs={jobs} perturbed the study document bytes"
+            );
+        }
+    }
+
+    #[test]
     fn checkpoint_dir_serves_repeat_sweeps_from_disk() {
         let dir = std::env::temp_dir().join(format!("smt-exp-study-cache-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();

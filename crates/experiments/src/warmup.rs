@@ -388,6 +388,104 @@ mod tests {
     }
 
     #[test]
+    fn every_corruption_mode_is_typed_and_falls_back_to_a_cold_warmup() {
+        use smt_core::CheckpointError;
+
+        let dir =
+            std::env::temp_dir().join(format!("smt-exp-corrupt-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let partition = FetchPartition::new(2, 8);
+        let p = programs();
+        let warmup = 200;
+
+        // The cacheless run every fallback must be byte-identical to.
+        let (reference, _) = warm_checkpoint(&p, "mixed4", 42, partition, warmup, None);
+
+        // Seed the on-disk cache and keep a pristine copy of the entry.
+        let (cached, computed) = warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
+        assert!(computed, "cold cache must compute");
+        assert_eq!(*reference, *cached);
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let pristine = std::fs::read(&entry).unwrap();
+
+        // Every way an entry can rot on disk, with the typed error the
+        // restore path must map it to. Each case mutates a pristine copy
+        // in place (truncation included).
+        type Mutate = fn(&mut Vec<u8>);
+        type Expect = fn(&CheckpointError) -> bool;
+        let cases: [(&str, Mutate, Expect); 5] = [
+            (
+                "flipped magic",
+                |b| b[0] ^= 0xFF,
+                |e| matches!(e, CheckpointError::BadMagic),
+            ),
+            (
+                "future format version",
+                |b| b[8..12].copy_from_slice(&u32::MAX.to_le_bytes()),
+                |e| matches!(e, CheckpointError::UnsupportedVersion { found: u32::MAX }),
+            ),
+            (
+                "wrong config fingerprint",
+                |b| {
+                    for byte in &mut b[12..20] {
+                        *byte ^= 0xA5;
+                    }
+                },
+                |e| matches!(e, CheckpointError::ConfigMismatch { .. }),
+            ),
+            (
+                "payload bit flip",
+                |b| {
+                    let last = b.len() - 1;
+                    b[last] ^= 0x01; // lands in the FNV-1a trailer
+                },
+                |e| matches!(e, CheckpointError::Corrupt(_)),
+            ),
+            (
+                "truncated stream",
+                |b| b.truncate(b.len() / 2),
+                |e| matches!(e, CheckpointError::Truncated),
+            ),
+        ];
+
+        for (label, mutate, is_expected) in cases {
+            let mut rotten = pristine.clone();
+            mutate(&mut rotten);
+
+            // The restore path reports the precise typed error …
+            let err = match Simulator::restore_checkpoint(
+                canonical_config(p.clone(), 42, partition),
+                &mut rotten.as_slice(),
+            ) {
+                Ok(_) => panic!("{label}: restore accepted a rotten checkpoint"),
+                Err(e) => e,
+            };
+            assert!(is_expected(&err), "{label}: unexpected error {err}");
+
+            // … and the cache layer degrades to a cold warmup whose bytes
+            // match the cacheless run exactly.
+            std::fs::write(&entry, &rotten).unwrap();
+            let (again, computed) =
+                warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
+            assert!(computed, "{label}: rotten entry must be recomputed");
+            assert_eq!(*reference, *again, "{label}: fallback changed the bytes");
+
+            // The fallback best-effort repaired the cache on the way out.
+            let (served, computed) =
+                warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
+            assert!(!computed, "{label}: repaired entry must serve from disk");
+            assert_eq!(*reference, *served);
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn checkpoint_cli_write_then_verify() {
         let path =
             std::env::temp_dir().join(format!("smt-exp-cli-roundtrip-{}.ckpt", std::process::id()));

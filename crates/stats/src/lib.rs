@@ -23,6 +23,7 @@
 pub mod binio;
 pub mod hash;
 pub mod json;
+pub mod sched;
 
 use std::fmt;
 use std::fmt::Write as _;

@@ -1,0 +1,148 @@
+//! Fleet differential-equivalence tests: batched execution through
+//! [`SimFleet`] must be **result-neutral by construction**, and these
+//! tests prove it three ways over the golden matrix (standard/int8/fp8 ×
+//! seeds 42/1337):
+//!
+//! 1. against N independent sequential `Simulator` runs, byte-for-byte on
+//!    `SimReport::to_json()`,
+//! 2. against the checked-in `tests/golden/` files themselves — the same
+//!    bytes every pre-fleet PR pinned, so the fleet is anchored to the
+//!    full historical trajectory, not just to today's simulator,
+//! 3. for checkpoint-seeded fleets, against the sequential fork sequence
+//!    the experiment sweeps use (restore → mark → reset → run).
+//!
+//! The interleaving knobs (worker count, cycle-batch granularity) are
+//! swept too: none of them may leak into any report.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use smt::{FleetCell, SimConfig, SimFleet};
+use smt_core::FetchPartition;
+use smt_experiments::study::mix_by_name;
+use smt_experiments::warmup::{canonical_config, compute_checkpoint, fork_cell};
+
+/// The golden matrix (kept in lockstep with `tests/golden.rs`).
+const MIXES: [&str; 3] = ["standard", "int8", "fp8"];
+const SEEDS: [u64; 2] = [42, 1337];
+const CYCLES: u64 = 3_000;
+const WARMUP: u64 = 1_000;
+
+fn golden_config(mix: &str, seed: u64) -> SimConfig {
+    let benchmarks = mix_by_name(mix).expect("golden mixes are predefined");
+    SimConfig::new()
+        .with_benchmarks(benchmarks, seed)
+        .with_warmup(WARMUP)
+}
+
+fn golden_text(mix: &str, seed: u64) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("{mix}_seed{seed}.json"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()))
+}
+
+/// The tentpole differential: one fleet over the full golden matrix,
+/// byte-identical to both fresh sequential runs and the checked-in
+/// goldens, across worker counts and batch granularities.
+#[test]
+fn fleet_matches_sequential_runs_and_checked_in_goldens() {
+    let sequential: Vec<String> = MIXES
+        .iter()
+        .flat_map(|mix| SEEDS.iter().map(move |&seed| (mix, seed)))
+        .map(|(mix, seed)| {
+            golden_config(mix, seed)
+                .build()
+                .run(CYCLES)
+                .to_json()
+                .render_pretty()
+        })
+        .collect();
+
+    for (jobs, batch_cycles) in [(1, 1024), (2, 1024), (6, 256), (3, 999)] {
+        let mut fleet = SimFleet::new()
+            .with_jobs(jobs)
+            .with_batch_cycles(batch_cycles);
+        for mix in MIXES {
+            for seed in SEEDS {
+                fleet.push(FleetCell::cold(golden_config(mix, seed), CYCLES));
+            }
+        }
+        let reports = fleet.run();
+        assert_eq!(reports.len(), sequential.len());
+
+        let mut i = 0;
+        for mix in MIXES {
+            for seed in SEEDS {
+                let text = reports[i].to_json().render_pretty();
+                assert_eq!(
+                    text, sequential[i],
+                    "fleet cell diverged from its sequential run for mix={mix} \
+                     seed={seed} (jobs={jobs}, batch_cycles={batch_cycles})"
+                );
+                assert_eq!(
+                    text,
+                    golden_text(mix, seed),
+                    "fleet cell diverged from the checked-in golden for mix={mix} \
+                     seed={seed} (jobs={jobs}, batch_cycles={batch_cycles})"
+                );
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Checkpoint-seeded fleets: every cell forked off a shared warmed
+/// checkpoint must be byte-identical to the sequential `fork_cell`
+/// sequence the experiment sweeps use — including the provenance flag.
+#[test]
+fn checkpoint_seeded_fleet_matches_sequential_forks() {
+    let partition = FetchPartition::new(2, 8);
+    let programs = |mix: &str, seed: u64| -> Vec<Arc<smt_workload::Program>> {
+        mix_by_name(mix)
+            .expect("golden mixes are predefined")
+            .iter()
+            .enumerate()
+            .map(|(slot, b)| Arc::new(b.generate(seed, slot as u32)))
+            .collect()
+    };
+
+    // One warm checkpoint per (mix, seed) key; both fetch policies fork it.
+    let keys: Vec<(&str, u64)> = MIXES
+        .iter()
+        .flat_map(|&mix| SEEDS.iter().map(move |&seed| (mix, seed)))
+        .collect();
+    let fetches = ["icount", "rr"];
+
+    let mut fleet = SimFleet::new().with_jobs(4).with_batch_cycles(500);
+    let mut sequential = Vec::new();
+    for &(mix, seed) in &keys {
+        let ckpt = Arc::new(compute_checkpoint(
+            programs(mix, seed),
+            seed,
+            partition,
+            400,
+        ));
+        for fetch in fetches {
+            let cfg = || {
+                canonical_config(programs(mix, seed), seed, partition)
+                    .with_fetch(smt_core::fetch_policy_by_name(fetch).expect("shipped policy"))
+            };
+            sequential.push(fork_cell(cfg(), &ckpt, 700).to_json().render_pretty());
+            fleet.push(FleetCell::forked(cfg(), ckpt.clone(), 700));
+        }
+    }
+
+    let reports = fleet.run();
+    assert_eq!(reports.len(), sequential.len());
+    for (i, (report, expect)) in reports.iter().zip(&sequential).enumerate() {
+        assert!(report.restored_from_checkpoint, "cell {i} lost provenance");
+        assert_eq!(
+            &report.to_json().render_pretty(),
+            expect,
+            "forked fleet cell {i} diverged from the sequential fork"
+        );
+    }
+}
