@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! smt_bench [CYCLES] [--json PATH] [--reference-only] [--checkpoint]
-//!           [--fleet] [--fleet-cells N] [--jobs N]
+//!           [--fleet] [--fleet-cells N] [--jobs N] [--pgo-from PATH]
+//!           [--stage-timing]
 //!           [--baseline PATH | --baseline-latest DIR] [--max-regress FRAC]
 //! ```
 //!
@@ -35,11 +36,23 @@
 //! like-for-like baseline rate — the CI throughput guard. (Old baselines
 //! carry neither every reference nor a fleet section; only names present
 //! in both are guarded.)
+//!
+//! `--pgo-from PATH` reads the document written by a **profile-guided**
+//! build of this same binary (`scripts/pgo.sh build`, then
+//! `target/pgo/release/smt_bench --json ...`) and reports each shared
+//! reference's PGO uplift, carried in this document's additive `pgo`
+//! object (schema 5) — separate from the guarded plain-build rates.
+//!
+//! `--stage-timing` runs the reference machine once and prints each
+//! pipeline stage's wall-clock share and per-stage insts/s instead of the
+//! benchmark matrix. Requires building with `--features stage-timing`
+//! (the probes cost throughput, so they are compiled out of normal
+//! builds and of every number this binary reports elsewhere).
 
 use smt_bench::{
     baseline_reference_rates, bench_checkpoint, bench_fleet, bench_to_json_full,
-    find_latest_baseline, CheckpointBench, FleetBench, ReferenceResult, FLEET_REFERENCE,
-    REFERENCE_FETCHES, REFERENCE_MIXES,
+    find_latest_baseline, pgo_uplift, CheckpointBench, FleetBench, PgoBench, ReferenceResult,
+    FLEET_REFERENCE, REFERENCE_FETCHES, REFERENCE_MIXES,
 };
 
 fn main() {
@@ -52,6 +65,8 @@ fn main() {
     let mut fleet = false;
     let mut fleet_cells: usize = 12;
     let mut jobs: usize = 0;
+    let mut pgo_from: Option<String> = None;
+    let mut stage_timing = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -61,6 +76,11 @@ fn main() {
             },
             "--reference-only" => reference_only = true,
             "--checkpoint" => checkpoint = true,
+            "--stage-timing" => stage_timing = true,
+            "--pgo-from" => match args.next() {
+                Some(path) => pgo_from = Some(path),
+                None => die("--pgo-from requires a path"),
+            },
             "--fleet" => fleet = true,
             "--fleet-cells" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => fleet_cells = n,
@@ -98,7 +118,7 @@ fn main() {
                 Ok(n) => cycles = n,
                 Err(_) => die(&format!(
                     "usage: smt_bench [CYCLES] [--json PATH] [--reference-only] [--checkpoint] \
-                     [--fleet] [--fleet-cells N] [--jobs N] \
+                     [--fleet] [--fleet-cells N] [--jobs N] [--pgo-from PATH] [--stage-timing] \
                      [--baseline PATH | --baseline-latest DIR] [--max-regress FRAC]   \
                      (CYCLES must be a number, got '{arg}')"
                 )),
@@ -107,6 +127,10 @@ fn main() {
     }
     if max_regress.is_some() && baseline_path.is_none() {
         die("--max-regress requires --baseline");
+    }
+    if stage_timing {
+        run_stage_timing_mode(cycles);
+        return;
     }
 
     let mut references: Vec<ReferenceResult> = Vec::new();
@@ -169,8 +193,34 @@ fn main() {
         None
     };
 
+    let pgo_result: Option<PgoBench> = pgo_from.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("failed to read PGO document {path}: {e}")));
+        let pgo = pgo_uplift(&text, &references)
+            .unwrap_or_else(|| die(&format!("{path} shares no reference with this run")));
+        for (name, pgo_ips, plain_ips) in &pgo.entries {
+            println!(
+                "pgo {:16} {:.2}x ({:.0} -> {:.0} kinsts/s)",
+                name,
+                pgo_ips / plain_ips,
+                plain_ips / 1e3,
+                pgo_ips / 1e3
+            );
+        }
+        println!(
+            "pgo mean uplift : {:.2}x over the plain build ({path})",
+            pgo.mean_uplift()
+        );
+        pgo
+    });
+
     if let Some(path) = json_path {
-        let doc = bench_to_json_full(&references, &checkpoints, fleet_result.as_ref());
+        let doc = bench_to_json_full(
+            &references,
+            &checkpoints,
+            fleet_result.as_ref(),
+            pgo_result.as_ref(),
+        );
         if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
             die(&format!("failed to write {path}: {e}"));
         }
@@ -244,6 +294,36 @@ fn main() {
             }
         }
     }
+}
+
+/// `--stage-timing`: one reference run, per-stage wall clock and insts/s.
+#[cfg(feature = "stage-timing")]
+fn run_stage_timing_mode(cycles: u64) {
+    let (committed, stages) = smt_bench::run_stage_timing(cycles);
+    let total: u64 = stages.iter().map(|s| s.nanos).sum();
+    println!("{cycles} cycles, {committed} committed (reference machine, probes on)");
+    for s in &stages {
+        println!(
+            "{:12} {:8.1} ms  {:5.1}%  {:8.0} kinsts/s through stage",
+            s.name,
+            s.nanos as f64 / 1e6,
+            s.nanos as f64 / total as f64 * 100.0,
+            s.insts_per_sec / 1e3,
+        );
+    }
+    println!(
+        "total        {:8.1} ms  ({:.0} kinsts/s with probes; plain-build rates are higher)",
+        total as f64 / 1e6,
+        committed as f64 / (total as f64 / 1e9) / 1e3,
+    );
+}
+
+#[cfg(not(feature = "stage-timing"))]
+fn run_stage_timing_mode(_cycles: u64) {
+    die(
+        "--stage-timing needs the timing probes compiled in: \
+         cargo run --release -p smt-bench --features stage-timing --bin smt_bench -- --stage-timing",
+    );
 }
 
 fn die(msg: &str) -> ! {

@@ -6,9 +6,10 @@
 //! performance PRs report against these baselines via the `smt_bench`
 //! binary; `smt_bench --json` emits the machine-readable `"smt-bench"`
 //! document (same `schema_version` convention as `smt_exp --json`, with
-//! per-reference rates since version 3 and the fleet section since
-//! version 4) for BENCH_*.json trajectory tracking, and the CI guard
-//! compares each reference like for like.
+//! per-reference rates since version 3, the fleet section since
+//! version 4 and the optional `pgo` uplift section since version 5) for
+//! BENCH_*.json trajectory tracking, and the CI guard compares each
+//! reference like for like.
 //!
 //! # Fleet mode
 //!
@@ -51,15 +52,20 @@
 //! 1. **Per-phase wall clock** — the `phase-timing` feature in `smt-core`
 //!    accumulates the cycle driver's seven phases (memory begin-cycle,
 //!    miss completions, writeback, commit, issue, rename, fetch) into
-//!    global counters, printed by the bundled example:
+//!    global counters. The front door is this crate's `--stage-timing`
+//!    mode (requires the `stage-timing` feature, which forwards to the
+//!    probes):
 //!
 //!    ```text
-//!    cargo run --release -p smt-core --features phase-timing --example phase_timing
+//!    cargo run --release -p smt-bench --features stage-timing -- 100000 --stage-timing
 //!    ```
 //!
-//!    The probes cost ~15% of throughput (two `clock_gettime`s per
-//!    phase), so the feature is compiled out of normal builds; treat the
-//!    per-phase shares as accurate and the absolute total as inflated.
+//!    which prints each stage's wall clock, share and instructions
+//!    through-rate; the raw counters are also printed by the smt-core
+//!    `phase_timing` example. The probes cost ~15% of throughput (two
+//!    `clock_gettime`s per phase), so the feature is compiled out of
+//!    normal builds; treat the per-phase shares as accurate and the
+//!    absolute total as inflated.
 //!
 //! 2. **Sampling profilers** — the release profile ships
 //!    `debug = "line-tables-only"`, so `perf` / flamegraphs attribute the
@@ -71,17 +77,29 @@
 //!    ```
 //!
 //! What the steady-state profile should look like (reference machine,
-//! warmed): the seven phases split roughly fetch ≈ rename ≈ issue (~20%
-//! each) > writeback (~15%) > commit (~10%) > memory events (~6%), with
-//! **zero heap allocations per cycle** (pinned by the allocation-guard
-//! test in this crate — a counting global allocator over a warmed
-//! 5k-cycle window). Leaf components are cheap (oracle step and a
-//! predictor lookup are each a few nanoseconds); the cycle cost is
-//! dominated by cache traffic over the pipeline's own state, which is why
-//! the data layout (packed 48-byte hot records, 4-byte slab handles,
-//! inline wakeup lists) is the performance-critical part. A profile
-//! showing a *function* hotspot — a hash probe, an allocator frame, a
-//! `memmove` — is a regression signal, not background noise.
+//! warmed, block-granular front end): the seven phases split roughly
+//! rename (~24%) > fetch ≈ issue (~20% each) > writeback (~17%) >
+//! commit (~12%) > memory events (~7%), with **zero heap allocations per
+//! cycle** (pinned by the allocation-guard test in this crate — a
+//! counting global allocator over a warmed 5k-cycle window). Rename leads
+//! because the block-granular path concentrates per-instruction work
+//! there: the whole fetch block moves through one slab free-list
+//! transaction and a flat block-local rename scratch, so fetch and
+//! dispatch are mostly bulk cursor moves while rename does the per-operand
+//! probes. Leaf components are cheap (oracle step and a predictor lookup
+//! are each a few nanoseconds); the cycle cost is dominated by cache
+//! traffic over the pipeline's own state, which is why the data layout
+//! (packed 48-byte hot records, 4-byte slab handles, inline wakeup lists)
+//! is the performance-critical part. A profile showing a *function*
+//! hotspot — a hash probe, an allocator frame, a `memmove` — is a
+//! regression signal, not background noise.
+//!
+//! A third, build-level lever rides on top: the PGO path
+//! (`scripts/pgo.sh`, the `smt-pgo` converter crate) builds `smt_bench`
+//! with `-Cprofile-use` against the committed `pgo/smt_bench.profdata`;
+//! measured uplift lands in the bench document's `pgo` section
+//! (schema 5) via `--pgo-from`, kept separate from the guarded plain
+//! rates so the CI regression guard stays like for like.
 //!
 //! # Examples
 //!
@@ -146,9 +164,12 @@ impl BenchResult {
 /// Version of the `"smt-bench"` JSON document. Version 3 added the
 /// multi-reference `references` map; version 4 added the optional `fleet`
 /// object (aggregate throughput across a [`SimFleet`](smt_core::SimFleet)
-/// of reference configurations — see "Fleet mode" in the crate docs).
+/// of reference configurations — see "Fleet mode" in the crate docs);
+/// version 5 added the optional `pgo` object (`--pgo-from`, the uplift of
+/// a profile-guided build over this one, reported separately so the
+/// guarded reference rates stay plain-build like-for-like).
 /// [`baseline_ips`] and [`baseline_reference_rates`] accept all versions.
-pub const JSON_SCHEMA_VERSION: u64 = 4;
+pub const JSON_SCHEMA_VERSION: u64 = 5;
 
 /// Fetch policies the multi-reference benchmark sweeps.
 pub const REFERENCE_FETCHES: [&str; 2] = ["icount", "rr"];
@@ -438,6 +459,73 @@ pub fn bench_fleet(cells: usize, cycles: u64, jobs: usize) -> FleetBench {
     }
 }
 
+/// Uplift of a profile-guided build over this (plain) one
+/// (`smt_bench --pgo-from`): per-reference rate pairs, matched by name.
+/// Lives in the schema-5 `pgo` object, *separate* from the `references`
+/// map — the guarded rates always describe the plain build, so the CI
+/// throughput guard and the committed `BENCH_*.json` trajectory stay
+/// like-for-like whether or not a PGO build was measured alongside.
+#[derive(Debug, Clone)]
+pub struct PgoBench {
+    /// `(reference name, PGO build insts/s, plain build insts/s)` for
+    /// every reference present in both documents.
+    pub entries: Vec<(String, f64, f64)>,
+}
+
+impl PgoBench {
+    /// Geometric-mean uplift factor across the paired references.
+    pub fn mean_uplift(&self) -> f64 {
+        let log_sum: f64 = self
+            .entries
+            .iter()
+            .map(|(_, pgo, plain)| (pgo / plain.max(1e-9)).ln())
+            .sum();
+        (log_sum / self.entries.len().max(1) as f64).exp()
+    }
+
+    /// This measurement as the `pgo` object of the `"smt-bench"` document
+    /// (schema version 5).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "references",
+                Json::object(self.entries.iter().map(|(name, pgo, plain)| {
+                    (
+                        name.as_str(),
+                        Json::object([
+                            ("insts_per_sec", Json::from(*pgo)),
+                            ("plain_insts_per_sec", Json::from(*plain)),
+                            ("uplift", Json::from(pgo / plain.max(1e-9))),
+                        ]),
+                    )
+                })),
+            ),
+            ("mean_uplift", Json::from(self.mean_uplift())),
+        ])
+    }
+}
+
+/// Pairs a PGO-built `smt_bench --json` document (the `--pgo-from` file,
+/// written by `target/pgo/release/smt_bench`) against this run's measured
+/// references, like for like by name. `None` when the text is not an
+/// `"smt-bench"` document or shares no reference with `references`.
+pub fn pgo_uplift(pgo_document: &str, references: &[ReferenceResult]) -> Option<PgoBench> {
+    let pgo_rates = baseline_reference_rates(pgo_document)?;
+    let entries: Vec<(String, f64, f64)> = references
+        .iter()
+        .filter_map(|r| {
+            pgo_rates
+                .iter()
+                .find(|(name, _)| *name == r.name)
+                .map(|&(_, pgo)| (r.name.clone(), pgo, r.best.ips()))
+        })
+        .collect();
+    if entries.is_empty() {
+        return None;
+    }
+    Some(PgoBench { entries })
+}
+
 /// The machine-readable benchmark document: one entry per measured
 /// reference plus the headline. `smt_bench --json` writes this,
 /// pretty-rendered.
@@ -458,17 +546,19 @@ pub fn bench_to_json_with_checkpoints(
     references: &[ReferenceResult],
     checkpoints: &[CheckpointBench],
 ) -> Json {
-    bench_to_json_full(references, checkpoints, None)
+    bench_to_json_full(references, checkpoints, None, None)
 }
 
 /// The full `"smt-bench"` document: references, optional `--checkpoint`
-/// measurements, and the optional `--fleet` aggregate (the `fleet`
-/// object, schema version 4). Both optional sections are additive —
+/// measurements, the optional `--fleet` aggregate (the `fleet` object,
+/// schema version 4), and the optional `--pgo-from` uplift (the `pgo`
+/// object, schema version 5). Every optional section is additive —
 /// omitting them yields the same document older PRs committed.
 pub fn bench_to_json_full(
     references: &[ReferenceResult],
     checkpoints: &[CheckpointBench],
     fleet: Option<&FleetBench>,
+    pgo: Option<&PgoBench>,
 ) -> Json {
     let headline = references
         .iter()
@@ -501,6 +591,9 @@ pub fn bench_to_json_full(
     }
     if let Some(fleet) = fleet {
         fields.push(("fleet", fleet.to_json()));
+    }
+    if let Some(pgo) = pgo {
+        fields.push(("pgo", pgo.to_json()));
     }
     // Legacy mirror of the headline reference, so older consumers keep
     // parsing the document.
@@ -644,6 +737,55 @@ pub fn run_configured(fetch: &str, mix: &str, cycles: u64) -> BenchResult {
     }
 }
 
+/// The seven pipeline-phase names, in the order `smt-core`'s `phase-timing`
+/// probes accumulate them (and the order one simulated cycle runs them).
+pub const STAGE_NAMES: [&str; 7] = [
+    "mem.begin",
+    "completions",
+    "writeback",
+    "commit",
+    "issue",
+    "rename",
+    "fetch",
+];
+
+/// One pipeline stage's share of the reference run (`--stage-timing`).
+#[cfg(feature = "stage-timing")]
+#[derive(Debug, Clone, Copy)]
+pub struct StageResult {
+    /// Phase name ([`STAGE_NAMES`]).
+    pub name: &'static str,
+    /// Wall-clock nanoseconds accumulated inside the phase.
+    pub nanos: u64,
+    /// Committed instructions divided by this phase's seconds: how fast
+    /// the simulator would run if this stage were the whole cycle — the
+    /// per-stage insts/s that makes stages comparable across PRs even as
+    /// the total shifts.
+    pub insts_per_sec: f64,
+}
+
+/// Runs the reference machine (ICOUNT.2.8, standard mix) for `cycles`
+/// and returns the committed-instruction count plus each pipeline
+/// stage's accumulated wall clock and per-stage insts/s, measured by
+/// `smt-core`'s `phase-timing` probes. Only meaningful in a process that
+/// has not already run other simulations (the probes are global
+/// accumulators).
+#[cfg(feature = "stage-timing")]
+pub fn run_stage_timing(cycles: u64) -> (u64, Vec<StageResult>) {
+    let mut sim = SimConfig::new().build();
+    let committed = sim.run(cycles).total_committed();
+    let stages = STAGE_NAMES
+        .iter()
+        .zip(smt_core::pipeline_phase_ns())
+        .map(|(&name, nanos)| StageResult {
+            name,
+            nanos,
+            insts_per_sec: committed as f64 / (nanos as f64 / 1e9).max(1e-9),
+        })
+        .collect();
+    (committed, stages)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -781,10 +923,10 @@ mod tests {
         let r = run_reference(300);
         let refs = [reference_of(r, "icount", "standard")];
         // Additive: without the fleet the document is unchanged …
-        let plain = bench_to_json_full(&refs, &[], None).render_pretty();
+        let plain = bench_to_json_full(&refs, &[], None, None).render_pretty();
         assert!(!plain.contains("\"fleet\""));
         // … and with it the schema-4 fleet object round-trips.
-        let doc = bench_to_json_full(&refs, &[], Some(&f));
+        let doc = bench_to_json_full(&refs, &[], Some(&f), None);
         let back = Json::parse(&doc.render_pretty()).unwrap();
         assert_eq!(
             back.get("schema_version").and_then(Json::as_u64),
@@ -815,16 +957,66 @@ mod tests {
             total_committed: 1_000_000,
             wall: Duration::from_millis(250),
         };
-        let text = bench_to_json_full(&refs, &[], Some(&f)).render_pretty();
+        let text = bench_to_json_full(&refs, &[], Some(&f), None).render_pretty();
         let rates = baseline_reference_rates(&text).unwrap();
         assert!(rates
             .iter()
             .any(|(n, v)| n == FLEET_REFERENCE && (v - f.aggregate_ips()).abs() < 1e-6));
         // A document without a fleet section carries no synthetic entry,
         // so guards against pre-fleet baselines skip the comparison.
-        let plain = bench_to_json_full(&refs, &[], None).render_pretty();
+        let plain = bench_to_json_full(&refs, &[], None, None).render_pretty();
         let rates = baseline_reference_rates(&plain).unwrap();
         assert!(rates.iter().all(|(n, _)| n != FLEET_REFERENCE));
+    }
+
+    #[test]
+    fn pgo_uplift_pairs_like_for_like_and_serializes() {
+        let mut plain = run_reference(300);
+        plain.wall = Duration::from_millis(20);
+        let mut faster = plain;
+        faster.wall = Duration::from_millis(10); // the PGO build: 2x
+        let refs = [
+            reference_of(plain, "icount", "standard"),
+            reference_of(plain, "rr", "fp8"),
+        ];
+        // The "PGO build's document": same references, one twice as fast,
+        // plus one reference this run did not measure.
+        let pgo_doc = bench_to_json(&[
+            reference_of(faster, "icount", "standard"),
+            reference_of(plain, "icount", "int8"),
+            reference_of(plain, "rr", "fp8"),
+        ])
+        .render_pretty();
+        let pgo = pgo_uplift(&pgo_doc, &refs).expect("shared references");
+        // Only the two shared names pair up; ICOUNT/int8 is dropped.
+        assert_eq!(pgo.entries.len(), 2);
+        let by_name = |n: &str| {
+            pgo.entries
+                .iter()
+                .find(|(name, _, _)| name == n)
+                .map(|&(_, p, b)| p / b)
+                .expect("entry present")
+        };
+        assert!((by_name("ICOUNT/standard") - 2.0).abs() < 1e-9);
+        assert!((by_name("RR/fp8") - 1.0).abs() < 1e-9);
+        assert!((pgo.mean_uplift() - 2.0f64.sqrt()).abs() < 1e-9);
+
+        // Additive: the pgo object round-trips and leaves the guarded
+        // reference rates untouched (plain-build numbers).
+        let text = bench_to_json_full(&refs, &[], None, Some(&pgo)).render_pretty();
+        let back = Json::parse(&text).unwrap();
+        let entry = back
+            .get("pgo")
+            .and_then(|p| p.get("references"))
+            .and_then(|r| r.get("ICOUNT/standard"))
+            .expect("pgo entry present");
+        assert!((entry.get("uplift").and_then(Json::as_f64).unwrap() - 2.0).abs() < 1e-9);
+        let rates = baseline_reference_rates(&text).unwrap();
+        assert!(rates.iter().all(|(_, v)| (v - plain.ips()).abs() < 1e-9));
+        // A document with no shared references yields no measurement.
+        let other = bench_to_json(&[reference_of(plain, "icount", "int8")]).render_pretty();
+        assert!(pgo_uplift(&other, &refs).is_none());
+        assert!(pgo_uplift("not json", &refs).is_none());
     }
 
     #[test]

@@ -21,18 +21,48 @@ use super::{ReadyEntry, Simulator};
 impl Simulator {
     // ---- phase 5a: rename / dispatch ---------------------------------
 
+    /// Block-granular rename: each thread's run of decode-ready front-end
+    /// heads is processed as one block against the local
+    /// [`RenameScratch`](super::RenameScratch) map — the shared regfile
+    /// record behind a logical register is probed at most once per block
+    /// (with the wakeup-list registration fused into the probe,
+    /// [`check_or_wait`](crate::regfile::PhysRegFile::check_or_wait)),
+    /// intra-block producer→consumer dependencies resolve against the
+    /// scratch map without touching the shared scoreboard, and IQ
+    /// occupancy is updated once per block with the net delta. Readiness
+    /// is monotone during rename (nothing becomes ready mid-phase), so
+    /// every answer the scratch map serves is bit-identical to a fresh
+    /// per-instruction probe — and a cached not-ready answer never goes
+    /// stale before the follow-up registration.
     pub(super) fn rename(&mut self) {
         let cycle = self.cycle;
         let mut budget = self.cfg.decode_width;
         let n = self.threads.len();
         let start = self.cycle as usize % n;
-        'threads: for k in 0..n {
+        let iq_limit = self.iq_limit;
+        // Split every field the block loop touches once, so the inner loop
+        // works entirely off locals the compiler can keep in registers.
+        let threads = &mut self.threads;
+        let insts = &mut self.insts;
+        let regs = &mut self.regs;
+        let loc = &mut self.rename_loc;
+        let ready_q = &mut self.ready_q;
+        let iq_len = &mut self.iq_len;
+        let mut done = false;
+        for k in 0..n {
+            if done || budget == 0 {
+                break;
+            }
             let ti = (start + k) % n;
+            let t = &mut threads[ti];
+            // A fresh stamp invalidates the whole scratch map in O(1).
+            loc.next_block();
+            let mut iq_delta = [0usize; 2];
             loop {
                 if budget == 0 {
-                    break 'threads;
+                    done = true;
+                    break;
                 }
-                let t = &mut self.threads[ti];
                 // The head's decode-ready cycle rides in the queue entry,
                 // so a not-yet-decoded head costs no slab touch.
                 let Some(&(iref, ready_at)) = t.frontend.front() else {
@@ -41,7 +71,7 @@ impl Simulator {
                 if ready_at > cycle {
                     break;
                 }
-                let hot = &self.insts.hot[iref.index()];
+                let hot = &insts.hot[iref.index()];
                 debug_assert_eq!(
                     hot.state(),
                     InstState::Decoding,
@@ -49,60 +79,88 @@ impl Simulator {
                 );
                 debug_assert_eq!(hot.when, ready_at);
                 let class = hot.op.queue();
-                if self.iq_len[class.index()] >= self.iq_limit {
+                if iq_len[class.index()] + iq_delta[class.index()] >= iq_limit {
                     break; // IQ full: dispatch stalls, fetch feels back-pressure
                 }
                 let dest_log = hot.dest_log;
                 if dest_log != LREG_NONE {
                     let d = lreg_unpack(dest_log);
-                    if self.regs[d.class().index()].free_count() == 0 {
+                    if regs[d.class().index()].free_count() == 0 {
                         break; // out of renaming registers
                     }
                 }
                 // Sources read the map before the destination redefines it.
                 // A source that is not ready registers this instruction on
-                // the producer's wakeup list; readiness is monotone for live
-                // instructions, so the count can only fall from here.
+                // the producer's wakeup list on the spot; readiness is
+                // monotone for live instructions, so the count can only
+                // fall from here.
                 let srcs_log = hot.srcs_log;
                 let seq = hot.seq;
-                let tag = self.insts.tag(iref);
+                let tag = insts.tag(iref);
                 let mut srcs_phys = [super::PREG_NONE; 2];
                 let mut pending: u8 = 0;
                 let mut opt_until = 0u64;
                 for (si, &s) in srcs_log.iter().enumerate() {
                     if s != LREG_NONE {
-                        let r = lreg_unpack(s);
-                        let ci = r.class().index();
-                        let p = t.map.lookup(r);
-                        srcs_phys[si] = preg_pack(r.class(), p);
-                        // One record touch decides ready/opt-window or
-                        // registers the wakeup, instead of an is-ready
-                        // probe plus a second opt-window pass.
-                        match self.regs[ci].check_or_wait(p, tag) {
-                            Some(end) => opt_until = opt_until.max(end),
-                            None => pending += 1,
+                        // Indexing by the packed byte skips both the
+                        // unpack and the bounds check (u8 < 256).
+                        let e = &mut loc.map[usize::from(s)];
+                        let (packed, opt) = if e.stamp == loc.stamp {
+                            // Block-local hit: an intra-block producer's
+                            // fresh register, or a source this block
+                            // already probed. Not ready — register on the
+                            // producer's wakeup list (probe already paid).
+                            if e.opt == u64::MAX {
+                                regs[super::slab::preg_class(e.phys)]
+                                    .add_waiter(super::slab::preg_index(e.phys), tag);
+                            }
+                            (e.phys, e.opt)
+                        } else {
+                            let r = lreg_unpack(s);
+                            let ci = r.class().index();
+                            let p = t.map.lookup(r);
+                            let opt = regs[ci].check_or_wait(p, tag).unwrap_or(u64::MAX);
+                            let packed = preg_pack(r.class(), p);
+                            *e = super::RenameEntry {
+                                opt,
+                                stamp: loc.stamp,
+                                phys: packed,
+                            };
+                            (packed, opt)
+                        };
+                        srcs_phys[si] = packed;
+                        if opt == u64::MAX {
+                            pending += 1;
+                        } else {
+                            opt_until = opt_until.max(opt);
                         }
                     }
                 }
-                let hot = &mut self.insts.hot[iref.index()];
+                let hot = &mut insts.hot[iref.index()];
                 hot.srcs_phys = srcs_phys;
                 if dest_log != LREG_NONE {
                     let d = lreg_unpack(dest_log);
-                    let p = self.regs[d.class().index()]
-                        .alloc()
-                        .expect("free count checked above");
+                    let ci = d.class().index();
+                    let p = regs[ci].alloc().expect("free count checked above");
                     let prev = t.map.redefine(d, p);
                     hot.dest_phys = preg_pack(d.class(), p);
                     hot.prev_phys = preg_pack(d.class(), prev);
+                    // Later consumers in this block resolve against the
+                    // fresh (not-ready) register locally.
+                    loc.map[usize::from(dest_log)] = super::RenameEntry {
+                        opt: u64::MAX,
+                        stamp: loc.stamp,
+                        phys: hot.dest_phys,
+                    };
                 }
                 hot.pending_srcs = pending;
                 hot.set_state(InstState::Queued);
                 let op = hot.op;
                 t.frontend.pop_front();
-                self.iq_len[class.index()] += 1;
+                iq_delta[class.index()] += 1;
                 if pending == 0 {
                     // All operands already available: ready from dispatch.
-                    debug_assert_eq!(opt_until, super::opt_until_of(&self.regs, &srcs_phys));
+                    debug_assert_eq!(opt_until, super::opt_until_of(regs, &srcs_phys));
                     let e = ReadyEntry {
                         seq,
                         opt_until,
@@ -110,10 +168,12 @@ impl Simulator {
                         op,
                         ti: ti as u8,
                     };
-                    super::insert_ready(&mut self.ready_q, e);
+                    super::insert_ready(ready_q, e);
                 }
                 budget -= 1;
             }
+            iq_len[0] += iq_delta[0];
+            iq_len[1] += iq_delta[1];
         }
     }
 }

@@ -96,6 +96,20 @@ impl Simulator {
     /// simulator produced by sorting finished instructions) — an older
     /// mispredict squashes younger work before that work can act, and the
     /// younger instructions' events then fail their slab lookup here.
+    /// Wakeups are batched bucket-wide: every completing destination's
+    /// drained consumer list accumulates into one pooled scratch array and
+    /// is delivered in a single [`wake_consumers`](Simulator::wake_consumers)
+    /// pass after the event loop. This is result-neutral against the
+    /// per-event drain:
+    ///
+    /// * a consumer's last outstanding operand decides its wake in both
+    ///   schemes, and all of its sources' `(by_load, ready_at)` records are
+    ///   final before any wake runs, so `opt_until` comes out identical;
+    /// * a consumer squashed by a later (younger-seq-resolved) event in the
+    ///   same bucket dies on its generation check here instead of being
+    ///   inserted-then-retained out of the ready queue — same end state;
+    /// * the ready queue is kept sorted by unique `seq`, so insertion
+    ///   order cannot be observed.
     pub(super) fn writeback(&mut self) {
         let cycle = self.cycle;
         let slot = cycle as usize % super::EXEC_RING;
@@ -103,6 +117,8 @@ impl Simulator {
         if bucket.len() > 1 {
             bucket.sort_unstable_by_key(|e| e.seq);
         }
+        let mut woken = std::mem::take(&mut self.woken_scratch);
+        woken.clear();
         for &ExecEvent { seq, inst } in &bucket {
             let Some(iref) = self.insts.live(inst) else {
                 continue; // squashed after scheduling this writeback
@@ -124,21 +140,20 @@ impl Simulator {
                 self.threads[ti].resolve_ctrl(seq);
             }
             if dest != PREG_NONE {
-                let mut woken = std::mem::take(&mut self.woken_scratch);
-                woken.clear();
                 self.regs[preg_class(dest)].set_ready(
                     preg_index(dest),
                     cycle,
                     op.is_load(),
                     &mut woken,
                 );
-                self.wake_consumers(&woken);
-                self.woken_scratch = woken;
             }
             if is_ctrl && !wrong_path {
                 self.resolve_branch(ti, iref);
             }
         }
+        self.wake_consumers(&woken);
+        woken.clear();
+        self.woken_scratch = woken;
         // Hand the (drained) bucket's allocation back to the ring.
         bucket.clear();
         self.exec_done[slot] = bucket;

@@ -116,11 +116,15 @@ impl PhysRegFile {
     }
 
     /// Registers a consumer to be woken when `p` becomes ready — the
-    /// test-visible form of the [`check_or_wait`](PhysRegFile::check_or_wait)
-    /// fast path. Only legal while the register is not ready (a ready
-    /// register never un-readies while referenced, so consumers of ready
-    /// registers never wait).
-    #[cfg(test)]
+    /// registration half of a dispatch-time source check, used by the
+    /// block-granular rename path when its scratch map already answered
+    /// the probe half (the register was seen not-ready earlier in the same
+    /// block, by [`check_or_wait`](PhysRegFile::check_or_wait) or an
+    /// in-block destination rename). Only legal while the register is not
+    /// ready (a ready register never un-readies while referenced, so
+    /// consumers of ready registers never wait), and readiness is monotone
+    /// during rename — a cached not-ready answer cannot go stale before
+    /// this registration.
     pub(crate) fn add_waiter(&mut self, p: u16, consumer: Consumer) {
         let s = &mut self.state[p as usize];
         debug_assert!(!s.ready, "waiting on already-ready register {p}");
@@ -133,10 +137,15 @@ impl PhysRegFile {
         s.waiting += 1;
     }
 
-    /// Dispatch-time source check, fused into one record touch: if `p` is
-    /// ready, returns its load-speculation window end
+    /// The fused dispatch-time source check: if `p` is ready, returns its
+    /// load-speculation window end
     /// ([`opt_window_end`](PhysRegFile::opt_window_end)); otherwise
-    /// registers `consumer` on `p`'s wakeup list and returns `None`.
+    /// registers `consumer` on `p`'s wakeup list — exactly as
+    /// [`add_waiter`](PhysRegFile::add_waiter) would — and returns `None`.
+    /// One record lookup serves both halves, and the block-granular rename
+    /// path caches the answer per logical register per block (valid
+    /// because readiness and the `(by_load, ready_at)` pair are immutable
+    /// for the whole rename phase).
     #[inline]
     pub(crate) fn check_or_wait(&mut self, p: u16, consumer: Consumer) -> Option<u64> {
         let s = &mut self.state[p as usize];

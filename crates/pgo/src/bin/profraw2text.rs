@@ -1,0 +1,45 @@
+//! `profraw2text` — converts raw instrumentation profiles to LLVM's text
+//! profile format, writing `X.proftext` next to each input `X.profraw`.
+//!
+//! ```text
+//! profraw2text FILE.profraw...
+//! ```
+//!
+//! The text outputs are what `scripts/pgo.sh record` hands to
+//! `llvm-profdata merge`: the text format is version-stable, so a distro
+//! `llvm-profdata` older than the Rust toolchain's LLVM — which rejects
+//! the raw files outright — can still index the profile. See the
+//! `smt-pgo` crate docs for the full story.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: profraw2text FILE.profraw...");
+        std::process::exit(2);
+    }
+    for path in &args {
+        let raw = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let functions = match smt_pgo::parse_profraw(&raw) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let out_path = match path.strip_suffix(".profraw") {
+            Some(stem) => format!("{stem}.proftext"),
+            None => format!("{path}.proftext"),
+        };
+        if let Err(e) = std::fs::write(&out_path, smt_pgo::to_text(&functions)) {
+            eprintln!("{out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: {} functions -> {out_path}", functions.len());
+    }
+}

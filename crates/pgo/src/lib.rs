@@ -1,0 +1,547 @@
+//! Offline `.profraw` → LLVM *text* instrumentation-profile converter.
+//!
+//! # Why this crate exists
+//!
+//! The PGO build path (`scripts/pgo.sh`) needs `llvm-profdata` to turn the
+//! raw profiles written by a `-Cprofile-generate` binary into the indexed
+//! `.profdata` that `-Cprofile-use` consumes. But the raw profile format is
+//! **not stable across LLVM major versions**: an `llvm-profdata` older than
+//! the rustc that produced the `.profraw` refuses it outright
+//! ("unsupported instrumentation profile format version") — exactly the
+//! situation on hosts whose distro LLVM trails the Rust toolchain's.
+//!
+//! Two other profile encodings *are* stable enough to bridge the gap:
+//!
+//! * the **text** format (`.proftext`) is a version-less line protocol that
+//!   every `llvm-profdata merge` accepts as input, and
+//! * the **indexed** format is backward-compatible: a newer LLVM reads
+//!   profiles indexed by an older one.
+//!
+//! So the bridge is: parse the raw profile ourselves, emit text, and let
+//! the *old* `llvm-profdata` index it — the resulting `.profdata` then
+//! feeds the *new* rustc's `-Cprofile-use` cleanly. This crate is that
+//! parser/emitter, dependency-free (including its own MD5, which the raw
+//! format uses to key function names).
+//!
+//! # What is converted
+//!
+//! Function counters and value-profiling *site counts* (so profile-use
+//! sees consistent shapes instead of warning about a stale profile).
+//! Recorded value-profile *data* (indirect-call targets, memop sizes) is
+//! dropped: the tail section's encoding is runtime-internal, and the
+//! counter profile is what drives the block-layout and inlining decisions
+//! the PGO build is after.
+//!
+//! The instrumented build must disable name compression
+//! (`-Cllvm-args=--enable-name-compression=false`) — the name section is
+//! otherwise zlib-deflated, and inflating it would need a compression
+//! dependency this repo does not take.
+//!
+//! # Supported layout
+//!
+//! Raw profile version 10 (LLVM 19+ era, including the Rust 1.8x/1.9x
+//! toolchains), 64-bit little-endian, with 2 or 3 value kinds. Every
+//! structural assumption is checked and reported as a typed
+//! [`ProfrawError`] rather than silently mis-parsed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+mod md5;
+
+pub use md5::md5_prefix64;
+
+/// Raw-profile header magic for 64-bit little-endian targets
+/// (`\xfflprofr\x81` as the LLVM sources spell it, seen reversed on disk).
+const MAGIC_64LE: [u8; 8] = *b"\x81rforpl\xff";
+
+/// The raw format version this parser understands.
+const RAW_VERSION: u64 = 10;
+
+/// Bit 56 of the header version word: profile from IR-level
+/// instrumentation (what rustc's `-Cprofile-generate` emits).
+const VARIANT_MASK_IR: u64 = 1 << 56;
+
+/// Size of one on-disk function record in bytes: six pointer-sized fields,
+/// a `u32` counter count, two or three `u16` value-site counts, a `u32`
+/// bitmap size, padded to 8-byte alignment.
+const RECORD_SIZE: usize = 64;
+
+/// Byte offset of the header's `NamesSize` field.
+const H_NAMES_SIZE: usize = 0x48;
+/// Byte offset of the header's `CountersDelta` field.
+const H_COUNTERS_DELTA: usize = 0x50;
+/// Total header size: 16 little-endian `u64` fields.
+const HEADER_SIZE: usize = 0x80;
+
+/// Everything that can be structurally wrong with a `.profraw` input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfrawError {
+    /// The file does not start with the 64-bit little-endian magic.
+    BadMagic,
+    /// The raw format version is not the one this parser understands.
+    UnsupportedVersion(u64),
+    /// The profile is not from IR-level instrumentation.
+    NotIrProfile,
+    /// The value-kind count implies a record layout we do not know.
+    UnsupportedValueKinds(u64),
+    /// A section extends past the end of the file.
+    Truncated(&'static str),
+    /// The name section is compressed (rebuild the instrumented binary
+    /// with `-Cllvm-args=--enable-name-compression=false`).
+    CompressedNames,
+    /// A name is not valid UTF-8.
+    BadName,
+    /// A record's counter reference points outside the counter section.
+    CounterOutOfRange {
+        /// Index of the offending record in the data section.
+        record: usize,
+    },
+    /// A record's name hash has no match in the name section.
+    UnknownNameRef {
+        /// Index of the offending record in the data section.
+        record: usize,
+        /// The unmatched 64-bit MD5 name prefix.
+        name_ref: u64,
+    },
+    /// A record declares value-profiling sites for the vtable kind, which
+    /// the text emitter does not carry.
+    VTableSites {
+        /// Index of the offending record in the data section.
+        record: usize,
+    },
+}
+
+impl fmt::Display for ProfrawError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfrawError::BadMagic => write!(f, "not a 64-bit little-endian .profraw (bad magic)"),
+            ProfrawError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "raw profile version {v} (this parser understands {RAW_VERSION})"
+                )
+            }
+            ProfrawError::NotIrProfile => write!(f, "not an IR-instrumentation profile"),
+            ProfrawError::UnsupportedValueKinds(k) => {
+                write!(f, "value-kind count {k} implies an unknown record layout")
+            }
+            ProfrawError::Truncated(section) => write!(f, "file truncated in {section} section"),
+            ProfrawError::CompressedNames => write!(
+                f,
+                "name section is compressed; rebuild the instrumented binary with \
+                 -Cllvm-args=--enable-name-compression=false"
+            ),
+            ProfrawError::BadName => write!(f, "function name is not valid UTF-8"),
+            ProfrawError::CounterOutOfRange { record } => {
+                write!(
+                    f,
+                    "record {record}: counter reference outside the counter section"
+                )
+            }
+            ProfrawError::UnknownNameRef { record, name_ref } => {
+                write!(
+                    f,
+                    "record {record}: name hash {name_ref:#x} not in the name section"
+                )
+            }
+            ProfrawError::VTableSites { record } => {
+                write!(
+                    f,
+                    "record {record}: vtable value-profiling sites are not supported"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfrawError {}
+
+fn u64_at(b: &[u8], off: usize) -> Result<u64, ProfrawError> {
+    b.get(off..off + 8)
+        .map(|s| u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+        .ok_or(ProfrawError::Truncated("header/data"))
+}
+
+fn u32_at(b: &[u8], off: usize) -> Result<u32, ProfrawError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes(s.try_into().expect("4-byte slice")))
+        .ok_or(ProfrawError::Truncated("data"))
+}
+
+fn u16_at(b: &[u8], off: usize) -> Result<u16, ProfrawError> {
+    b.get(off..off + 2)
+        .map(|s| u16::from_le_bytes(s.try_into().expect("2-byte slice")))
+        .ok_or(ProfrawError::Truncated("data"))
+}
+
+/// Reads one unsigned LEB128 integer, advancing `off`.
+fn leb128(b: &[u8], off: &mut usize) -> Result<u64, ProfrawError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *b.get(*off).ok_or(ProfrawError::Truncated("names"))?;
+        *off += 1;
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// One function's profile as recovered from the raw file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionProfile {
+    /// The PGO name (mangled symbol, possibly `filename:`-prefixed for
+    /// internal-linkage functions).
+    pub name: String,
+    /// The structural hash profile-use matches against the rebuilt IR.
+    pub hash: u64,
+    /// Execution counts, in instrumentation order.
+    pub counters: Vec<u64>,
+    /// Declared indirect-call value-profiling sites.
+    pub icall_sites: u16,
+    /// Declared memory-intrinsic-size value-profiling sites.
+    pub memop_sites: u16,
+}
+
+/// Parses a 64-bit little-endian version-10 `.profraw` into per-function
+/// profiles. See the crate docs for the supported layout and why parsing
+/// this format by hand is warranted at all.
+pub fn parse_profraw(b: &[u8]) -> Result<Vec<FunctionProfile>, ProfrawError> {
+    if b.get(..8) != Some(&MAGIC_64LE) {
+        return Err(ProfrawError::BadMagic);
+    }
+    let version_word = u64_at(b, 0x08)?;
+    let version = version_word & 0xff_ffff;
+    if version != RAW_VERSION {
+        return Err(ProfrawError::UnsupportedVersion(version));
+    }
+    if version_word & VARIANT_MASK_IR == 0 {
+        return Err(ProfrawError::NotIrProfile);
+    }
+    let binary_ids_size = u64_at(b, 0x10)? as usize;
+    let num_data = u64_at(b, 0x18)? as usize;
+    let padding_before_counters = u64_at(b, 0x20)? as usize;
+    let num_counters = u64_at(b, 0x28)? as usize;
+    let padding_after_counters = u64_at(b, 0x30)? as usize;
+    let num_bitmap_bytes = u64_at(b, 0x38)? as usize;
+    let padding_after_bitmap = u64_at(b, 0x40)? as usize;
+    let names_size = u64_at(b, H_NAMES_SIZE)? as usize;
+    let counters_delta = u64_at(b, H_COUNTERS_DELTA)?;
+    let value_kinds = u64_at(b, 0x78)? + 1;
+    // 2 kinds (indirect call, memop size) or 3 (plus vtable targets) both
+    // pad to the same 64-byte record; anything else is a layout we have
+    // never seen and must not guess at.
+    if !(2..=3).contains(&value_kinds) {
+        return Err(ProfrawError::UnsupportedValueKinds(value_kinds));
+    }
+
+    let data_off = HEADER_SIZE + binary_ids_size;
+    let counters_off = data_off + num_data * RECORD_SIZE + padding_before_counters;
+    let names_off = counters_off
+        + num_counters * 8
+        + padding_after_counters
+        + num_bitmap_bytes
+        + padding_after_bitmap;
+    let names_end = names_off + names_size;
+    if names_end > b.len() {
+        return Err(ProfrawError::Truncated("names"));
+    }
+
+    // Name section: concatenated per-module blocks of
+    // (uncompressed size, compressed size, payload), names separated by
+    // \x01 inside each payload. Keyed by the 64-bit MD5 prefix, which is
+    // what the records' NameRef field stores.
+    let mut names: HashMap<u64, &str> = HashMap::new();
+    let mut pos = names_off;
+    while pos < names_end {
+        let uncompressed = leb128(b, &mut pos)? as usize;
+        let compressed = leb128(b, &mut pos)?;
+        if compressed != 0 {
+            return Err(ProfrawError::CompressedNames);
+        }
+        let payload = b
+            .get(pos..pos + uncompressed)
+            .ok_or(ProfrawError::Truncated("names"))?;
+        pos += uncompressed;
+        for raw in payload.split(|&c| c == 1) {
+            if raw.is_empty() {
+                continue;
+            }
+            let name = std::str::from_utf8(raw).map_err(|_| ProfrawError::BadName)?;
+            names.insert(md5_prefix64(raw), name);
+        }
+    }
+
+    let mut out = Vec::with_capacity(num_data);
+    for i in 0..num_data {
+        let r = data_off + i * RECORD_SIZE;
+        let name_ref = u64_at(b, r)?;
+        let hash = u64_at(b, r + 8)?;
+        let counter_ptr = u64_at(b, r + 16)?;
+        let n = u32_at(b, r + 48)? as usize;
+        let icall_sites = u16_at(b, r + 52)?;
+        let memop_sites = u16_at(b, r + 54)?;
+        if value_kinds == 3 && u16_at(b, r + 56)? != 0 {
+            return Err(ProfrawError::VTableSites { record: i });
+        }
+        // CounterPtr is stored relative to its own record's address, and
+        // CountersDelta relative to the first record's — so each record's
+        // byte offset into the counter section regains its record index.
+        let byte_off = counter_ptr
+            .wrapping_sub(counters_delta)
+            .wrapping_add((i * RECORD_SIZE) as u64) as usize;
+        if !byte_off.is_multiple_of(8) || byte_off / 8 + n > num_counters {
+            return Err(ProfrawError::CounterOutOfRange { record: i });
+        }
+        let name = *names.get(&name_ref).ok_or(ProfrawError::UnknownNameRef {
+            record: i,
+            name_ref,
+        })?;
+        let mut counters = Vec::with_capacity(n);
+        for j in 0..n {
+            counters.push(u64_at(b, counters_off + byte_off + j * 8)?);
+        }
+        out.push(FunctionProfile {
+            name: name.to_string(),
+            hash,
+            counters,
+            icall_sites,
+            memop_sites,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders per-function profiles in LLVM's text instrumentation-profile
+/// format (`llvm-profdata merge` input). Value-profiling sites are
+/// declared with empty value lists so profile-use sees site counts
+/// consistent with the instrumented IR.
+pub fn to_text(functions: &[FunctionProfile]) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::from(":ir\n");
+    for f in functions {
+        write!(
+            out,
+            "{}\n# Func Hash:\n{}\n# Num Counters:\n{}\n# Counter Values:\n",
+            f.name,
+            f.hash,
+            f.counters.len()
+        )
+        .expect("writing to String cannot fail");
+        for c in &f.counters {
+            writeln!(out, "{c}").expect("writing to String cannot fail");
+        }
+        // Kind 0 = indirect call targets, kind 1 = memory-intrinsic sizes.
+        let kinds = [(0u8, f.icall_sites), (1u8, f.memop_sites)];
+        let populated = kinds.iter().filter(|&&(_, sites)| sites > 0).count();
+        if populated > 0 {
+            writeln!(out, "# Num Value Kinds:\n{populated}").expect("infallible");
+            for (kind, sites) in kinds {
+                if sites == 0 {
+                    continue;
+                }
+                writeln!(out, "# ValueKind:\n{kind}\n# NumValueSites:\n{sites}")
+                    .expect("infallible");
+                for _ in 0..sites {
+                    out.push_str("0\n");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// [`parse_profraw`] + [`to_text`]: one raw profile to one text profile.
+pub fn convert(raw: &[u8]) -> Result<String, ProfrawError> {
+    Ok(to_text(&parse_profraw(raw)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a syntactically exact version-10 profraw from function
+    /// specs: (name, hash, counters, icall sites, memop sites).
+    fn synth_profraw(funcs: &[(&str, u64, &[u64], u16, u16)]) -> Vec<u8> {
+        let num_data = funcs.len();
+        let num_counters: usize = funcs.iter().map(|f| f.2.len()).sum();
+        let names_payload: Vec<u8> = funcs
+            .iter()
+            .map(|f| f.0.as_bytes())
+            .collect::<Vec<_>>()
+            .join(&[1u8][..]);
+        // Single uncompressed block: leb sizes fit a byte in tests.
+        assert!(names_payload.len() < 128);
+        let names_size = 2 + names_payload.len();
+
+        let counters_delta = 0x1000u64; // arbitrary "runtime address" origin
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC_64LE);
+        header.extend_from_slice(&(RAW_VERSION | VARIANT_MASK_IR).to_le_bytes());
+        for field in [
+            0u64,                // binary ids size
+            num_data as u64,     // NumData
+            0,                   // padding before counters
+            num_counters as u64, // NumCounters
+            0,                   // padding after counters
+            0,                   // NumBitmapBytes
+            0,                   // padding after bitmap
+            names_size as u64,   // NamesSize
+            counters_delta,      // CountersDelta
+            0,                   // BitmapDelta
+            0,                   // NamesDelta
+            0,                   // NumVTables
+            0,                   // VNamesSize
+            2,                   // ValueKindLast (3 kinds)
+        ] {
+            header.extend_from_slice(&field.to_le_bytes());
+        }
+        assert_eq!(header.len(), HEADER_SIZE);
+
+        let mut data = Vec::new();
+        let mut counter_byte_off = 0usize;
+        for (i, &(name, hash, counters, icall, memop)) in funcs.iter().enumerate() {
+            // CounterPtr relative to this record's own address.
+            let counter_ptr = counters_delta
+                .wrapping_add(counter_byte_off as u64)
+                .wrapping_sub((i * RECORD_SIZE) as u64);
+            data.extend_from_slice(&md5_prefix64(name.as_bytes()).to_le_bytes());
+            data.extend_from_slice(&hash.to_le_bytes());
+            data.extend_from_slice(&counter_ptr.to_le_bytes());
+            data.extend_from_slice(&[0u8; 24]); // bitmap / function / values ptrs
+            data.extend_from_slice(&(counters.len() as u32).to_le_bytes());
+            data.extend_from_slice(&icall.to_le_bytes());
+            data.extend_from_slice(&memop.to_le_bytes());
+            data.extend_from_slice(&[0u8; 8]); // vtable sites + pad + bitmap bytes
+            counter_byte_off += counters.len() * 8;
+        }
+        assert_eq!(data.len(), num_data * RECORD_SIZE);
+
+        let mut out = header;
+        out.extend_from_slice(&data);
+        for f in funcs {
+            for &c in f.2 {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out.push(names_payload.len() as u8); // leb128 uncompressed size
+        out.push(0); // leb128 compressed size = 0 (uncompressed)
+        out.extend_from_slice(&names_payload);
+        out
+    }
+
+    #[test]
+    fn md5_prefix_matches_reference_vectors() {
+        // md5("") = d41d8cd98f00b204e9800998ecf8427e; prefix read LE.
+        assert_eq!(
+            md5_prefix64(b""),
+            u64::from_le_bytes(*b"\xd4\x1d\x8c\xd9\x8f\x00\xb2\x04")
+        );
+        // md5("abc") = 900150983cd24fb0d6963f7d28e17f72.
+        assert_eq!(
+            md5_prefix64(b"abc"),
+            u64::from_le_bytes(*b"\x90\x01\x50\x98\x3c\xd2\x4f\xb0")
+        );
+        // A message crossing the one-block boundary (56+ bytes).
+        // md5("a" x 64) = 014842d480b571495a4a0363793f7367.
+        assert_eq!(
+            md5_prefix64(&[b'a'; 64]),
+            u64::from_le_bytes(*b"\x01\x48\x42\xd4\x80\xb5\x71\x49")
+        );
+    }
+
+    #[test]
+    fn round_trips_a_synthetic_profile() {
+        let raw = synth_profraw(&[
+            ("_ZN4main4loopE", 0xdead_beef, &[10, 0, 3], 0, 2),
+            ("lib.rs:_ZN5localE", 7, &[99], 1, 0),
+        ]);
+        let funcs = parse_profraw(&raw).expect("synthetic profile must parse");
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].name, "_ZN4main4loopE");
+        assert_eq!(funcs[0].hash, 0xdead_beef);
+        assert_eq!(funcs[0].counters, vec![10, 0, 3]);
+        assert_eq!((funcs[0].icall_sites, funcs[0].memop_sites), (0, 2));
+        assert_eq!(funcs[1].name, "lib.rs:_ZN5localE");
+        assert_eq!(funcs[1].counters, vec![99]);
+        assert_eq!((funcs[1].icall_sites, funcs[1].memop_sites), (1, 0));
+
+        let text = to_text(&funcs);
+        assert!(text.starts_with(":ir\n"));
+        assert!(text.contains("_ZN4main4loopE\n# Func Hash:\n3735928559\n# Num Counters:\n3\n"));
+        // Sites declared with empty value lists, absent kinds omitted.
+        assert!(
+            text.contains("# Num Value Kinds:\n1\n# ValueKind:\n1\n# NumValueSites:\n2\n0\n0\n")
+        );
+        assert!(text.contains("# ValueKind:\n0\n# NumValueSites:\n1\n0\n"));
+    }
+
+    #[test]
+    fn rejects_what_it_cannot_parse() {
+        assert_eq!(parse_profraw(b"not a profile"), Err(ProfrawError::BadMagic));
+
+        let good = synth_profraw(&[("f", 1, &[1], 0, 0)]);
+
+        let mut wrong_version = good.clone();
+        wrong_version[8] = 9;
+        assert_eq!(
+            parse_profraw(&wrong_version),
+            Err(ProfrawError::UnsupportedVersion(9))
+        );
+
+        let mut not_ir = good.clone();
+        not_ir[15] = 0; // clear the IR bit (byte 7 of the version word)
+        assert_eq!(parse_profraw(&not_ir), Err(ProfrawError::NotIrProfile));
+
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() - 2);
+        assert_eq!(
+            parse_profraw(&truncated),
+            Err(ProfrawError::Truncated("names"))
+        );
+
+        let mut compressed = good.clone();
+        let names_payload_len = 1; // single name "f"
+        let leb_off = good.len() - names_payload_len - 1; // compressed-size byte
+        compressed[leb_off] = 5;
+        assert_eq!(
+            parse_profraw(&compressed),
+            Err(ProfrawError::CompressedNames)
+        );
+
+        // A record whose name hash is not in the name section.
+        let mut unknown = good.clone();
+        unknown[HEADER_SIZE] ^= 0xff;
+        assert!(matches!(
+            parse_profraw(&unknown),
+            Err(ProfrawError::UnknownNameRef { record: 0, .. })
+        ));
+
+        // A counter pointer outside the counter section.
+        let mut oob = good;
+        let ptr_off = HEADER_SIZE + 16;
+        let bad_ptr = 0xffff_0000u64;
+        oob[ptr_off..ptr_off + 8].copy_from_slice(&bad_ptr.to_le_bytes());
+        assert_eq!(
+            parse_profraw(&oob),
+            Err(ProfrawError::CounterOutOfRange { record: 0 })
+        );
+    }
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let e = ProfrawError::CompressedNames.to_string();
+        assert!(e.contains("enable-name-compression=false"));
+        assert!(ProfrawError::UnsupportedVersion(11)
+            .to_string()
+            .contains("11"));
+    }
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# PGO build path for smt_bench.
+#
+#   scripts/pgo.sh record   instrument, train on the reference matrix, and
+#                           write the committed profile pgo/smt_bench.profdata
+#   scripts/pgo.sh build    build target/pgo/release/smt_bench against the
+#                           committed profile (graceful no-op when absent)
+#
+# `record` needs llvm-profdata, but NOT one matching the Rust toolchain's
+# LLVM: raw profiles are converted to the version-stable text format first
+# (crates/pgo, `profraw2text`), which any llvm-profdata indexes, and the
+# indexed format is backward-compatible for newer readers. That is the
+# whole reason the converter exists — see the smt-pgo crate docs.
+#
+# `build` needs no LLVM tools at all (rustc reads the indexed profile
+# directly), so CI only ever needs the committed .profdata.
+#
+# Tunables: PGO_TRAIN_CYCLES (default 120000) — simulated cycles per
+# reference in the training run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE=pgo/smt_bench.profdata
+TRAIN_CYCLES="${PGO_TRAIN_CYCLES:-120000}"
+
+case "${1:-build}" in
+record)
+    command -v llvm-profdata >/dev/null 2>&1 || {
+        echo "pgo: llvm-profdata not found -- needed (any version) to index the text profile" >&2
+        exit 1
+    }
+    raw=$(mktemp -d)
+    trap 'rm -rf "$raw"' EXIT
+    echo "pgo: instrumented build (profile-generate, uncompressed names)"
+    RUSTFLAGS="-Cprofile-generate=$raw -Cllvm-args=--enable-name-compression=false" \
+        cargo build --release -p smt-bench --target-dir target/pgo-gen
+    echo "pgo: training run (reference matrix, $TRAIN_CYCLES cycles per measurement)"
+    LLVM_PROFILE_FILE="$raw/train-%m.profraw" \
+        target/pgo-gen/release/smt_bench "$TRAIN_CYCLES"
+    echo "pgo: converting raw profiles to text"
+    cargo run --release -p smt-pgo --bin profraw2text -- "$raw"/*.profraw
+    mkdir -p pgo
+    llvm-profdata merge -o "$PROFILE" "$raw"/*.proftext
+    echo "pgo: wrote $PROFILE ($(wc -c <"$PROFILE") bytes) -- commit it to pin the build"
+    ;;
+build)
+    if [ ! -f "$PROFILE" ]; then
+        echo "pgo: no committed profile at $PROFILE -- skipping PGO build (scripts/pgo.sh record)"
+        exit 0
+    fi
+    echo "pgo: profile-use build against $PROFILE"
+    RUSTFLAGS="-Cprofile-use=$PWD/$PROFILE" \
+        cargo build --release -p smt-bench --target-dir target/pgo
+    echo "pgo: built target/pgo/release/smt_bench"
+    ;;
+*)
+    echo "usage: scripts/pgo.sh [record|build]" >&2
+    exit 2
+    ;;
+esac
