@@ -1,11 +1,15 @@
 //! `smt_bench` — simulator throughput baseline.
 //!
 //! Benchmarks the full reference matrix {RR, ICOUNT} × {standard, int8,
-//! fp8} on the 2.8 partition: a short warmup, then three timed
-//! measurements per reference, reporting each reference's best
-//! (least-noisy) rate. The headline number is the best rate across
-//! references (historically ICOUNT/standard, the only reference older
-//! baselines carry).
+//! fp8} on the 2.8 partition — plus the real-binary `riscv3` reference
+//! ({RR, ICOUNT} over the checked-in `testdata/riscv` ELFs, executed
+//! functionally through the `riscv:` workload backend): a short warmup,
+//! then three timed measurements per reference, reporting each
+//! reference's best (least-noisy) rate. The headline number is the best
+//! rate across references (historically ICOUNT/standard, the only
+//! reference older baselines carry; baselines that predate the workload
+//! backend likewise lack the riscv3 entries, which the like-for-like
+//! guard then skips).
 //!
 //! ```text
 //! smt_bench [CYCLES] [--json PATH] [--reference-only] [--checkpoint]
@@ -51,8 +55,8 @@
 
 use smt_bench::{
     baseline_reference_rates, bench_checkpoint, bench_fleet, bench_to_json_full,
-    find_latest_baseline, pgo_uplift, CheckpointBench, FleetBench, PgoBench, ReferenceResult,
-    FLEET_REFERENCE, REFERENCE_FETCHES, REFERENCE_MIXES,
+    find_latest_baseline, pgo_uplift, riscv_reference_spec, CheckpointBench, FleetBench, PgoBench,
+    ReferenceResult, FLEET_REFERENCE, REFERENCE_FETCHES, REFERENCE_MIXES, RISCV_REFERENCE_MIX,
 };
 
 fn main() {
@@ -159,6 +163,20 @@ fn main() {
                 );
                 checkpoints.push(c);
             }
+        }
+    }
+    if !reference_only {
+        // The real-binary reference: checked-in rv64i ELFs executed
+        // functionally, guarded under the short riscv3 label (skipped
+        // against baselines that predate the workload backend).
+        let spec = riscv_reference_spec();
+        for fetch in REFERENCE_FETCHES {
+            let r = ReferenceResult::measure_labeled(fetch, &spec, RISCV_REFERENCE_MIX, cycles, 3);
+            for (i, run) in r.runs.iter().enumerate() {
+                println!("{:16} run {}: {run}", r.name, i + 1);
+            }
+            println!("{:16} best : {}", r.name, r.best);
+            references.push(r);
         }
     }
     let headline = references

@@ -2,7 +2,9 @@
 //!
 //! Measures how fast the simulator itself runs: simulated instructions
 //! committed per wall-clock second across the reference matrix
-//! {RR, ICOUNT} × {standard, int8, fp8} on the 2.8 partition. Later
+//! {RR, ICOUNT} × {standard, int8, fp8} on the 2.8 partition, plus the
+//! real-binary [`RISCV_REFERENCE_MIX`] reference (checked-in rv64i ELFs
+//! executed functionally through the `riscv:` workload backend). Later
 //! performance PRs report against these baselines via the `smt_bench`
 //! binary; `smt_bench --json` emits the machine-readable `"smt-bench"`
 //! document (same `schema_version` convention as `smt_exp --json`, with
@@ -178,6 +180,25 @@ pub const REFERENCE_FETCHES: [&str; 2] = ["icount", "rr"];
 /// `smt_experiments::study::mix_by_name`).
 pub const REFERENCE_MIXES: [&str; 3] = ["standard", "int8", "fp8"];
 
+/// Canonical mix label of the real-binary reference: the three checked-in
+/// rv64i ELFs (`loops`, `memsum`, `gcd` in `testdata/riscv/`) executed
+/// functionally through the `riscv:` workload backend. The reference is
+/// measured alongside the synthetic matrix and guarded under
+/// `"ICOUNT/riscv3"` / `"RR/riscv3"`; baselines committed before the
+/// backend existed simply lack those names, so the like-for-like guard
+/// skips them against old documents exactly as it does for the fleet.
+pub const RISCV_REFERENCE_MIX: &str = "riscv3";
+
+/// The custom-mix string behind [`RISCV_REFERENCE_MIX`]: a `+`-separated
+/// `riscv:PATH` list over the checked-in test binaries, resolvable by
+/// `smt_experiments::study::resolve_mix` (paths are fixed at compile time
+/// relative to this crate, so the binary measures the same images from any
+/// working directory).
+pub fn riscv_reference_spec() -> String {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/riscv");
+    format!("riscv:{dir}/loops.elf+riscv:{dir}/memsum.elf+riscv:{dir}/gcd.elf")
+}
+
 /// The canonical name of one benchmark reference, e.g. `"ICOUNT/standard"`
 /// — also the key in the JSON document's `references` map, which the
 /// regression guard uses to compare like for like.
@@ -208,6 +229,25 @@ impl ReferenceResult {
     ///
     /// Panics if `fetch` or `mix` is not a known name.
     pub fn measure(fetch: &str, mix: &str, cycles: u64, runs: usize) -> ReferenceResult {
+        Self::measure_labeled(fetch, mix, mix, cycles, runs)
+    }
+
+    /// [`ReferenceResult::measure`] with the reference reported under a
+    /// separate canonical `label` — how the real-binary reference keeps
+    /// the short [`RISCV_REFERENCE_MIX`] name in the JSON `references`
+    /// map while the measured `mix` is a full `riscv:PATH+…` custom-mix
+    /// string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fetch` is not a known policy or `mix` does not resolve.
+    pub fn measure_labeled(
+        fetch: &str,
+        mix: &str,
+        label: &str,
+        cycles: u64,
+        runs: usize,
+    ) -> ReferenceResult {
         let _ = run_configured(fetch, mix, cycles / 10);
         let results: Vec<BenchResult> = (0..runs.max(1))
             .map(|_| run_configured(fetch, mix, cycles))
@@ -217,7 +257,7 @@ impl ReferenceResult {
             .max_by(|a, b| a.ips().total_cmp(&b.ips()))
             .expect("at least one run");
         ReferenceResult {
-            name: reference_name(fetch, mix),
+            name: reference_name(fetch, label),
             runs: results,
             best,
         }
@@ -262,16 +302,18 @@ impl CheckpointBench {
 ///
 /// # Panics
 ///
-/// Panics if `fetch` or `mix` is not a known name, or if the just-written
-/// checkpoint fails to restore (a bug, not an input error).
+/// Panics if `fetch` is not a known policy, `mix` does not resolve, or
+/// the just-written checkpoint fails to restore (a bug, not an input
+/// error).
 pub fn bench_checkpoint(fetch: &str, mix: &str, cycles: u64, runs: usize) -> CheckpointBench {
-    let benchmarks = smt_experiments::study::mix_by_name(mix)
-        .unwrap_or_else(|| panic!("unknown benchmark mix '{mix}'"));
+    let images = smt_experiments::study::resolve_mix(mix, 42)
+        .unwrap_or_else(|e| panic!("cannot resolve mix '{mix}': {e}"));
     let mk_cfg = || {
         let policy = smt_core::fetch_policy_by_name(fetch)
             .unwrap_or_else(|| panic!("unknown fetch policy '{fetch}'"));
-        SimConfig::new()
-            .with_benchmarks(benchmarks.clone(), 42)
+        images
+            .apply(SimConfig::new())
+            .with_seed(42)
             .with_fetch(policy)
     };
     let mut sim = mk_cfg().build();
@@ -412,22 +454,17 @@ pub fn bench_fleet(cells: usize, cycles: u64, jobs: usize) -> FleetBench {
             keys.push((mix, seed));
         }
     }
-    // (program images, warmed checkpoint) per key.
-    type WarmKey = (Vec<Arc<smt_workload::Program>>, Arc<Vec<u8>>);
+    // (workload images, warmed checkpoint) per key.
+    type WarmKey = (smt_experiments::study::MixImages, Arc<Vec<u8>>);
     let warmed: Vec<WarmKey> = keys
         .iter()
         .map(|&(mix, seed)| {
-            let programs: Vec<Arc<smt_workload::Program>> =
-                smt_experiments::study::mix_by_name(mix)
-                    .unwrap_or_else(|| panic!("unknown benchmark mix '{mix}'"))
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, b)| Arc::new(b.generate(seed, slot as u32)))
-                    .collect();
+            let images = smt_experiments::study::resolve_mix(mix, seed)
+                .unwrap_or_else(|e| panic!("cannot resolve mix '{mix}': {e}"));
             let (ckpt, _) = smt_experiments::warmup::warm_checkpoint(
-                &programs, mix, seed, partition, warmup, None,
+                &images, mix, seed, partition, warmup, None,
             );
-            (programs, ckpt)
+            (images, ckpt)
         })
         .collect();
 
@@ -438,8 +475,8 @@ pub fn bench_fleet(cells: usize, cycles: u64, jobs: usize) -> FleetBench {
             .iter()
             .position(|&k| k == (mix, seed))
             .expect("key collected");
-        let (programs, ckpt) = &warmed[key];
-        let cfg = smt_experiments::warmup::canonical_config(programs.clone(), seed, partition)
+        let (images, ckpt) = &warmed[key];
+        let cfg = smt_experiments::warmup::canonical_config_for(images, seed, partition)
             .with_fetch(smt_core::fetch_policy_by_name(fetch).expect("shipped policy"));
         fleet.push(smt_core::FleetCell::forked(cfg, ckpt.clone(), cycles));
     }
@@ -717,14 +754,16 @@ pub fn run_reference(cycles: u64) -> BenchResult {
 ///
 /// # Panics
 ///
-/// Panics if `fetch` or `mix` is not a known name.
+/// Panics if `fetch` is not a known policy or `mix` does not resolve
+/// (unknown name, bad custom-mix syntax, unreadable workload file).
 pub fn run_configured(fetch: &str, mix: &str, cycles: u64) -> BenchResult {
-    let benchmarks = smt_experiments::study::mix_by_name(mix)
-        .unwrap_or_else(|| panic!("unknown benchmark mix '{mix}'"));
+    let images = smt_experiments::study::resolve_mix(mix, 42)
+        .unwrap_or_else(|e| panic!("cannot resolve mix '{mix}': {e}"));
     let policy = smt_core::fetch_policy_by_name(fetch)
         .unwrap_or_else(|| panic!("unknown fetch policy '{fetch}'"));
-    let mut sim = SimConfig::new()
-        .with_benchmarks(benchmarks, 42)
+    let mut sim = images
+        .apply(SimConfig::new())
+        .with_seed(42)
         .with_fetch(policy)
         .build();
     let start = Instant::now();
@@ -875,6 +914,36 @@ mod tests {
                 assert!(r.best.committed > 0, "{} made no progress", r.name);
             }
         }
+    }
+
+    #[test]
+    fn riscv_reference_measures_real_binaries() {
+        // The real-binary reference: measured from a custom `riscv:` mix
+        // string, reported under its short canonical label.
+        let spec = riscv_reference_spec();
+        let r = ReferenceResult::measure_labeled("icount", &spec, RISCV_REFERENCE_MIX, 400, 1);
+        assert_eq!(r.name, "ICOUNT/riscv3");
+        assert!(r.best.committed > 0, "real binaries made no progress");
+
+        // Guard semantics: the committed (pre-backend) baseline carries no
+        // riscv3 entry, so the like-for-like guard has nothing to compare
+        // it against and skips it — while a current document does carry it
+        // for future baselines to pin.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let (path, _) = find_latest_baseline(&root).expect("committed BENCH_*.json present");
+        let baseline = std::fs::read_to_string(&path).unwrap();
+        let base_rates = baseline_reference_rates(&baseline).expect("baseline parses");
+        assert!(
+            base_rates.iter().all(|(n, _)| !n.ends_with("/riscv3")),
+            "committed baseline unexpectedly already guards the riscv reference"
+        );
+        let doc = bench_to_json(std::slice::from_ref(&r)).render_pretty();
+        let rates = baseline_reference_rates(&doc).unwrap();
+        assert!(rates
+            .iter()
+            .any(|(n, v)| n == "ICOUNT/riscv3" && (v - r.best.ips()).abs() < 1e-9));
     }
 
     #[test]

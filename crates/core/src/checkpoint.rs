@@ -176,9 +176,40 @@ pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
         };
         // Workload identity: explicit program images when supplied,
         // benchmark names otherwise (images are regenerated from the
-        // benchmark + seed at build time, so the name pins them).
+        // benchmark + seed at build time, so the name pins them). The
+        // mixed `workloads` list gets its own kind-tagged encoding; it is
+        // empty for every synthetic-only configuration, so those
+        // fingerprints are byte-identical to what they were before the
+        // pluggable-backend refactor.
         w.len(cfg.threads())?;
-        if cfg.programs.is_empty() {
+        if !cfg.workloads.is_empty() {
+            for spec in &cfg.workloads {
+                match spec {
+                    crate::WorkloadSpec::Benchmark(b) => {
+                        w.u8(0)?;
+                        write_str(&mut w, b.name())?;
+                    }
+                    crate::WorkloadSpec::Program(p) => {
+                        w.u8(1)?;
+                        write_str(&mut w, p.name())?;
+                        w.u64(p.entry())?;
+                        w.len(p.len())?;
+                        w.len(p.branch_count())?;
+                        w.len(p.mem_count())?;
+                    }
+                    crate::WorkloadSpec::Elf(img) => {
+                        w.u8(2)?;
+                        write_str(&mut w, img.name())?;
+                        w.u64(img.fingerprint())?;
+                    }
+                    crate::WorkloadSpec::Trace(t) => {
+                        w.u8(3)?;
+                        write_str(&mut w, t.name())?;
+                        w.u64(t.fingerprint())?;
+                    }
+                }
+            }
+        } else if cfg.programs.is_empty() {
             for b in &cfg.benchmarks {
                 write_str(&mut w, b.name())?;
             }

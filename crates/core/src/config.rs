@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use smt_branch::PredictorConfig;
 use smt_mem::MemConfig;
-use smt_workload::{standard_mix, Benchmark, Program};
+use smt_workload::{standard_mix, Benchmark, Program, RiscvImage, TraceImage};
 
 use crate::ablation::{Ablation, Ablations};
 use crate::pipeline::Simulator;
@@ -19,6 +19,49 @@ use crate::policy::{FetchPartition, FetchPolicy, ICount, IssuePolicy, OldestFirs
 
 /// Maximum number of hardware contexts supported.
 pub const MAX_THREADS: usize = 32;
+
+/// One hardware context's instruction source: which workload backend the
+/// thread runs. The variants mirror the `smt-workload` backends — the
+/// synthetic generator (by benchmark profile or pre-generated image), a
+/// functionally executed RISC-V binary, or a recorded trace replayed
+/// allocation-free.
+#[derive(Clone)]
+pub enum WorkloadSpec {
+    /// Synthetic program generated from the benchmark profile and the
+    /// configuration seed (same behaviour as [`SimConfig::benchmarks`]).
+    Benchmark(Benchmark),
+    /// A pre-generated synthetic program image (same behaviour as
+    /// [`SimConfig::programs`]).
+    Program(Arc<Program>),
+    /// A loaded rv32i/rv64i binary, decoded and functionally executed.
+    Elf(Arc<RiscvImage>),
+    /// A recorded instruction trace, replayed without execution.
+    Trace(Arc<TraceImage>),
+}
+
+impl WorkloadSpec {
+    /// The thread label this workload produces in reports.
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadSpec::Benchmark(b) => b.name(),
+            WorkloadSpec::Program(p) => p.name(),
+            WorkloadSpec::Elf(img) => img.name(),
+            WorkloadSpec::Trace(t) => t.name(),
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            WorkloadSpec::Benchmark(_) => "benchmark",
+            WorkloadSpec::Program(_) => "program",
+            WorkloadSpec::Elf(_) => "elf",
+            WorkloadSpec::Trace(_) => "trace",
+        };
+        write!(f, "{kind}:{}", self.name())
+    }
+}
 
 /// Complete description of one simulation: machine plus workload.
 ///
@@ -34,6 +77,13 @@ pub struct SimConfig {
     /// overrides `benchmarks` entirely; thread labels in reports come from
     /// [`Program::name`].
     pub programs: Vec<Arc<Program>>,
+    /// Per-context workload sources. When non-empty this overrides both
+    /// `benchmarks` and `programs`, and is the only way to mix backends —
+    /// e.g. a real ELF on thread 0 next to synthetic threads. Empty by
+    /// default, which keeps synthetic-only configurations (and their
+    /// checkpoint fingerprints) exactly as they were before this field
+    /// existed.
+    pub workloads: Vec<WorkloadSpec>,
     /// Master seed for program generation and all stochastic behaviour.
     pub seed: u64,
     /// Fetch policy ranking threads each cycle.
@@ -102,6 +152,7 @@ impl SimConfig {
         SimConfig {
             benchmarks: standard_mix(),
             programs: Vec::new(),
+            workloads: Vec::new(),
             seed: 42,
             fetch: Box::new(ICount),
             issue: Box::new(OldestFirst),
@@ -177,6 +228,15 @@ impl SimConfig {
         self
     }
 
+    /// Supplies per-context workload sources directly (one per context),
+    /// overriding both `benchmarks` and `programs`. This is the mixing
+    /// interface: any combination of synthetic, ELF-backed and
+    /// trace-replay threads.
+    pub fn with_workloads(mut self, workloads: Vec<WorkloadSpec>) -> SimConfig {
+        self.workloads = workloads;
+        self
+    }
+
     /// Replaces the master seed (oracle stochasticity, and program
     /// generation when `benchmarks` is used).
     pub fn with_seed(mut self, seed: u64) -> SimConfig {
@@ -198,7 +258,9 @@ impl SimConfig {
 
     /// Number of hardware contexts this configuration describes.
     pub fn threads(&self) -> usize {
-        if self.programs.is_empty() {
+        if !self.workloads.is_empty() {
+            self.workloads.len()
+        } else if self.programs.is_empty() {
             self.benchmarks.len()
         } else {
             self.programs.len()
@@ -239,6 +301,7 @@ impl std::fmt::Debug for SimConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimConfig")
             .field("benchmarks", &self.benchmarks)
+            .field("workloads", &self.workloads)
             .field("seed", &self.seed)
             .field("fetch", &self.fetch.name())
             .field("issue", &self.issue.name())

@@ -94,7 +94,7 @@ mod report;
 
 pub use ablation::{Ablation, Ablations};
 pub use checkpoint::CheckpointError;
-pub use config::{SimConfig, MAX_THREADS};
+pub use config::{SimConfig, WorkloadSpec, MAX_THREADS};
 pub use fleet::{FleetCell, SimFleet};
 pub use pipeline::Simulator;
 pub use policy::{

@@ -31,7 +31,11 @@ impl Simulator {
     /// is bit-equivalent to this one: running both produces byte-identical
     /// reports.
     pub fn save_checkpoint<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
-        let mut w = BinWriter::new(out);
+        // The stream is coerced to `&mut dyn Write` up front so the
+        // object-safe `WorkloadSource::save_state` hook can write each
+        // thread's section through the same writer — one running checksum
+        // covers the whole stream, and the byte layout is unchanged.
+        let mut w = BinWriter::new(out as &mut dyn Write);
         w.bytes(&MAGIC)?;
         w.u32(FORMAT_VERSION)?;
         w.u64(config_fingerprint(&self.cfg))?;
@@ -103,7 +107,7 @@ impl Simulator {
             w.u64(t.committed)?;
             w.u64(t.committed_base)?;
             t.map.save_state(&mut w)?;
-            t.oracle.save_state(&mut w)?;
+            t.source.save_state(&mut w)?;
         }
 
         // Sections 3 and 4: the memory hierarchy and branch predictor
@@ -140,7 +144,10 @@ impl Simulator {
         cfg: SimConfig,
         input: &mut R,
     ) -> Result<Simulator, CheckpointError> {
-        let mut r = BinReader::new(input);
+        // Mirrors the save side: the stream is read as `&mut dyn Read` so
+        // each thread's `WorkloadSource::restore_state` hook can consume
+        // its section through the shared reader/checksum.
+        let mut r = BinReader::new(input as &mut dyn Read);
         let mut magic = [0u8; 8];
         r.bytes(&mut magic)?;
         if magic != MAGIC {
@@ -164,7 +171,7 @@ impl Simulator {
         sim.next_seq = r.u64()?;
         sim.insts = InstSlab::restore_state(&mut r)?;
         let slab_len = sim.insts.hot.len();
-        let read_iref = |r: &mut BinReader<&mut R>| -> std::io::Result<InstRef> {
+        let read_iref = |r: &mut BinReader<&mut dyn Read>| -> std::io::Result<InstRef> {
             let i = r.u32()?;
             if (i as usize) < slab_len {
                 Ok(InstRef::from_raw(i))
@@ -172,7 +179,7 @@ impl Simulator {
                 Err(invalid(format!("instruction handle {i} outside the slab")))
             }
         };
-        let read_genref = |r: &mut BinReader<&mut R>| -> std::io::Result<GenRef> {
+        let read_genref = |r: &mut BinReader<&mut dyn Read>| -> std::io::Result<GenRef> {
             let slot = r.u32()?;
             // NULL placeholders carry slot 0 even in an empty slab.
             if slot as usize >= slab_len.max(1) {
@@ -266,7 +273,7 @@ impl Simulator {
             t.committed = r.u64()?;
             t.committed_base = r.u64()?;
             t.map.restore_state(&mut r, [phys, phys])?;
-            t.oracle.restore_state(&mut r)?;
+            t.source.restore_state(&mut r)?;
         }
 
         // Sections 3 and 4.

@@ -12,7 +12,7 @@
 
 use smt_isa::{Addr, Opcode, Outcome, StaticInst, INST_BYTES};
 use smt_mem::AccessResult;
-use smt_workload::{Program, WrongPath};
+use smt_workload::WorkloadSource;
 
 use crate::ablation::Ablation;
 use crate::policy::{FetchPartition, ThreadFetchView};
@@ -263,10 +263,10 @@ impl Simulator {
             // ---- fetch one instruction at `pc` -----------------------
             let wrong_path = t.wrong_path;
             let (inst, outcome) = if wrong_path {
-                (WrongPath::inst_at(&t.program, pc), None)
+                (t.source.wrong_inst_at(pc), None)
             } else {
-                debug_assert_eq!(t.oracle.pc(), pc, "fetch left the oracle's path");
-                let (inst, outcome) = t.oracle.step();
+                debug_assert_eq!(t.source.pc(), pc, "fetch left the source's path");
+                let (inst, outcome) = t.source.step();
                 (inst, Some(outcome))
             };
 
@@ -276,7 +276,7 @@ impl Simulator {
                     Some(o) => o.mem_addr,
                     None => {
                         t.wp_salt = t.wp_salt.wrapping_add(1);
-                        WrongPath::mem_addr(&t.program, pc, t.wp_salt ^ cycle)
+                        t.source.wrong_mem_addr(pc, t.wp_salt ^ cycle)
                     }
                 };
             }
@@ -303,7 +303,7 @@ impl Simulator {
                 match outcome {
                     Some(actual) => {
                         let (goes_wrong, nf, ends, misses) =
-                            classify_prediction(&p, &actual, inst.op, pc, &t.program, inst);
+                            classify_prediction(&p, &actual, inst.op, pc, t.source.as_ref(), inst);
                         mispredict = goes_wrong;
                         next_fetch = nf;
                         end_block = ends;
@@ -322,7 +322,7 @@ impl Simulator {
                                 }
                                 None => {
                                     misfetch = true;
-                                    next_fetch = wrong_path_taken_target(&t.program, inst, pc);
+                                    next_fetch = t.source.wrong_taken_target(inst, pc);
                                 }
                             }
                         }
@@ -410,7 +410,7 @@ fn classify_prediction(
     actual: &Outcome,
     op: Opcode,
     pc: Addr,
-    program: &Program,
+    source: &dyn WorkloadSource,
     inst: StaticInst,
 ) -> (bool, Addr, bool, bool) {
     let fallthrough = pc + INST_BYTES;
@@ -422,7 +422,7 @@ fn classify_prediction(
                     Some(tgt) => (true, tgt, true, false),
                     // Misfetch on the wrong path: decode computes the
                     // (wrong-path) taken target.
-                    None => (true, wrong_path_taken_target(program, inst, pc), true, true),
+                    None => (true, source.wrong_taken_target(inst, pc), true, true),
                 }
             } else {
                 (true, fallthrough, false, false)
@@ -445,21 +445,5 @@ fn classify_prediction(
             Some(tgt) => (true, tgt, true, false),
             None => (false, actual.next_pc, true, true),
         }
-    }
-}
-
-/// The statically-known taken target used when decode must compute a target
-/// on the wrong path (no architectural outcome exists to consult).
-fn wrong_path_taken_target(program: &Program, inst: StaticInst, pc: Addr) -> Addr {
-    if inst.op.is_control() && inst.op != Opcode::Return && inst.meta != smt_isa::NO_META {
-        let model = program.branch_model(inst.meta);
-        if let Some(&t) = model.targets.first() {
-            if inst.op == Opcode::JumpInd {
-                return t;
-            }
-        }
-        model.taken_target
-    } else {
-        pc + INST_BYTES
     }
 }

@@ -86,9 +86,9 @@ use smt_branch::BranchPredictor;
 use smt_isa::{Addr, ThreadId};
 use smt_mem::{MemoryHierarchy, ReqId};
 use smt_stats::Ratio;
-use smt_workload::{Program, ThreadContext};
+use smt_workload::{Program, SyntheticSource, WorkloadSource};
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, WorkloadSpec};
 use crate::regfile::{PhysRegFile, RenameMap};
 use crate::report::{FetchBreakdown, IssueBreakdown, SimReport, ThreadReport};
 
@@ -207,8 +207,11 @@ struct Thread {
     /// window since then).
     committed_base: u64,
     map: RenameMap,
-    oracle: ThreadContext,
-    program: Arc<Program>,
+    /// The thread's instruction source: correct-path stream, wrong-path
+    /// synthesis and checkpoint hooks, behind the pluggable
+    /// [`WorkloadSource`] trait (synthetic oracle, RISC-V execution or
+    /// trace replay — fetch never names a concrete backend).
+    source: Box<dyn WorkloadSource>,
 }
 
 impl Thread {
@@ -395,14 +398,41 @@ impl Simulator {
     /// Builds the machine described by `cfg`. Prefer [`SimConfig::build`].
     pub(crate) fn new(cfg: SimConfig) -> Simulator {
         let threads = cfg.threads();
-        let programs: Vec<Arc<Program>> = if cfg.programs.is_empty() {
+        // Resolve each context's workload into a boxed source. The
+        // explicit `workloads` list wins (it is the only way to mix
+        // backends); otherwise the legacy synthetic paths apply.
+        let synthetic = |program: Arc<Program>, i: usize| -> Box<dyn WorkloadSource> {
+            Box::new(SyntheticSource::new(
+                program,
+                cfg.seed ^ (i as u64).wrapping_mul(0x9e37),
+            ))
+        };
+        let sources: Vec<Box<dyn WorkloadSource>> = if !cfg.workloads.is_empty() {
+            cfg.workloads
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| match spec {
+                    WorkloadSpec::Benchmark(b) => {
+                        synthetic(Arc::new(b.generate(cfg.seed, i as u32)), i)
+                    }
+                    WorkloadSpec::Program(p) => synthetic(p.clone(), i),
+                    WorkloadSpec::Elf(img) => Box::new(smt_workload::RiscvSource::new(img.clone()))
+                        as Box<dyn WorkloadSource>,
+                    WorkloadSpec::Trace(t) => Box::new(smt_workload::TraceSource::new(t.clone())),
+                })
+                .collect()
+        } else if cfg.programs.is_empty() {
             cfg.benchmarks
                 .iter()
                 .enumerate()
-                .map(|(i, b)| Arc::new(b.generate(cfg.seed, i as u32)))
+                .map(|(i, b)| synthetic(Arc::new(b.generate(cfg.seed, i as u32)), i))
                 .collect()
         } else {
-            cfg.programs.clone()
+            cfg.programs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| synthetic(p.clone(), i))
+                .collect()
         };
         let phys = smt_isa::LOGICAL_REGS * threads + cfg.extra_phys_regs;
         let mut regs = [PhysRegFile::new(phys), PhysRegFile::new(phys)];
@@ -424,11 +454,11 @@ impl Simulator {
         } else {
             (cfg.frontend_depth, cfg.iq_entries)
         };
-        let thread_state: Vec<Thread> = programs
-            .iter()
+        let thread_state: Vec<Thread> = sources
+            .into_iter()
             .enumerate()
-            .map(|(i, program)| Thread {
-                fetch_pc: program.entry(),
+            .map(|(i, source)| Thread {
+                fetch_pc: source.pc(),
                 stall_until: 0,
                 icache_req: None,
                 in_flight: 0,
@@ -442,17 +472,21 @@ impl Simulator {
                 committed: 0,
                 committed_base: 0,
                 map: RenameMap::new(&mut regs),
-                oracle: ThreadContext::new(
-                    program.clone(),
-                    cfg.seed ^ (i as u64).wrapping_mul(0x9e37),
-                ),
-                program: program.clone(),
+                source,
             })
             .collect();
         // Generous initial slab capacity: a bounded machine's in-flight
         // population stays well under this, so the steady state never
         // grows the slab (the allocation guard in `smt-bench` pins it).
         let slab_capacity = 64 * thread_state.len().max(8);
+        // Spilled wakeup entries are bounded by two source registrations
+        // per in-flight instruction; reserving that bound up front keeps
+        // the cycle path allocation-free even on workloads whose
+        // dependence chains overflow the inline waiter slots (the
+        // trace-replay allocation guard pins this).
+        for f in &mut regs {
+            f.reserve_waiters(2 * slab_capacity);
+        }
         Simulator {
             cfg,
             frontend_limit,
@@ -625,7 +659,7 @@ impl Simulator {
                     let committed = t.committed - t.committed_base;
                     ThreadReport {
                         thread: i,
-                        benchmark: t.program.name().to_string(),
+                        benchmark: t.source.name().to_string(),
                         committed,
                         ipc: if window == 0 {
                             0.0
@@ -685,7 +719,7 @@ mod tests {
                 .filter(|r| !sim.insts.hot[r.index()].wrong_path())
                 .count() as u64;
             assert_eq!(
-                t.oracle.executed(),
+                t.source.executed(),
                 report.threads[ti].committed + in_flight_correct,
                 "oracle/commit divergence on thread {ti}"
             );

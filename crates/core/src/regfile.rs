@@ -88,6 +88,17 @@ impl PhysRegFile {
         self.free.len()
     }
 
+    /// Preallocates the spill list for `n` waiter registrations. The
+    /// pipeline reserves its hard bound (two source operands per
+    /// in-flight instruction, so `2 × slab capacity`) once at
+    /// construction, making the steady-state cycle path allocation-free
+    /// even when dependence chains overflow the inline slots; checkpoint
+    /// restore only `clear()`s the vector, so forked machines keep the
+    /// capacity.
+    pub(crate) fn reserve_waiters(&mut self, n: usize) {
+        self.spill.reserve(n);
+    }
+
     /// Allocates a not-ready register, or `None` when the file is exhausted.
     pub(crate) fn alloc(&mut self) -> Option<u16> {
         let p = self.free.pop()?;

@@ -32,7 +32,7 @@ use smt_core::{fetch_policy_by_name, Ablation, Ablations, FetchPartition, SimCon
 use smt_stats::json::Json;
 use smt_stats::TextTable;
 
-use crate::study::{mix_by_name, JSON_SCHEMA_VERSION, STUDY_MIXES};
+use crate::study::{validate_mix, JSON_SCHEMA_VERSION};
 
 /// The paper's claim the wrong-path exemption quantifies: wrong-path
 /// instruction fetching costs on the order of 2% of throughput.
@@ -78,7 +78,8 @@ pub struct AblationStudyConfig {
     pub ablations: Vec<String>,
     /// Fetch partitions to sweep.
     pub partitions: Vec<FetchPartition>,
-    /// Workload mixes by name (see [`mix_by_name`]).
+    /// Workload mixes: named mixes or custom `riscv:` / `trace:` lists
+    /// (see [`validate_mix`]).
     pub mixes: Vec<String>,
     /// Workload-generation seeds; every cell runs once per seed.
     pub seeds: Vec<u64>,
@@ -148,12 +149,7 @@ impl AblationStudyConfig {
             }
         }
         for m in &self.mixes {
-            if mix_by_name(m).is_none() {
-                return Err(format!(
-                    "unknown mix '{m}' (known: {})",
-                    STUDY_MIXES.join(", ")
-                ));
-            }
+            validate_mix(m)?;
         }
         if self.fetch_policies.is_empty()
             || self.ablations.is_empty()
@@ -244,7 +240,7 @@ pub struct AblationStudy {
 pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, String> {
     cfg.validate()?;
 
-    let images = crate::study::generate_images(&cfg.mixes, &cfg.seeds);
+    let images = crate::study::generate_images(&cfg.mixes, &cfg.seeds)?;
 
     struct Spec<'a> {
         ablation: Option<Ablation>,
@@ -291,14 +287,14 @@ pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, St
     // sweeps, via the `--checkpoint-dir` cache. Cold cells never warm.
     let outcomes = crate::parallel_map(specs.len(), cfg.jobs, |i| {
         let spec = &specs[i];
-        let programs = images[&(spec.mix.to_string(), spec.seed)].clone();
+        let mix_images = &images[&(spec.mix.to_string(), spec.seed)];
         let ablations = match spec.ablation {
             Some(a) => Ablations::only(a),
             None => Ablations::none(),
         };
         let build = || {
-            SimConfig::new()
-                .with_programs(programs.clone())
+            mix_images
+                .apply(SimConfig::new())
                 .with_seed(spec.seed)
                 .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
                 .with_partition(spec.partition)
@@ -310,7 +306,7 @@ pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, St
                 let (checkpoint, computed) = if cfg.share_warmup {
                     let stem = format!(
                         "warm-{}-s{}-p{}.{}-f{}-a{}",
-                        spec.mix,
+                        crate::warmup::sanitize_stem(spec.mix),
                         spec.seed,
                         spec.partition.threads_per_cycle,
                         spec.partition.insts_per_thread,

@@ -15,10 +15,13 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use smt_core::{fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport};
+use smt_core::{
+    fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport, WorkloadSpec,
+    MAX_THREADS,
+};
 use smt_stats::json::Json;
 use smt_stats::TextTable;
-use smt_workload::{standard_mix, Benchmark, Program};
+use smt_workload::{standard_mix, Benchmark, Program, RiscvImage, TraceImage};
 
 /// Version of the JSON documents emitted by [`Study::to_json`],
 /// [`crate::ablation::AblationStudy::to_json`] and `smt_exp --json`. Bump
@@ -55,27 +58,169 @@ pub fn mix_by_name(name: &str) -> Option<Vec<Benchmark>> {
 /// The named mixes [`mix_by_name`] knows, for CLI validation and help text.
 pub const STUDY_MIXES: [&str; 4] = ["standard", "int8", "fp8", "mixed4"];
 
-/// Program images for a sweep, generated once per (mix, seed) and shared
-/// (`Arc`-cloned) between every cell that uses the pair. Mix names must be
-/// pre-validated ([`mix_by_name`]). Shared by the study runners.
+/// One entry of a custom `+`-separated mix string (see [`parse_custom_mix`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixEntry {
+    /// A synthetic benchmark, by canonical name (e.g. `espresso`).
+    Bench(Benchmark),
+    /// `riscv:PATH` — a RISC-V binary, functionally executed.
+    Elf(PathBuf),
+    /// `trace:PATH` — a recorded `SMT1TRCE` trace, replayed.
+    Trace(PathBuf),
+}
+
+/// Whether `mix` is a custom workload list (to be parsed by
+/// [`parse_custom_mix`]) rather than one of the [`STUDY_MIXES`] names.
+pub fn is_custom_mix(mix: &str) -> bool {
+    mix.contains(':') || mix.contains('+')
+}
+
+/// Parses a custom mix string: one workload per hardware context,
+/// `+`-separated, each entry `riscv:PATH` (a RISC-V binary to execute),
+/// `trace:PATH` (a recorded trace to replay) or a synthetic benchmark
+/// name. `riscv:loops.elf+trace:memsum.trace+espresso` is a three-thread
+/// mix. Paths are not touched here — existence is checked when the sweep
+/// loads its images.
+///
+/// # Errors
+///
+/// Returns a usage-style message for an empty entry, an unknown entry
+/// kind or benchmark name, or more entries than hardware contexts.
+pub fn parse_custom_mix(mix: &str) -> Result<Vec<MixEntry>, String> {
+    let mut entries = Vec::new();
+    for entry in mix.split('+') {
+        let entry = entry.trim();
+        let parsed = match entry.split_once(':') {
+            Some(("riscv", path)) if !path.is_empty() => MixEntry::Elf(PathBuf::from(path)),
+            Some(("trace", path)) if !path.is_empty() => MixEntry::Trace(PathBuf::from(path)),
+            Some((kind, _)) => {
+                return Err(format!(
+                    "unknown workload kind '{kind}:' in mix entry '{entry}' \
+                     (known: riscv:PATH, trace:PATH)"
+                ))
+            }
+            None => match Benchmark::ALL.iter().find(|b| b.name() == entry) {
+                Some(&b) => MixEntry::Bench(b),
+                None => {
+                    return Err(format!(
+                        "unknown benchmark '{entry}' in custom mix \
+                         (entries are riscv:PATH, trace:PATH or a benchmark name)"
+                    ))
+                }
+            },
+        };
+        entries.push(parsed);
+    }
+    if entries.is_empty() || entries.len() > MAX_THREADS {
+        return Err(format!(
+            "custom mix must name 1..={MAX_THREADS} workloads, got {}",
+            entries.len()
+        ));
+    }
+    Ok(entries)
+}
+
+/// Validates one `--mixes` entry: a [`STUDY_MIXES`] name or a custom
+/// workload list.
+///
+/// # Errors
+///
+/// Returns the [`parse_custom_mix`] message for a bad custom mix, or an
+/// unknown-name message listing the named mixes and the custom syntax.
+pub fn validate_mix(mix: &str) -> Result<(), String> {
+    if is_custom_mix(mix) {
+        parse_custom_mix(mix).map(|_| ())
+    } else if mix_by_name(mix).is_some() {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown mix '{mix}' (known: {}; or a custom riscv:PATH / \
+             trace:PATH / benchmark list joined with '+')",
+            STUDY_MIXES.join(", ")
+        ))
+    }
+}
+
+/// Pre-generated workload images for one (mix, seed) pair, shared
+/// (`Arc`-cloned) between every cell that uses the pair.
+#[derive(Debug, Clone)]
+pub enum MixImages {
+    /// A named synthetic mix as program images — the legacy
+    /// `with_programs` path, byte- and fingerprint-identical to every
+    /// sweep that predates custom mixes.
+    Programs(Vec<Arc<Program>>),
+    /// A custom workload list (`riscv:` / `trace:` entries, possibly mixed
+    /// with synthetic benchmarks), run through the `with_workloads` path.
+    Workloads(Vec<WorkloadSpec>),
+}
+
+impl MixImages {
+    /// Installs this workload set on a configuration.
+    pub fn apply(&self, cfg: SimConfig) -> SimConfig {
+        match self {
+            MixImages::Programs(p) => cfg.with_programs(p.clone()),
+            MixImages::Workloads(w) => cfg.with_workloads(w.clone()),
+        }
+    }
+
+    /// Hardware contexts this mix occupies.
+    pub fn thread_count(&self) -> usize {
+        match self {
+            MixImages::Programs(p) => p.len(),
+            MixImages::Workloads(w) => w.len(),
+        }
+    }
+}
+
+/// Resolves one mix string for one seed: named mixes generate their
+/// synthetic program images, custom mixes load each `riscv:` / `trace:`
+/// file (and generate any synthetic entries). Benchmark entries are
+/// pre-generated here — once per (mix, seed) — so cells share images
+/// instead of regenerating them.
+///
+/// # Errors
+///
+/// Returns the mix-syntax error or the loader's message for an unreadable
+/// or malformed workload file.
+pub fn resolve_mix(mix: &str, seed: u64) -> Result<MixImages, String> {
+    if !is_custom_mix(mix) {
+        let benchmarks = mix_by_name(mix).ok_or_else(|| format!("unknown mix '{mix}'"))?;
+        return Ok(MixImages::Programs(
+            benchmarks
+                .iter()
+                .enumerate()
+                .map(|(slot, b)| Arc::new(b.generate(seed, slot as u32)))
+                .collect(),
+        ));
+    }
+    let mut workloads = Vec::new();
+    for (slot, entry) in parse_custom_mix(mix)?.into_iter().enumerate() {
+        workloads.push(match entry {
+            MixEntry::Bench(b) => WorkloadSpec::Program(Arc::new(b.generate(seed, slot as u32))),
+            MixEntry::Elf(path) => WorkloadSpec::Elf(Arc::new(RiscvImage::load(&path)?)),
+            MixEntry::Trace(path) => WorkloadSpec::Trace(Arc::new(TraceImage::load(&path)?)),
+        });
+    }
+    Ok(MixImages::Workloads(workloads))
+}
+
+/// Workload images for a sweep, resolved once per (mix, seed) and shared
+/// between every cell that uses the pair. Mix names must be pre-validated
+/// ([`validate_mix`]); file loads can still fail here.
 pub(crate) fn generate_images(
     mixes: &[String],
     seeds: &[u64],
-) -> HashMap<(String, u64), Vec<Arc<Program>>> {
-    let mut images: HashMap<(String, u64), Vec<Arc<Program>>> = HashMap::new();
+) -> Result<HashMap<(String, u64), MixImages>, String> {
+    let mut images: HashMap<(String, u64), MixImages> = HashMap::new();
     for mix in mixes {
-        let benchmarks = mix_by_name(mix).expect("mix names validated before generation");
         for &seed in seeds {
-            images.entry((mix.clone(), seed)).or_insert_with(|| {
-                benchmarks
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, b)| Arc::new(b.generate(seed, slot as u32)))
-                    .collect()
-            });
+            if let std::collections::hash_map::Entry::Vacant(e) = images.entry((mix.clone(), seed))
+            {
+                e.insert(resolve_mix(mix, seed)?);
+            }
         }
     }
-    images
+    Ok(images)
 }
 
 /// Configuration of one study sweep.
@@ -87,7 +232,8 @@ pub struct StudyConfig {
     pub issue_policies: Vec<String>,
     /// Fetch partitions to sweep.
     pub partitions: Vec<FetchPartition>,
-    /// Workload mixes by name (see [`mix_by_name`]).
+    /// Workload mixes: [`STUDY_MIXES`] names or custom `riscv:` /
+    /// `trace:` lists (see [`validate_mix`]).
     pub mixes: Vec<String>,
     /// Workload-generation seeds; every cell runs once per seed.
     pub seeds: Vec<u64>,
@@ -156,12 +302,7 @@ impl StudyConfig {
             }
         }
         for m in &self.mixes {
-            if mix_by_name(m).is_none() {
-                return Err(format!(
-                    "unknown mix '{m}' (known: {})",
-                    STUDY_MIXES.join(", ")
-                ));
-            }
+            validate_mix(m)?;
         }
         if self.fetch_policies.is_empty()
             || self.issue_policies.is_empty()
@@ -231,7 +372,7 @@ pub struct Study {
 pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
     cfg.validate()?;
 
-    let images = generate_images(&cfg.mixes, &cfg.seeds);
+    let images = generate_images(&cfg.mixes, &cfg.seeds)?;
 
     // The work list: one spec per cell, in deterministic order.
     struct Spec<'a> {
@@ -297,18 +438,18 @@ pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
 
     let cells = crate::parallel_map(specs.len(), cfg.jobs, |i| {
         let spec = &specs[i];
-        let programs = images[&(spec.mix.to_string(), spec.seed)].clone();
+        let mix_images = &images[&(spec.mix.to_string(), spec.seed)];
         let checkpoint = match &shared {
             Some(map) => map[&(spec.mix.to_string(), spec.seed, spec.partition)].clone(),
             None => Arc::new(crate::warmup::compute_checkpoint(
-                programs.clone(),
+                mix_images,
                 spec.seed,
                 spec.partition,
                 cfg.warmup,
             )),
         };
-        let cell_cfg = SimConfig::new()
-            .with_programs(programs)
+        let cell_cfg = mix_images
+            .apply(SimConfig::new())
             .with_seed(spec.seed)
             .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
             .with_issue(issue_policy_by_name(spec.issue).expect("validated"))
@@ -605,6 +746,97 @@ mod tests {
             assert!(!mix.is_empty(), "{name} is empty");
         }
         assert!(mix_by_name("nope").is_none());
+    }
+
+    fn elf_path(stem: &str) -> String {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../testdata/riscv")
+            .join(format!("{stem}.elf"))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn custom_mixes_parse_validate_and_resolve() {
+        assert!(is_custom_mix("riscv:a.elf"));
+        assert!(is_custom_mix("espresso+tomcatv"));
+        assert!(!is_custom_mix("standard"));
+
+        let entries = parse_custom_mix("riscv:a.elf+trace:b.trace+espresso").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(matches!(entries[0], MixEntry::Elf(_)));
+        assert!(matches!(entries[1], MixEntry::Trace(_)));
+        assert!(matches!(entries[2], MixEntry::Bench(Benchmark::Espresso)));
+
+        assert!(parse_custom_mix("bogus:a")
+            .unwrap_err()
+            .contains("unknown workload kind"));
+        assert!(parse_custom_mix("riscv:").is_err());
+        assert!(parse_custom_mix("nonesuch+espresso")
+            .unwrap_err()
+            .contains("unknown benchmark"));
+
+        validate_mix("standard").unwrap();
+        assert!(validate_mix("nonesuch").is_err());
+        validate_mix("espresso+espresso").unwrap();
+
+        // Loader errors surface at resolve time, with the path named.
+        assert!(resolve_mix("riscv:/no/such/file.elf", 42).is_err());
+        let resolved = resolve_mix(&format!("riscv:{}+espresso", elf_path("loops")), 42).unwrap();
+        assert_eq!(resolved.thread_count(), 2);
+        assert!(matches!(resolved, MixImages::Workloads(_)));
+    }
+
+    #[test]
+    fn riscv_mix_study_reports_icount_vs_rr_frontend_losses() {
+        // The acceptance measurement for the real-binary workload path:
+        // ICOUNT vs RR on the checked-in ELFs, with every cell's measured
+        // lost_frontend_full present in the study JSON.
+        let mix = format!(
+            "riscv:{}+riscv:{}+riscv:{}",
+            elf_path("loops"),
+            elf_path("memsum"),
+            elf_path("gcd")
+        );
+        let cfg = StudyConfig {
+            fetch_policies: vec!["rr".into(), "icount".into()],
+            issue_policies: vec!["oldest".into()],
+            partitions: vec![FetchPartition::new(2, 8)],
+            mixes: vec![mix.clone()],
+            seeds: vec![42],
+            cycles: 1_500,
+            warmup: 500,
+            jobs: 2,
+            ..StudyConfig::default()
+        };
+        let study = run_study(&cfg).unwrap();
+        assert_eq!(study.cells.len(), 2);
+        for c in &study.cells {
+            assert!(c.report.total_committed() > 0, "real workload starved");
+            assert_eq!(c.report.threads[0].benchmark, "loops");
+            assert_eq!(c.mix, mix);
+        }
+        let doc = study.to_json().render_pretty();
+        let back = Json::parse(&doc).unwrap();
+        let mut fetches = Vec::new();
+        for cell in back.get("cells").and_then(Json::as_array).unwrap() {
+            let lost = cell
+                .get("report")
+                .and_then(|r| r.get("fetch"))
+                .and_then(|f| f.get("lost_frontend_full"))
+                .and_then(Json::as_u64);
+            assert!(lost.is_some(), "cell lacks measured lost_frontend_full");
+            fetches.push(
+                cell.get("fetch")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        assert!(fetches.contains(&"RR".to_string()));
+        assert!(fetches.contains(&"ICOUNT".to_string()));
+        // The whole document — warmup forking included — is reproducible.
+        assert_eq!(doc, run_study(&cfg).unwrap().to_json().render_pretty());
     }
 
     #[test]

@@ -43,23 +43,28 @@ use smt_core::{
 };
 use smt_workload::Program;
 
-use crate::study::mix_by_name;
+use crate::study::{resolve_mix, MixImages};
 
-/// The canonical warmup configuration for a (programs, seed, partition)
+/// The canonical warmup configuration for a (workloads, seed, partition)
 /// key: ICOUNT fetch, OLDEST_FIRST issue, no ablations, no auto-warmup.
 /// Every fork axis is pinned here so that a single warmup serves the whole
 /// cross-product — and so that the cold path can reproduce it exactly.
+pub fn canonical_config_for(images: &MixImages, seed: u64, partition: FetchPartition) -> SimConfig {
+    images
+        .apply(SimConfig::new())
+        .with_seed(seed)
+        .with_fetch(fetch_policy_by_name("icount").expect("shipped policy"))
+        .with_issue(issue_policy_by_name("oldest").expect("shipped policy"))
+        .with_partition(partition)
+}
+
+/// [`canonical_config_for`] on a plain synthetic program list.
 pub fn canonical_config(
     programs: Vec<Arc<Program>>,
     seed: u64,
     partition: FetchPartition,
 ) -> SimConfig {
-    SimConfig::new()
-        .with_programs(programs)
-        .with_seed(seed)
-        .with_fetch(fetch_policy_by_name("icount").expect("shipped policy"))
-        .with_issue(issue_policy_by_name("oldest").expect("shipped policy"))
-        .with_partition(partition)
+    canonical_config_for(&MixImages::Programs(programs), seed, partition)
 }
 
 /// Simulates `warmup` cycles under the given configuration and serializes
@@ -79,12 +84,28 @@ pub fn compute_checkpoint_under(cfg: SimConfig, warmup: u64) -> Vec<u8> {
 /// Simulates the canonical warmup for the key and serializes the warmed
 /// machine (see [`compute_checkpoint_under`]).
 pub fn compute_checkpoint(
-    programs: Vec<Arc<Program>>,
+    images: &MixImages,
     seed: u64,
     partition: FetchPartition,
     warmup: u64,
 ) -> Vec<u8> {
-    compute_checkpoint_under(canonical_config(programs, seed, partition), warmup)
+    compute_checkpoint_under(canonical_config_for(images, seed, partition), warmup)
+}
+
+/// A cache-filename-safe rendering of a mix string: custom mixes carry
+/// path separators and `:`, which must not leak into the checkpoint
+/// file name (uniqueness still comes from the config fingerprint in the
+/// name, which covers the workload images themselves).
+pub(crate) fn sanitize_stem(mix: &str) -> String {
+    mix.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// One warmed checkpoint for the key, served from the on-disk cache when
@@ -93,7 +114,7 @@ pub fn compute_checkpoint(
 /// actually simulated — the sharing/caching accounting the sweeps expose
 /// as `warmups_performed`.
 pub fn warm_checkpoint(
-    programs: &[Arc<Program>],
+    images: &MixImages,
     mix: &str,
     seed: u64,
     partition: FetchPartition,
@@ -101,11 +122,13 @@ pub fn warm_checkpoint(
     dir: Option<&Path>,
 ) -> (Arc<Vec<u8>>, bool) {
     let stem = format!(
-        "warm-{mix}-s{seed}-p{}.{}",
-        partition.threads_per_cycle, partition.insts_per_thread
+        "warm-{}-s{seed}-p{}.{}",
+        sanitize_stem(mix),
+        partition.threads_per_cycle,
+        partition.insts_per_thread
     );
     warm_checkpoint_under(
-        || canonical_config(programs.to_vec(), seed, partition),
+        || canonical_config_for(images, seed, partition),
         &stem,
         warmup,
         dir,
@@ -207,7 +230,8 @@ pub fn fork_cell(cfg: SimConfig, checkpoint: &[u8], cycles: u64) -> SimReport {
 /// canonical warmup key plus the file it is written to or read from.
 #[derive(Debug, Clone)]
 pub struct CheckpointCliConfig {
-    /// Workload mix name (see [`mix_by_name`]).
+    /// Workload mix: a named mix or a custom `riscv:` / `trace:` list
+    /// (see [`crate::study::validate_mix`]).
     pub mix: String,
     /// Workload-generation seed.
     pub seed: u64,
@@ -234,13 +258,8 @@ impl Default for CheckpointCliConfig {
     }
 }
 
-fn cli_programs(cfg: &CheckpointCliConfig) -> Result<Vec<Arc<Program>>, String> {
-    let benchmarks = mix_by_name(&cfg.mix).ok_or_else(|| format!("unknown mix '{}'", cfg.mix))?;
-    Ok(benchmarks
-        .iter()
-        .enumerate()
-        .map(|(slot, b)| Arc::new(b.generate(cfg.seed, slot as u32)))
-        .collect())
+fn cli_images(cfg: &CheckpointCliConfig) -> Result<MixImages, String> {
+    resolve_mix(&cfg.mix, cfg.seed)
 }
 
 /// Runs `smt_exp checkpoint-write`: simulates the canonical warmup for the
@@ -251,8 +270,8 @@ fn cli_programs(cfg: &CheckpointCliConfig) -> Result<Vec<Arc<Program>>, String> 
 ///
 /// Returns a message for an unknown mix or an unwritable path.
 pub fn run_checkpoint_write(cfg: &CheckpointCliConfig) -> Result<String, String> {
-    let programs = cli_programs(cfg)?;
-    let bytes = compute_checkpoint(programs, cfg.seed, cfg.partition, cfg.warmup);
+    let images = cli_images(cfg)?;
+    let bytes = compute_checkpoint(&images, cfg.seed, cfg.partition, cfg.warmup);
     std::fs::write(&cfg.path, &bytes).map_err(|e| format!("failed to write {}: {e}", cfg.path))?;
     Ok(format!(
         "wrote {} ({} bytes; {} mix, seed {}, partition {}, {} warmup cycles)",
@@ -277,11 +296,11 @@ pub fn run_checkpoint_write(cfg: &CheckpointCliConfig) -> Result<String, String>
 /// checkpoint, a checkpoint at the wrong cycle, or — the point of the
 /// command — a restored run that diverges from the straight-through run.
 pub fn run_checkpoint_verify(cfg: &CheckpointCliConfig) -> Result<String, String> {
-    let programs = cli_programs(cfg)?;
+    let images = cli_images(cfg)?;
     let bytes =
         std::fs::read(&cfg.path).map_err(|e| format!("failed to read {}: {e}", cfg.path))?;
 
-    let restored_cfg = canonical_config(programs.clone(), cfg.seed, cfg.partition);
+    let restored_cfg = canonical_config_for(&images, cfg.seed, cfg.partition);
     let mut sim = Simulator::restore_checkpoint(restored_cfg, &mut bytes.as_slice())
         .map_err(|e| format!("restore of {} failed: {e}", cfg.path))?;
     if sim.cycle() != cfg.warmup {
@@ -295,7 +314,7 @@ pub fn run_checkpoint_verify(cfg: &CheckpointCliConfig) -> Result<String, String
     sim.reset_stats();
     let restored = sim.run(cfg.cycles).to_json().render();
 
-    let straight = canonical_config(programs, cfg.seed, cfg.partition)
+    let straight = canonical_config_for(&images, cfg.seed, cfg.partition)
         .with_warmup(cfg.warmup)
         .build()
         .run(cfg.cycles)
@@ -324,7 +343,7 @@ mod tests {
     use super::*;
 
     fn programs() -> Vec<Arc<Program>> {
-        mix_by_name("mixed4")
+        crate::study::mix_by_name("mixed4")
             .unwrap()
             .iter()
             .enumerate()
@@ -332,10 +351,14 @@ mod tests {
             .collect()
     }
 
+    fn images() -> MixImages {
+        MixImages::Programs(programs())
+    }
+
     #[test]
     fn fork_matches_straight_through_warmup() {
         let partition = FetchPartition::new(2, 8);
-        let ckpt = compute_checkpoint(programs(), 42, partition, 300);
+        let ckpt = compute_checkpoint(&images(), 42, partition, 300);
         let cell_cfg = canonical_config(programs(), 42, partition);
         let forked = fork_cell(cell_cfg, &ckpt, 400);
         let straight = canonical_config(programs(), 42, partition)
@@ -361,7 +384,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("smt-exp-warm-cache-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let partition = FetchPartition::new(2, 8);
-        let p = programs();
+        let p = images();
 
         let (first, computed) = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
         assert!(computed, "cold cache must compute");
@@ -395,7 +418,7 @@ mod tests {
             std::env::temp_dir().join(format!("smt-exp-corrupt-cache-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let partition = FetchPartition::new(2, 8);
-        let p = programs();
+        let p = images();
         let warmup = 200;
 
         // The cacheless run every fallback must be byte-identical to.
@@ -459,7 +482,7 @@ mod tests {
 
             // The restore path reports the precise typed error …
             let err = match Simulator::restore_checkpoint(
-                canonical_config(p.clone(), 42, partition),
+                canonical_config_for(&p, 42, partition),
                 &mut rotten.as_slice(),
             ) {
                 Ok(_) => panic!("{label}: restore accepted a rotten checkpoint"),

@@ -31,6 +31,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod riscv;
+
 use std::fmt;
 
 /// A virtual (and, in this simulator, also physical) memory address.

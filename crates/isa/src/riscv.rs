@@ -1,0 +1,540 @@
+//! RISC-V (rv32i/rv64i + M) instruction decoding and the mapping onto the
+//! simulator's [`StaticInst`] classes.
+//!
+//! The decoder is deliberately *pure*: [`decode`] turns one 32-bit
+//! instruction word into an [`RvInst`] (operation, registers, immediate)
+//! with no machine state involved, and [`RvInst::static_inst`] maps that
+//! onto the timing-model opcode classes ([`Opcode`]) the pipeline
+//! schedules by. Functional execution (register file, memory, next-PC
+//! resolution) lives in `smt-workload::riscv`, which consumes both.
+//!
+//! Only the 4-byte base encodings are handled — the compressed (C)
+//! extension is not decoded, so images must be built for `rv32i`/`rv64i`
+//! (optionally with M); a 2-byte-aligned compressed word decodes as
+//! [`RvOp::Illegal`]. This matches the checked-in `testdata/riscv/`
+//! programs, which the bundled assembler emits without compression.
+//!
+//! # Class mapping
+//!
+//! | RISC-V | [`Opcode`] |
+//! |---|---|
+//! | `beq`/`bne`/`blt[u]`/`bge[u]` | `CondBranch` |
+//! | `jal` with a link `rd` (`x1`/`x5`) | `Call`, else `Jump` |
+//! | `jalr` with a link `rd` | `Call` |
+//! | `jalr x0, ra/t0` | `Return`, other `jalr` | `JumpInd` |
+//! | loads | `Load`, stores | `Store` |
+//! | `mul[w]` | `IntMul`; `mulh*`/`div*`/`rem*` | `IntMulLong` |
+//! | `ecall`/`ebreak` | `Jump` (modeled as a program restart) |
+//! | everything else | `IntAlu` |
+//!
+//! Register `x0` is hardwired zero, so it maps to *no* operand
+//! ([`None`] — always ready, never written); `x1..x31` map to
+//! [`Reg::int`] of the same index.
+
+use crate::{Opcode, Reg, StaticInst, NO_META};
+
+/// One decoded RISC-V operation (rv32i/rv64i base + M extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the RISC-V mnemonics themselves
+pub enum RvOp {
+    Lui,
+    Auipc,
+    Jal,
+    Jalr,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+    Lwu,
+    Ld,
+    Sb,
+    Sh,
+    Sw,
+    Sd,
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Addiw,
+    Slliw,
+    Srliw,
+    Sraiw,
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+    Fence,
+    Ecall,
+    Ebreak,
+    /// Anything this decoder does not handle (including compressed words).
+    Illegal,
+}
+
+/// One decoded instruction: operation, register numbers and the
+/// sign-extended immediate. Fields not present in the encoding's format
+/// are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RvInst {
+    /// The decoded operation.
+    pub op: RvOp,
+    /// Destination register number (`x0..x31`; 0 means "discard").
+    pub rd: u8,
+    /// First source register number.
+    pub rs1: u8,
+    /// Second source register number.
+    pub rs2: u8,
+    /// Sign-extended immediate (shift amounts are the raw 6-bit field).
+    pub imm: i64,
+}
+
+/// `x1` (`ra`) and `x5` (`t0`), the standard link registers: `jal`/`jalr`
+/// writing one of these is a call, and `jalr x0` through one is a return.
+fn is_link(reg: u8) -> bool {
+    reg == 1 || reg == 5
+}
+
+impl RvInst {
+    /// Whether this operation redirects the PC.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.op,
+            RvOp::Jal
+                | RvOp::Jalr
+                | RvOp::Beq
+                | RvOp::Bne
+                | RvOp::Blt
+                | RvOp::Bge
+                | RvOp::Bltu
+                | RvOp::Bgeu
+                | RvOp::Ecall
+                | RvOp::Ebreak
+        )
+    }
+
+    /// The statically-known target of a PC-relative control instruction
+    /// (`jal` and the conditional branches) fetched at `pc`, `None` for
+    /// everything else (indirect or not control).
+    pub fn rel_target(&self, pc: u64) -> Option<u64> {
+        match self.op {
+            RvOp::Jal | RvOp::Beq | RvOp::Bne | RvOp::Blt | RvOp::Bge | RvOp::Bltu | RvOp::Bgeu => {
+                Some(pc.wrapping_add(self.imm as u64))
+            }
+            _ => None,
+        }
+    }
+
+    /// Maps the decoded operation onto the simulator's timing classes (see
+    /// the module docs for the full table). `meta` is always [`NO_META`]:
+    /// real code needs no synthetic branch/memory model — targets and
+    /// addresses come from execution.
+    pub fn static_inst(&self) -> StaticInst {
+        let dest = |r: u8| (r != 0).then(|| Reg::int(r));
+        let src = dest;
+        let (op, d, s1, s2) = match self.op {
+            RvOp::Beq | RvOp::Bne | RvOp::Blt | RvOp::Bge | RvOp::Bltu | RvOp::Bgeu => {
+                (Opcode::CondBranch, None, src(self.rs1), src(self.rs2))
+            }
+            RvOp::Jal => {
+                let op = if is_link(self.rd) {
+                    Opcode::Call
+                } else {
+                    Opcode::Jump
+                };
+                (op, dest(self.rd), None, None)
+            }
+            RvOp::Jalr => {
+                let op = if is_link(self.rd) {
+                    Opcode::Call
+                } else if self.rd == 0 && is_link(self.rs1) {
+                    Opcode::Return
+                } else {
+                    Opcode::JumpInd
+                };
+                (op, dest(self.rd), src(self.rs1), None)
+            }
+            RvOp::Lb | RvOp::Lh | RvOp::Lw | RvOp::Lbu | RvOp::Lhu | RvOp::Lwu | RvOp::Ld => {
+                (Opcode::Load, dest(self.rd), src(self.rs1), None)
+            }
+            RvOp::Sb | RvOp::Sh | RvOp::Sw | RvOp::Sd => {
+                (Opcode::Store, None, src(self.rs1), src(self.rs2))
+            }
+            RvOp::Mul | RvOp::Mulw => (Opcode::IntMul, dest(self.rd), src(self.rs1), src(self.rs2)),
+            RvOp::Mulh
+            | RvOp::Mulhsu
+            | RvOp::Mulhu
+            | RvOp::Div
+            | RvOp::Divu
+            | RvOp::Rem
+            | RvOp::Remu
+            | RvOp::Divw
+            | RvOp::Divuw
+            | RvOp::Remw
+            | RvOp::Remuw => (
+                Opcode::IntMulLong,
+                dest(self.rd),
+                src(self.rs1),
+                src(self.rs2),
+            ),
+            // Exit requests restart the program: an unconditional jump
+            // back to the entry point, resolved by the executor.
+            RvOp::Ecall | RvOp::Ebreak => (Opcode::Jump, None, None, None),
+            RvOp::Lui | RvOp::Auipc => (Opcode::IntAlu, dest(self.rd), None, None),
+            RvOp::Addi
+            | RvOp::Slti
+            | RvOp::Sltiu
+            | RvOp::Xori
+            | RvOp::Ori
+            | RvOp::Andi
+            | RvOp::Slli
+            | RvOp::Srli
+            | RvOp::Srai
+            | RvOp::Addiw
+            | RvOp::Slliw
+            | RvOp::Srliw
+            | RvOp::Sraiw => (Opcode::IntAlu, dest(self.rd), src(self.rs1), None),
+            RvOp::Add
+            | RvOp::Sub
+            | RvOp::Sll
+            | RvOp::Slt
+            | RvOp::Sltu
+            | RvOp::Xor
+            | RvOp::Srl
+            | RvOp::Sra
+            | RvOp::Or
+            | RvOp::And
+            | RvOp::Addw
+            | RvOp::Subw
+            | RvOp::Sllw
+            | RvOp::Srlw
+            | RvOp::Sraw => (Opcode::IntAlu, dest(self.rd), src(self.rs1), src(self.rs2)),
+            RvOp::Fence => (Opcode::IntAlu, None, None, None),
+            // Filler matching the synthetic wrong-path convention: a
+            // plausible ALU op with benign dependences.
+            RvOp::Illegal => (
+                Opcode::IntAlu,
+                Some(Reg::int(1)),
+                Some(Reg::int(2)),
+                Some(Reg::int(3)),
+            ),
+        };
+        StaticInst {
+            op,
+            dest: d,
+            srcs: [s1, s2],
+            meta: NO_META,
+        }
+    }
+}
+
+/// Field extraction helpers (bit positions from the RISC-V spec).
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1f) as u8
+}
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1f) as u8
+}
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1f) as u8
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+fn imm_i(w: u32) -> i64 {
+    (w as i32 >> 20) as i64
+}
+fn imm_s(w: u32) -> i64 {
+    (((w & 0xfe00_0000) as i32 >> 20) | ((w >> 7) & 0x1f) as i32) as i64
+}
+fn imm_b(w: u32) -> i64 {
+    let imm = (((w & 0x8000_0000) as i32 >> 19) as u32)
+        | ((w & 0x80) << 4)
+        | ((w >> 20) & 0x7e0)
+        | ((w >> 7) & 0x1e);
+    imm as i32 as i64
+}
+fn imm_u(w: u32) -> i64 {
+    (w & 0xffff_f000) as i32 as i64
+}
+fn imm_j(w: u32) -> i64 {
+    let imm = (((w & 0x8000_0000) as i32 >> 11) as u32)
+        | (w & 0xf_f000)
+        | ((w >> 9) & 0x800)
+        | ((w >> 20) & 0x7fe);
+    imm as i32 as i64
+}
+
+/// Decodes one 32-bit instruction word. Never fails: unhandled encodings
+/// (including compressed 16-bit parcels) come back as [`RvOp::Illegal`].
+pub fn decode(w: u32) -> RvInst {
+    let illegal = RvInst {
+        op: RvOp::Illegal,
+        rd: 0,
+        rs1: 0,
+        rs2: 0,
+        imm: 0,
+    };
+    if w & 0x3 != 0x3 {
+        return illegal; // compressed or malformed parcel
+    }
+    let (op, rd, rs1, rs2, imm) = match w & 0x7f {
+        0x37 => (RvOp::Lui, rd(w), 0, 0, imm_u(w)),
+        0x17 => (RvOp::Auipc, rd(w), 0, 0, imm_u(w)),
+        0x6f => (RvOp::Jal, rd(w), 0, 0, imm_j(w)),
+        0x67 if funct3(w) == 0 => (RvOp::Jalr, rd(w), rs1(w), 0, imm_i(w)),
+        0x63 => {
+            let op = match funct3(w) {
+                0 => RvOp::Beq,
+                1 => RvOp::Bne,
+                4 => RvOp::Blt,
+                5 => RvOp::Bge,
+                6 => RvOp::Bltu,
+                7 => RvOp::Bgeu,
+                _ => return illegal,
+            };
+            (op, 0, rs1(w), rs2(w), imm_b(w))
+        }
+        0x03 => {
+            let op = match funct3(w) {
+                0 => RvOp::Lb,
+                1 => RvOp::Lh,
+                2 => RvOp::Lw,
+                3 => RvOp::Ld,
+                4 => RvOp::Lbu,
+                5 => RvOp::Lhu,
+                6 => RvOp::Lwu,
+                _ => return illegal,
+            };
+            (op, rd(w), rs1(w), 0, imm_i(w))
+        }
+        0x23 => {
+            let op = match funct3(w) {
+                0 => RvOp::Sb,
+                1 => RvOp::Sh,
+                2 => RvOp::Sw,
+                3 => RvOp::Sd,
+                _ => return illegal,
+            };
+            (op, 0, rs1(w), rs2(w), imm_s(w))
+        }
+        0x13 => {
+            // Shift immediates carry funct6 in the top bits (rv64 shamt is
+            // 6 bits wide); everything else is a plain I-type.
+            let shamt = i64::from((w >> 20) & 0x3f);
+            let op = match funct3(w) {
+                0 => RvOp::Addi,
+                1 if funct7(w) & !1 == 0 => return shift(RvOp::Slli, w, shamt),
+                2 => RvOp::Slti,
+                3 => RvOp::Sltiu,
+                4 => RvOp::Xori,
+                5 if funct7(w) & !1 == 0 => return shift(RvOp::Srli, w, shamt),
+                5 if funct7(w) & !1 == 0x20 => return shift(RvOp::Srai, w, shamt),
+                6 => RvOp::Ori,
+                7 => RvOp::Andi,
+                _ => return illegal,
+            };
+            (op, rd(w), rs1(w), 0, imm_i(w))
+        }
+        0x1b => {
+            let shamt = i64::from((w >> 20) & 0x1f);
+            return match funct3(w) {
+                0 => RvInst {
+                    op: RvOp::Addiw,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: 0,
+                    imm: imm_i(w),
+                },
+                1 if funct7(w) == 0 => shift(RvOp::Slliw, w, shamt),
+                5 if funct7(w) == 0 => shift(RvOp::Srliw, w, shamt),
+                5 if funct7(w) == 0x20 => shift(RvOp::Sraiw, w, shamt),
+                _ => illegal,
+            };
+        }
+        0x33 => {
+            let op = match (funct7(w), funct3(w)) {
+                (0x00, 0) => RvOp::Add,
+                (0x20, 0) => RvOp::Sub,
+                (0x00, 1) => RvOp::Sll,
+                (0x00, 2) => RvOp::Slt,
+                (0x00, 3) => RvOp::Sltu,
+                (0x00, 4) => RvOp::Xor,
+                (0x00, 5) => RvOp::Srl,
+                (0x20, 5) => RvOp::Sra,
+                (0x00, 6) => RvOp::Or,
+                (0x00, 7) => RvOp::And,
+                (0x01, 0) => RvOp::Mul,
+                (0x01, 1) => RvOp::Mulh,
+                (0x01, 2) => RvOp::Mulhsu,
+                (0x01, 3) => RvOp::Mulhu,
+                (0x01, 4) => RvOp::Div,
+                (0x01, 5) => RvOp::Divu,
+                (0x01, 6) => RvOp::Rem,
+                (0x01, 7) => RvOp::Remu,
+                _ => return illegal,
+            };
+            (op, rd(w), rs1(w), rs2(w), 0)
+        }
+        0x3b => {
+            let op = match (funct7(w), funct3(w)) {
+                (0x00, 0) => RvOp::Addw,
+                (0x20, 0) => RvOp::Subw,
+                (0x00, 1) => RvOp::Sllw,
+                (0x00, 5) => RvOp::Srlw,
+                (0x20, 5) => RvOp::Sraw,
+                (0x01, 0) => RvOp::Mulw,
+                (0x01, 4) => RvOp::Divw,
+                (0x01, 5) => RvOp::Divuw,
+                (0x01, 6) => RvOp::Remw,
+                (0x01, 7) => RvOp::Remuw,
+                _ => return illegal,
+            };
+            (op, rd(w), rs1(w), rs2(w), 0)
+        }
+        0x0f => (RvOp::Fence, 0, 0, 0, 0),
+        0x73 => match w {
+            0x0000_0073 => (RvOp::Ecall, 0, 0, 0, 0),
+            0x0010_0073 => (RvOp::Ebreak, 0, 0, 0, 0),
+            _ => return illegal, // CSR space: not modeled
+        },
+        _ => return illegal,
+    };
+    RvInst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    }
+}
+
+/// Builds a shift-immediate instruction (the only I-type whose immediate
+/// is the raw shamt field rather than the sign-extended word).
+fn shift(op: RvOp, w: u32, shamt: i64) -> RvInst {
+    RvInst {
+        op,
+        rd: rd(w),
+        rs1: rs1(w),
+        rs2: 0,
+        imm: shamt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_the_base_alu_forms() {
+        // addi x5, x6, -3
+        let i = decode(0xffd3_0293);
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (RvOp::Addi, 5, 6, -3));
+        // add x3, x1, x2
+        let i = decode(0x0020_81b3);
+        assert_eq!((i.op, i.rd, i.rs1, i.rs2), (RvOp::Add, 3, 1, 2));
+        // sub x3, x1, x2
+        let i = decode(0x4020_81b3);
+        assert_eq!(i.op, RvOp::Sub);
+        // lui x7, 0x12345
+        let i = decode(0x1234_53b7);
+        assert_eq!((i.op, i.rd, i.imm), (RvOp::Lui, 7, 0x1234_5000));
+        // slli x5, x5, 3
+        let i = decode(0x0032_9293);
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (RvOp::Slli, 5, 5, 3));
+        // mul x10, x11, x12
+        let i = decode(0x02c5_8533);
+        assert_eq!((i.op, i.rd, i.rs1, i.rs2), (RvOp::Mul, 10, 11, 12));
+    }
+
+    #[test]
+    fn decodes_memory_and_control_with_signed_offsets() {
+        // lw x8, -8(x2)
+        let i = decode(0xff81_2403);
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (RvOp::Lw, 8, 2, -8));
+        // sd x9, 16(x2)
+        let i = decode(0x0091_3823);
+        assert_eq!((i.op, i.rs1, i.rs2, i.imm), (RvOp::Sd, 2, 9, 16));
+        // beq x1, x2, -16  (B-immediate sign extension)
+        let i = decode(0xfe20_88e3);
+        assert_eq!((i.op, i.rs1, i.rs2, i.imm), (RvOp::Beq, 1, 2, -16));
+        assert_eq!(i.rel_target(0x100), Some(0xf0));
+        // jal x1, +2048 (J-immediate bit shuffle: imm[11] lives in bit 20)
+        let i = decode(0x0010_00ef);
+        assert_eq!((i.op, i.rd), (RvOp::Jal, 1));
+        assert_eq!(i.imm, 0x800);
+        // jalr x0, 0(x1)  — a return
+        let i = decode(0x0000_8067);
+        assert_eq!((i.op, i.rd, i.rs1), (RvOp::Jalr, 0, 1));
+        assert_eq!(i.static_inst().op, Opcode::Return);
+    }
+
+    #[test]
+    fn class_mapping_follows_the_table() {
+        // jal x1 → Call (link register), jal x0 → Jump.
+        assert_eq!(decode(0x0000_00ef).static_inst().op, Opcode::Call);
+        assert_eq!(decode(0x0000_006f).static_inst().op, Opcode::Jump);
+        // Branches are CondBranch with no destination.
+        let b = decode(0xfe20_88e3).static_inst();
+        assert_eq!((b.op, b.dest), (Opcode::CondBranch, None));
+        // Loads write rd and read rs1; x0 operands vanish.
+        let l = decode(0xff81_2403).static_inst();
+        assert_eq!(l.op, Opcode::Load);
+        assert_eq!(l.dest, Some(Reg::int(8)));
+        assert_eq!(l.srcs, [Some(Reg::int(2)), None]);
+        // addi x5, x0, 1: the x0 source is no dependency at all.
+        let z = decode(0x0010_0293).static_inst();
+        assert_eq!(z.srcs, [None, None]);
+        // div → long-latency class; ecall → restart jump.
+        assert_eq!(decode(0x02c5_c533).static_inst().op, Opcode::IntMulLong);
+        assert_eq!(decode(0x0000_0073).static_inst().op, Opcode::Jump);
+    }
+
+    #[test]
+    fn unhandled_words_are_illegal_fillers() {
+        for w in [0x0000_0000, 0xffff_ffff, 0x0000_0001, 0x8000_0002] {
+            let i = decode(w);
+            assert_eq!(i.op, RvOp::Illegal);
+            assert_eq!(i.static_inst().op, Opcode::IntAlu);
+        }
+        // CSR instructions are outside the modeled subset.
+        assert_eq!(decode(0x3020_2573).op, RvOp::Illegal);
+    }
+}

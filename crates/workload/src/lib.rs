@@ -19,6 +19,50 @@
 //! (next PC, branch outcomes, effective addresses) so the pipeline can mark
 //! divergence points and synthesize wrong-path behaviour.
 //!
+//! # Workload backends
+//!
+//! The pipeline consumes instruction streams through the
+//! [`WorkloadSource`] trait, so synthetic programs are one backend among
+//! several rather than a baked-in assumption. Three backends ship:
+//!
+//! * [`SyntheticSource`] — wraps a generated [`Program`] and its
+//!   [`ThreadContext`] oracle (the default, and the only path the paper's
+//!   committed study goldens use).
+//! * [`RiscvSource`] ([`riscv`] module) — functionally executes a real
+//!   rv64i/rv32i binary loaded from an ELF (or flat) image
+//!   ([`RiscvImage`]); each `step` decodes and retires one instruction
+//!   architecturally.
+//! * [`TraceSource`] ([`trace`] module) — replays a recorded `SMT1TRCE`
+//!   trace ([`TraceImage`]) as a pure cursor walk, no decode and no
+//!   allocation on the steady-state path; the format is specified in the
+//!   [`trace`] module docs.
+//!
+//! ## Writing a new backend
+//!
+//! Implement [`WorkloadSource`]. The contract, in pipeline terms:
+//!
+//! 1. `step` retires the next correct-path instruction and returns its
+//!    static form plus the architectural outcome (next PC, branch
+//!    direction, effective address). It must be deterministic and
+//!    endless — on program exit, emit a control-flow op that redirects to
+//!    the entry point and keep going (see how [`RiscvSource`] models
+//!    `ecall` as exit-and-restart).
+//! 2. `pc`/`executed` expose the cursor the fetch engine and reports
+//!    read.
+//! 3. The `wrong_*` hooks synthesize *wrong-path* behaviour — what the
+//!    machine fetches past a mispredicted branch before resolution. They
+//!    must be pure functions of `(pc, salt)` so runs reproduce exactly.
+//! 4. `save_state`/`restore_state` serialize the cursor for warmed-state
+//!    checkpoints; keep them minimal (the image itself travels as a
+//!    config fingerprint, not checkpoint payload).
+//!
+//! Then give the config layer a handle: `smt-core`'s `WorkloadSpec` enum
+//! names each backend's image type, `SimConfig::with_workloads` installs
+//! a per-thread list, and the checkpoint fingerprint must tag the new
+//! kind so stale checkpoints are rejected (see `smt-core`'s checkpoint
+//! module). The `riscv:`/`trace:` custom-mix entries in `smt-experiments`
+//! show the last mile: a path-based spec string resolved at sweep start.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,11 +84,17 @@ mod gen;
 mod oracle;
 mod profiles;
 mod program;
+pub mod riscv;
+mod source;
+pub mod trace;
 
 pub use gen::{PatternSpec, ProfileParams, RegionSpec};
 pub use oracle::{ThreadContext, WrongPath};
 pub use profiles::{standard_mix, Benchmark};
 pub use program::{BranchBehavior, BranchModel, MemModel, MemPattern, Program, Region};
+pub use riscv::{RiscvImage, RiscvSource, Xlen};
+pub use source::{SyntheticSource, WorkloadSource};
+pub use trace::{TraceImage, TraceSource};
 
 /// A fast, high-quality 64-bit mixing function (SplitMix64 finalizer).
 ///

@@ -74,9 +74,12 @@ pub use smt_core::{
     CheckpointError, FetchBreakdown, FetchPartition, FetchPolicy, FleetCell, ICount,
     IssueBreakdown, IssueCandidate, IssuePolicy, MissCount, OldestFirst, OptLast, RoundRobin,
     SimConfig, SimFleet, SimReport, Simulator, SpecLast, ThreadFetchView, ThreadReport,
-    MAX_THREADS,
+    WorkloadSpec, MAX_THREADS,
 };
-pub use smt_workload::{standard_mix, Benchmark, Program, ThreadContext};
+pub use smt_workload::{
+    standard_mix, Benchmark, Program, RiscvImage, RiscvSource, ThreadContext, TraceImage,
+    TraceSource, WorkloadSource, Xlen,
+};
 
 /// The underlying crates, re-exported for direct access to cache, predictor
 /// and statistics configuration types.

@@ -1,0 +1,43 @@
+# gcd.s — subtraction-based Euclid over a table of operand pairs.
+#
+# The inner gcd loop's branches are data-dependent (which operand is
+# larger flips irregularly), so unlike loops.s this program gives the
+# direction predictor real work. The outer loop walks four operand pairs
+# loaded from a small table stored at 0x11800.
+#
+# Pure rv64i: the gcd is computed by repeated subtraction, no M ops.
+
+main:   lui   s4, 0x11
+        addi  s4, s4, 0x700    # s4 = 0x11700: table base
+        li    t0, 1071         # write the operand table
+        sd    t0, 0(s4)
+        li    t0, 462
+        sd    t0, 8(s4)
+        li    t0, 1989
+        sd    t0, 16(s4)
+        li    t0, 867
+        sd    t0, 24(s4)
+        li    t0, 610
+        sd    t0, 32(s4)
+        li    t0, 987
+        sd    t0, 40(s4)
+        li    t0, 75
+        sd    t0, 48(s4)
+        li    t0, 2000
+        sd    t0, 56(s4)
+        li    s5, 0            # pair index
+        li    s6, 4            # pair count
+pair:   slli  t1, s5, 4        # 16 bytes per pair
+        add   t1, t1, s4
+        ld    s0, 0(t1)        # a
+        ld    s1, 8(t1)        # b
+gcd:    beq   s0, s1, done
+        blt   s0, s1, swap
+        sub   s0, s0, s1       # a > b: a -= b
+        j     gcd
+swap:   sub   s1, s1, s0       # b > a: b -= a
+        j     gcd
+done:   sd    s0, 64(s4)       # park the gcd next to the table
+        addi  s5, s5, 1
+        blt   s5, s6, pair
+        ecall                  # exit -> restart at main

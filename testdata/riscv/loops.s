@@ -1,0 +1,25 @@
+# loops.s — nested counted loops with an ALU/multiply body.
+#
+# Highly predictable branch behaviour (two counted loops) plus a steady
+# diet of single-cycle ALU ops and one latency-8 multiply per inner
+# iteration, so the issue queues see latency diversity. No memory traffic:
+# this program isolates the front end and the integer pipeline.
+#
+# The final ecall restarts the program (the simulator models program exit
+# as a jump back to the entry point), so the workload runs forever.
+
+entry:  li    t0, 0            # outer counter
+        li    t3, 6            # outer bound
+outer:  li    t1, 0            # inner counter
+        li    t4, 25           # inner bound
+inner:  add   t2, t0, t1
+        mul   t5, t2, t4       # latency-8 integer multiply
+        xor   t6, t5, t1
+        slli  t6, t6, 3
+        srli  t6, t6, 2
+        sub   t6, t6, t0
+        addi  t1, t1, 1
+        blt   t1, t4, inner    # taken 24/25 times
+        addi  t0, t0, 1
+        blt   t0, t3, outer    # taken 5/6 times
+        ecall                  # exit -> restart at entry

@@ -1,0 +1,35 @@
+# memsum.s — array fill + sum through real call/return structure.
+#
+# main calls fill() then sum() via jal/ret, so the RAS sees genuine
+# Call/Return pairs; the loops stream 64-bit stores then loads over a
+# 32-element array in the zero-initialized tail of the load segment.
+# Exercises Load/Store timing, D-cache locality and return prediction.
+#
+# The array lives at 0x11000, inside the segment's zero-fill (the image
+# is loaded at 0x10000 with a multi-KiB bss pad; see rvasm.py).
+
+main:   lui   a0, 0x11         # a0 = 0x11000: array base
+        li    a1, 32           # a1 = element count
+        jal   ra, fill
+        lui   a0, 0x11
+        li    a1, 32
+        jal   ra, sum
+        ecall                  # exit -> restart at main
+
+fill:   li    t0, 0
+        mv    t1, a0
+floop:  sd    t0, 0(t1)
+        addi  t1, t1, 8
+        addi  t0, t0, 1
+        blt   t0, a1, floop
+        ret
+
+sum:    li    t0, 0
+        li    a2, 0            # running sum
+        mv    t1, a0
+sloop:  ld    t2, 0(t1)
+        add   a2, a2, t2
+        addi  t1, t1, 8
+        addi  t0, t0, 1
+        blt   t0, a1, sloop
+        ret

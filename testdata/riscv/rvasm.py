@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Miniature rv64i assembler for the checked-in test programs.
+
+The simulator's test suite needs a couple of tiny RISC-V binaries, but the
+CI image carries no cross-toolchain — so this script *is* the toolchain:
+a two-pass assembler covering exactly the subset of rv64i + M the test
+programs use, emitting a minimal little-endian ELF64 (machine EM_RISCV,
+one PT_LOAD segment at 0x10000).
+
+Rebuild everything with:
+
+    python3 testdata/riscv/rvasm.py
+
+which reassembles every `.s` file in this directory into the `.elf` file
+of the same stem. The `.elf` outputs are checked in so tests and CI never
+run this script; it exists so a human can modify the programs.
+
+Supported syntax: `label:` definitions, `name rd, rs1, rs2`-style operand
+lists, decimal/hex immediates, `label` branch/jump targets, `imm(rs)`
+memory operands, `#` comments, and the handful of pseudo-instructions the
+programs use (li with a 12-bit immediate, mv, nop, j, ret, call).
+"""
+
+import re
+import struct
+import sys
+from pathlib import Path
+
+BASE = 0x10000
+
+REGS = {f"x{i}": i for i in range(32)}
+ABI = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+REGS.update(ABI)
+
+
+def reg(tok):
+    tok = tok.strip()
+    if tok not in REGS:
+        raise ValueError(f"unknown register {tok!r}")
+    return REGS[tok]
+
+
+def imm_val(tok, labels):
+    tok = tok.strip()
+    if tok in labels:
+        return labels[tok]
+    return int(tok, 0)
+
+
+def r_type(f7, rs2, rs1, f3, rd, op):
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+
+
+def i_type(imm, rs1, f3, rd, op):
+    if not -2048 <= imm <= 2047:
+        raise ValueError(f"I-immediate {imm} out of range")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+
+
+def s_type(imm, rs2, rs1, f3, op):
+    if not -2048 <= imm <= 2047:
+        raise ValueError(f"S-immediate {imm} out of range")
+    imm &= 0xFFF
+    return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((imm & 0x1F) << 7) | op
+
+
+def b_type(off, rs2, rs1, f3):
+    if off % 2 or not -4096 <= off <= 4094:
+        raise ValueError(f"branch offset {off} invalid")
+    u = off & 0x1FFF
+    return (
+        ((u >> 12) << 31) | (((u >> 5) & 0x3F) << 25) | (rs2 << 20) | (rs1 << 15)
+        | (f3 << 12) | (((u >> 1) & 0xF) << 8) | (((u >> 11) & 1) << 7) | 0x63
+    )
+
+
+def u_type(imm, rd, op):
+    return ((imm & 0xFFFFF) << 12) | (rd << 7) | op
+
+
+def j_type(off, rd):
+    if off % 2 or not -(1 << 20) <= off < (1 << 20):
+        raise ValueError(f"jump offset {off} invalid")
+    u = off & 0x1FFFFF
+    return (
+        ((u >> 20) << 31) | (((u >> 1) & 0x3FF) << 21) | (((u >> 11) & 1) << 20)
+        | (((u >> 12) & 0xFF) << 12) | (rd << 7) | 0x6F
+    )
+
+
+OP_IMM = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7}
+OP_REG = {
+    "add": (0, 0), "sub": (0x20, 0), "sll": (0, 1), "slt": (0, 2), "sltu": (0, 3),
+    "xor": (0, 4), "srl": (0, 5), "sra": (0x20, 5), "or": (0, 6), "and": (0, 7),
+    "mul": (1, 0), "mulh": (1, 1), "div": (1, 4), "divu": (1, 5),
+    "rem": (1, 6), "remu": (1, 7),
+}
+OP_REG_32 = {"addw": (0, 0), "subw": (0x20, 0), "mulw": (1, 0)}
+BRANCH = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+LOAD = {"lb": 0, "lh": 1, "lw": 2, "ld": 3, "lbu": 4, "lhu": 5, "lwu": 6}
+STORE = {"sb": 0, "sh": 1, "sw": 2, "sd": 3}
+SHIFT_IMM = {"slli": (0, 1), "srli": (0, 5), "srai": (0x10, 5)}
+
+
+def mem_operand(tok):
+    m = re.fullmatch(r"\s*(-?\w+)\s*\(\s*(\w+)\s*\)\s*", tok)
+    if not m:
+        raise ValueError(f"bad memory operand {tok!r}")
+    return int(m.group(1), 0), reg(m.group(2))
+
+
+def assemble_inst(mnem, ops, pc, labels):
+    """Encodes one instruction; `labels` maps label -> absolute address."""
+    if mnem in OP_IMM:
+        return i_type(imm_val(ops[2], labels), reg(ops[1]), OP_IMM[mnem], reg(ops[0]), 0x13)
+    if mnem == "addiw":
+        return i_type(imm_val(ops[2], labels), reg(ops[1]), 0, reg(ops[0]), 0x1B)
+    if mnem in SHIFT_IMM:
+        f6, f3 = SHIFT_IMM[mnem]
+        sh = imm_val(ops[2], labels)
+        if not 0 <= sh <= 63:
+            raise ValueError(f"shift amount {sh} out of range")
+        # rv64i shift-immediate: funct6 in [31:26], 6-bit shamt in [25:20].
+        return (f6 << 26) | (sh << 20) | (reg(ops[1]) << 15) | (f3 << 12) | (reg(ops[0]) << 7) | 0x13
+    if mnem in OP_REG:
+        f7, f3 = OP_REG[mnem]
+        return r_type(f7, reg(ops[2]), reg(ops[1]), f3, reg(ops[0]), 0x33)
+    if mnem in OP_REG_32:
+        f7, f3 = OP_REG_32[mnem]
+        return r_type(f7, reg(ops[2]), reg(ops[1]), f3, reg(ops[0]), 0x3B)
+    if mnem in BRANCH:
+        return b_type(imm_val(ops[2], labels) - pc, reg(ops[1]), reg(ops[0]), BRANCH[mnem])
+    if mnem in LOAD:
+        off, rs1 = mem_operand(ops[1])
+        return i_type(off, rs1, LOAD[mnem], reg(ops[0]), 0x03)
+    if mnem in STORE:
+        off, rs1 = mem_operand(ops[1])
+        return s_type(off, reg(ops[0]), rs1, STORE[mnem], 0x23)
+    if mnem == "lui":
+        return u_type(imm_val(ops[1], labels), reg(ops[0]), 0x37)
+    if mnem == "auipc":
+        return u_type(imm_val(ops[1], labels), reg(ops[0]), 0x17)
+    if mnem == "jal":
+        if len(ops) == 1:  # jal label  (rd = ra)
+            return j_type(imm_val(ops[0], labels) - pc, 1)
+        return j_type(imm_val(ops[1], labels) - pc, reg(ops[0]))
+    if mnem == "jalr":
+        if len(ops) == 1:  # jalr rs  (rd = ra, offset 0)
+            return i_type(0, reg(ops[0]), 0, 1, 0x67)
+        off, rs1 = mem_operand(ops[1])
+        return i_type(off, rs1, 0, reg(ops[0]), 0x67)
+    if mnem == "ecall":
+        return 0x00000073
+    if mnem == "ebreak":
+        return 0x00100073
+    # Pseudo-instructions.
+    if mnem == "nop":
+        return assemble_inst("addi", ["x0", "x0", "0"], pc, labels)
+    if mnem == "li":
+        return assemble_inst("addi", [ops[0], "x0", ops[1]], pc, labels)
+    if mnem == "mv":
+        return assemble_inst("addi", [ops[0], ops[1], "0"], pc, labels)
+    if mnem == "j":
+        return j_type(imm_val(ops[0], labels) - pc, 0)
+    if mnem == "call":
+        return j_type(imm_val(ops[0], labels) - pc, 1)
+    if mnem == "ret":
+        return i_type(0, 1, 0, 0, 0x67)  # jalr x0, 0(ra)
+    raise ValueError(f"unsupported mnemonic {mnem!r}")
+
+
+def parse_lines(text):
+    """Yields (labels_defined_here, mnemonic, operands) per instruction."""
+    pending = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        while line:
+            m = re.match(r"(\w+)\s*:\s*(.*)", line)
+            if m:
+                pending.append(m.group(1))
+                line = m.group(2).strip()
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnem = parts[0].lower()
+        ops = [o.strip() for o in parts[1].split(",")] if len(parts) > 1 else []
+        yield pending, mnem, ops
+        pending = []
+    if pending:
+        yield pending, None, None
+
+
+def assemble(text):
+    insts = []
+    labels = {}
+    pc = BASE
+    for labs, mnem, ops in parse_lines(text):
+        for lab in labs:
+            labels[lab] = pc
+        if mnem is None:
+            continue
+        insts.append((pc, mnem, ops))
+        pc += 4
+    words = [assemble_inst(mnem, ops, pc, labels) for pc, mnem, ops in insts]
+    return b"".join(struct.pack("<I", w) for w in words)
+
+
+def wrap_elf64(code, bss=4096):
+    """Wraps code bytes in a minimal ELF64: one RWX PT_LOAD at BASE."""
+    ehsize, phentsize = 64, 56
+    ident = b"\x7fELF" + bytes([2, 1, 1, 0]) + b"\x00" * 8
+    ehdr = struct.pack(
+        "<16sHHIQQQIHHHHHH",
+        ident, 2, 243, 1, BASE, ehsize, 0, 0,
+        ehsize, phentsize, 1, 0, 0, 0,
+    )
+    phdr = struct.pack(
+        "<IIQQQQQQ",
+        1, 7, ehsize + phentsize, BASE, BASE,
+        len(code), len(code) + bss, 0x1000,
+    )
+    return ehdr + phdr + code
+
+
+def main():
+    here = Path(__file__).parent
+    for src in sorted(here.glob("*.s")):
+        out = src.with_suffix(".elf")
+        code = assemble(src.read_text())
+        out.write_bytes(wrap_elf64(code))
+        print(f"{src.name}: {len(code)} code bytes -> {out.name}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

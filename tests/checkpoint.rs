@@ -170,6 +170,65 @@ fn checkpoints_never_observe_a_partial_fetch_block() {
 }
 
 #[test]
+fn elf_and_trace_backends_round_trip_through_checkpoints() {
+    // The workload-source trait's save/restore hooks must round-trip the
+    // non-synthetic backends too: an ELF-backed simulator (registers +
+    // memory arena) and a trace-backed one (replay cursor) both restore
+    // bit-equivalent to straight-through, exactly like the synthetic
+    // matrix above.
+    use smt::{RiscvImage, TraceImage, WorkloadSpec};
+    use std::sync::Arc;
+
+    let elf = |stem: &str| {
+        let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("testdata/riscv")
+            .join(format!("{stem}.elf"));
+        Arc::new(RiscvImage::load(&path).expect("checked-in ELF must load"))
+    };
+    let trace = Arc::new(TraceImage::record(&elf("memsum"), 20_000).expect("record"));
+    let workloads = || -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::Elf(elf("loops")),
+            WorkloadSpec::Trace(trace.clone()),
+            WorkloadSpec::Elf(elf("gcd")),
+            WorkloadSpec::Benchmark(smt::Benchmark::Espresso),
+        ]
+    };
+    let cfg = || SimConfig::new().with_workloads(workloads());
+    let mut sim = cfg().build();
+    for _ in 0..771 {
+        sim.step_cycle();
+    }
+    let bytes = checkpoint_of(&sim);
+    let mut restored = Simulator::restore_checkpoint(cfg(), &mut &bytes[..])
+        .expect("elf/trace checkpoint must restore");
+    let a = sim.run(900).to_json().render();
+    let b = restored.run(900).to_json().render();
+    assert_eq!(a, b, "elf/trace restore diverged from straight-through");
+    // Determinism of the bytes themselves, as for synthetic workloads.
+    let mut again = cfg().build();
+    for _ in 0..771 {
+        again.step_cycle();
+    }
+    assert_eq!(
+        checkpoint_of(&again),
+        bytes,
+        "elf/trace checkpoint bytes are not deterministic"
+    );
+    // A different image is refused by the config fingerprint.
+    let swapped = SimConfig::new().with_workloads(vec![
+        WorkloadSpec::Elf(elf("memsum")),
+        WorkloadSpec::Trace(trace.clone()),
+        WorkloadSpec::Elf(elf("gcd")),
+        WorkloadSpec::Benchmark(smt::Benchmark::Espresso),
+    ]);
+    assert!(matches!(
+        Simulator::restore_checkpoint(swapped, &mut &bytes[..]),
+        Err(smt::CheckpointError::ConfigMismatch { .. })
+    ));
+}
+
+#[test]
 fn corrupt_checkpoints_fail_with_typed_errors_end_to_end() {
     use smt::CheckpointError;
     let sim = config("mixed4", 42, FetchPartition::new(2, 8), None).build();

@@ -119,12 +119,8 @@ fn checkpoint_seeded_fleet_matches_sequential_forks() {
     let mut fleet = SimFleet::new().with_jobs(4).with_batch_cycles(500);
     let mut sequential = Vec::new();
     for &(mix, seed) in &keys {
-        let ckpt = Arc::new(compute_checkpoint(
-            programs(mix, seed),
-            seed,
-            partition,
-            400,
-        ));
+        let images = smt_experiments::study::MixImages::Programs(programs(mix, seed));
+        let ckpt = Arc::new(compute_checkpoint(&images, seed, partition, 400));
         for fetch in fetches {
             let cfg = || {
                 canonical_config(programs(mix, seed), seed, partition)
