@@ -461,10 +461,10 @@ pub fn bench_fleet(cells: usize, cycles: u64, jobs: usize) -> FleetBench {
         .map(|&(mix, seed)| {
             let images = smt_experiments::study::resolve_mix(mix, seed)
                 .unwrap_or_else(|e| panic!("cannot resolve mix '{mix}': {e}"));
-            let (ckpt, _) = smt_experiments::warmup::warm_checkpoint(
+            let warm = smt_experiments::warmup::warm_checkpoint(
                 &images, mix, seed, partition, warmup, None,
             );
-            (images, ckpt)
+            (images, warm.checkpoint)
         })
         .collect();
 

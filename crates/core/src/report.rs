@@ -7,9 +7,11 @@
 //! print paper-style tables.
 
 use std::fmt;
+use std::io::{self, Read, Write};
 
 use smt_branch::PredictorStats;
-use smt_mem::MemStats;
+use smt_mem::{LevelStats, MemStats};
+use smt_stats::binio::{invalid, BinReader, BinWriter};
 use smt_stats::json::Json;
 use smt_stats::{Ratio, TextTable};
 
@@ -249,6 +251,197 @@ impl SimReport {
         Json::object(fields)
     }
 
+    /// Serializes every field of the report into `w`, losslessly.
+    ///
+    /// [`to_json`](SimReport::to_json) is a *rendering* — it emits derived
+    /// percentages and drops the raw counters behind them — so JSON cannot
+    /// round-trip a report. This binary form exists for consumers that
+    /// must reproduce a report bit-for-bit later, most importantly the
+    /// sweep journal in `smt-experiments`: a journaled cell re-rendered to
+    /// JSON must be byte-identical to the original run's rendering, which
+    /// requires the exact counters (and exact `f64` bits, stored via
+    /// [`f64::to_bits`]).
+    ///
+    /// The caller owns the framing: write any header before, and call
+    /// [`BinWriter::finish`] after, so the checksum covers header and
+    /// report together.
+    pub fn write_bin<W: Write>(&self, w: &mut BinWriter<W>) -> io::Result<()> {
+        w.u64(self.cycles)?;
+        w.u64(self.warmup_cycles)?;
+        w.bool(self.restored_from_checkpoint)?;
+        write_str(w, &self.fetch_policy)?;
+        write_str(w, &self.issue_policy)?;
+        w.len(self.ablations.len())?;
+        for a in &self.ablations {
+            write_str(w, a)?;
+        }
+        w.u8(self.partition.threads_per_cycle)?;
+        w.u8(self.partition.insts_per_thread)?;
+        w.len(self.threads.len())?;
+        for t in &self.threads {
+            w.u64(t.thread as u64)?;
+            write_str(w, &t.benchmark)?;
+            w.u64(t.committed)?;
+            w.u64(t.ipc.to_bits())?;
+        }
+        for v in [
+            self.fetch.fetched,
+            self.fetch.wrong_path,
+            self.fetch.lost_icache,
+            self.fetch.lost_bank_conflict,
+            self.fetch.lost_fragmentation,
+            self.fetch.lost_frontend_full,
+            self.fetch.lost_no_thread,
+            self.fetch.misfetches,
+            self.fetch.wrong_path_fetch_conflicts,
+            self.issue.issued,
+            self.issue.wrong_path,
+            self.issue.bank_conflicts,
+            self.cond_prediction.hits,
+            self.cond_prediction.total,
+            self.pred.predictions,
+            self.pred.btb_lookups,
+            self.pred.btb_hits,
+            self.pred.ras_predictions,
+            self.pred.ras_underflows,
+            self.squashes,
+            self.squashed_insts,
+        ] {
+            w.u64(v)?;
+        }
+        for level in [
+            self.mem.icache,
+            self.mem.dcache,
+            self.mem.l2,
+            self.mem.l3,
+            self.mem.itlb,
+            self.mem.dtlb,
+        ] {
+            w.u64(level.accesses)?;
+            w.u64(level.misses)?;
+        }
+        w.u64(self.mem.writebacks)?;
+        w.u64(self.mem.bank_conflicts)?;
+        w.u64(self.mem.mshr_merges)
+    }
+
+    /// Reads a report written by [`write_bin`](SimReport::write_bin).
+    ///
+    /// The stream is untrusted: lengths are capped, strings must be
+    /// UTF-8, and the partition components must be non-zero, so corrupt
+    /// or truncated input surfaces as a typed [`io::Error`]
+    /// ([`io::ErrorKind::InvalidData`] / [`io::ErrorKind::UnexpectedEof`])
+    /// rather than a panic or an absurd allocation. The caller verifies
+    /// the checksum via [`BinReader::finish`] after reading its framing.
+    pub fn read_bin<R: Read>(r: &mut BinReader<R>) -> io::Result<SimReport> {
+        let cycles = r.u64()?;
+        let warmup_cycles = r.u64()?;
+        let restored_from_checkpoint = r.bool()?;
+        let fetch_policy = read_str(r, "fetch policy")?;
+        let issue_policy = read_str(r, "issue policy")?;
+        let n_ablations = r.len()?;
+        if n_ablations > 64 {
+            return Err(invalid(format!("{n_ablations} ablations exceeds cap")));
+        }
+        let mut ablations = Vec::with_capacity(n_ablations);
+        for _ in 0..n_ablations {
+            ablations.push(read_str(r, "ablation name")?);
+        }
+        let t = r.u8()?;
+        let i = r.u8()?;
+        if t == 0 || i == 0 {
+            return Err(invalid(format!("invalid fetch partition {t}.{i}")));
+        }
+        let partition = FetchPartition::new(t, i);
+        let n_threads = r.len()?;
+        if n_threads > 1024 {
+            return Err(invalid(format!("{n_threads} threads exceeds cap")));
+        }
+        let mut threads = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let thread = usize::try_from(r.u64()?)
+                .map_err(|_| invalid("thread index exceeds address space"))?;
+            let benchmark = read_str(r, "benchmark name")?;
+            let committed = r.u64()?;
+            let ipc = f64::from_bits(r.u64()?);
+            threads.push(ThreadReport {
+                thread,
+                benchmark,
+                committed,
+                ipc,
+            });
+        }
+        let fetch = FetchBreakdown {
+            fetched: r.u64()?,
+            wrong_path: r.u64()?,
+            lost_icache: r.u64()?,
+            lost_bank_conflict: r.u64()?,
+            lost_fragmentation: r.u64()?,
+            lost_frontend_full: r.u64()?,
+            lost_no_thread: r.u64()?,
+            misfetches: r.u64()?,
+            wrong_path_fetch_conflicts: r.u64()?,
+        };
+        let issue = IssueBreakdown {
+            issued: r.u64()?,
+            wrong_path: r.u64()?,
+            bank_conflicts: r.u64()?,
+        };
+        let cond_prediction = Ratio {
+            hits: r.u64()?,
+            total: r.u64()?,
+        };
+        let pred = PredictorStats {
+            predictions: r.u64()?,
+            btb_lookups: r.u64()?,
+            btb_hits: r.u64()?,
+            ras_predictions: r.u64()?,
+            ras_underflows: r.u64()?,
+        };
+        let squashes = r.u64()?;
+        let squashed_insts = r.u64()?;
+        let mut read_level = || -> io::Result<LevelStats> {
+            Ok(LevelStats {
+                accesses: r.u64()?,
+                misses: r.u64()?,
+            })
+        };
+        let icache = read_level()?;
+        let dcache = read_level()?;
+        let l2 = read_level()?;
+        let l3 = read_level()?;
+        let itlb = read_level()?;
+        let dtlb = read_level()?;
+        let mem = MemStats {
+            icache,
+            dcache,
+            l2,
+            l3,
+            itlb,
+            dtlb,
+            writebacks: r.u64()?,
+            bank_conflicts: r.u64()?,
+            mshr_merges: r.u64()?,
+        };
+        Ok(SimReport {
+            cycles,
+            warmup_cycles,
+            restored_from_checkpoint,
+            fetch_policy,
+            issue_policy,
+            ablations,
+            partition,
+            threads,
+            fetch,
+            issue,
+            cond_prediction,
+            pred,
+            squashes,
+            squashed_insts,
+            mem,
+        })
+    }
+
     /// Per-thread results as a text table.
     pub fn thread_table(&self) -> TextTable {
         let mut t = TextTable::new();
@@ -268,6 +461,28 @@ impl SimReport {
         }
         t
     }
+}
+
+/// Longest string [`read_str`] accepts; far above any real policy,
+/// benchmark, or ablation name, far below anything allocation-hostile.
+const MAX_BIN_STR: usize = 4096;
+
+/// Writes a length-prefixed UTF-8 string.
+fn write_str<W: Write>(w: &mut BinWriter<W>, s: &str) -> io::Result<()> {
+    w.len(s.len())?;
+    w.bytes(s.as_bytes())
+}
+
+/// Reads a length-prefixed UTF-8 string with a sanity cap; `what` labels
+/// the field in error messages.
+fn read_str<R: Read>(r: &mut BinReader<R>, what: &str) -> io::Result<String> {
+    let n = r.len()?;
+    if n > MAX_BIN_STR {
+        return Err(invalid(format!("{what} length {n} exceeds cap")));
+    }
+    let mut buf = vec![0u8; n];
+    r.bytes(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| invalid(format!("{what} is not UTF-8")))
 }
 
 impl fmt::Display for SimReport {
@@ -436,6 +651,106 @@ mod tests {
             back.get("restored_from_checkpoint").and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    /// A report exercising every field with non-default, "awkward"
+    /// values: odd f64 bit patterns, ablations, the restored flag,
+    /// non-empty predictor and memory counters.
+    fn busy_report() -> SimReport {
+        let mut r = report();
+        r.warmup_cycles = 123_456;
+        r.restored_from_checkpoint = true;
+        r.ablations = vec!["perfect_icache".into(), "no_ras".into()];
+        r.threads[0].ipc = 0.1 + 0.2; // not exactly 0.3 in binary
+        r.fetch.lost_icache = 17;
+        r.fetch.misfetches = u64::MAX;
+        r.pred = PredictorStats {
+            predictions: 1,
+            btb_lookups: 2,
+            btb_hits: 3,
+            ras_predictions: 4,
+            ras_underflows: 5,
+        };
+        r.mem.dcache = LevelStats {
+            accesses: 1000,
+            misses: 37,
+        };
+        r.mem.mshr_merges = 99;
+        r
+    }
+
+    fn to_bytes(r: &SimReport) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf);
+        r.write_bin(&mut w).unwrap();
+        w.finish().unwrap();
+        buf
+    }
+
+    fn from_bytes(bytes: &[u8]) -> io::Result<SimReport> {
+        let mut r = BinReader::new(bytes);
+        let report = SimReport::read_bin(&mut r)?;
+        r.finish()?;
+        Ok(report)
+    }
+
+    #[test]
+    fn binary_round_trip_is_lossless() {
+        for r in [report(), busy_report()] {
+            let back = from_bytes(&to_bytes(&r)).unwrap();
+            assert_eq!(back, r);
+            // The property the journal depends on: a round-tripped report
+            // renders to byte-identical JSON.
+            assert_eq!(back.to_json().render(), r.to_json().render());
+            // PartialEq on f64 would accept -0.0 == 0.0; pin exact bits.
+            for (a, b) in back.threads.iter().zip(&r.threads) {
+                assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_truncation_and_corruption_are_typed_errors() {
+        let bytes = to_bytes(&busy_report());
+        for cut in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            let err = from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind(),
+                    io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                ),
+                "cut at {cut}: unexpected kind {:?}",
+                err.kind()
+            );
+        }
+        for pos in (0..bytes.len()).step_by(11) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            // Every flip must either fail the checksum or surface as
+            // typed invalid data earlier — never panic, never pass both
+            // the parse and the checksum.
+            assert!(from_bytes(&bad).is_err(), "flip at {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_zero_partition_components() {
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf);
+        let r = report();
+        w.u64(r.cycles).unwrap();
+        w.u64(r.warmup_cycles).unwrap();
+        w.bool(false).unwrap();
+        for s in ["ICOUNT", "OLDEST_FIRST"] {
+            w.len(s.len()).unwrap();
+            w.bytes(s.as_bytes()).unwrap();
+        }
+        w.len(0).unwrap(); // ablations
+        w.u8(0).unwrap(); // zero threads_per_cycle: must not panic
+        w.u8(8).unwrap();
+        w.finish().unwrap();
+        let err = from_bytes(&buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -21,17 +21,25 @@
 //!
 //! Cells are independent simulations and run in parallel across OS
 //! threads; `smt_exp --study ablation --json out.json` writes the
-//! schema-version-3 document described in the crate docs. Warm-window
+//! schema-version-4 document described in the crate docs. Warm-window
 //! cells fork from checkpoints warmed under each cell's own fetch policy
 //! and ablation set — see [`crate::warmup`] for why ablations, unlike the
 //! issue study's policy axes, preclude sharing one warmup across cells.
+//!
+//! Like the issue study, the sweep contains cell faults (a failing cell
+//! becomes a [`FailedAblationCell`] in `failed_cells` instead of aborting
+//! the matrix) and resumes from a durable `--journal` directory (see
+//! [`crate::journal`]).
 
 use std::fmt;
 
+use smt_core::checkpoint::config_fingerprint;
 use smt_core::{fetch_policy_by_name, Ablation, Ablations, FetchPartition, SimConfig, SimReport};
 use smt_stats::json::Json;
 use smt_stats::TextTable;
 
+use crate::fault::{CellError, Degradation, DegradeReason};
+use crate::journal::{journal_key, Journal};
 use crate::study::{validate_mix, JSON_SCHEMA_VERSION};
 
 /// The paper's claim the wrong-path exemption quantifies: wrong-path
@@ -102,6 +110,11 @@ pub struct AblationStudyConfig {
     /// (`--checkpoint-dir`); entries are fingerprint-validated on load and
     /// recomputed on any mismatch.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Durable result journal directory (`--journal`): every completed
+    /// cell is atomically published there as it finishes, and a re-run of
+    /// the identical sweep resumes from the valid entries, byte-identical
+    /// to an uninterrupted run (see [`crate::journal`]).
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for AblationStudyConfig {
@@ -123,6 +136,7 @@ impl Default for AblationStudyConfig {
             jobs: 0,
             share_warmup: true,
             checkpoint_dir: None,
+            journal: None,
         }
     }
 }
@@ -196,6 +210,28 @@ pub struct AblationCell {
     pub report: SimReport,
 }
 
+/// One contained cell failure of the ablation matrix: the cell's
+/// coordinates plus the typed error. Failed cells appear in the
+/// document's `failed_cells` list (in deterministic spec order) instead
+/// of aborting the sweep.
+#[derive(Debug, Clone)]
+pub struct FailedAblationCell {
+    /// The active ablation's canonical name, or `None` for a baseline cell.
+    pub ablation: Option<String>,
+    /// Canonical fetch-policy name.
+    pub fetch: String,
+    /// Fetch partition the cell was to run.
+    pub partition: FetchPartition,
+    /// Workload-mix name.
+    pub mix: String,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Which measurement window the cell was to measure.
+    pub window: Window,
+    /// Why the cell did not complete.
+    pub error: CellError,
+}
+
 /// The loss-bucket shifts of an ablated cell against its baseline: how the
 /// removed mechanism's slot losses moved. Positive values mean the ablated
 /// run lost *more* slots to that cause.
@@ -219,12 +255,24 @@ pub struct AblationStudy {
     /// (mix, seed, partition, fetch, window, ablation) order with the
     /// baseline first within each group.
     pub cells: Vec<AblationCell>,
+    /// Contained cell failures, in the same deterministic spec order.
+    /// Empty on a fault-free sweep.
+    pub failed: Vec<FailedAblationCell>,
+    /// Degraded-but-recovered incidents (journal entries that could not
+    /// be read or written, warmup-cache misses that fell back to
+    /// recomputation), in deterministic order: journal-read incidents in
+    /// spec order first, then the cells' own incidents in spec order.
+    pub degraded: Vec<Degradation>,
     /// Warmup simulations actually executed for the warm windows: one per
     /// warm cell on a cold cache, fewer (down to zero) when a checkpoint
     /// directory served cached entries. Deliberately not part of
     /// [`AblationStudy::to_json`] — the cached and cold paths produce
     /// byte-identical documents.
     pub warmups_performed: usize,
+    /// Cells resumed from the journal instead of re-run. Deliberately not
+    /// part of [`AblationStudy::to_json`] — a resumed document must stay
+    /// byte-identical to an uninterrupted one.
+    pub journal_loaded: usize,
 }
 
 /// Runs the full ablation matrix, parallelized across OS threads. Program
@@ -234,13 +282,20 @@ pub struct AblationStudy {
 /// configuration, served from the `--checkpoint-dir` cache across repeat
 /// sweeps (see [`crate::warmup`]).
 ///
+/// Cell faults are contained (a failing cell becomes a
+/// [`FailedAblationCell`]) and the sweep resumes from
+/// [`AblationStudyConfig::journal`] when set — same containment contract
+/// as [`crate::study::run_study`].
+///
 /// # Errors
 ///
-/// Returns the [`AblationStudyConfig::validate`] message for bad names.
+/// Returns the [`AblationStudyConfig::validate`] message for bad names,
+/// or the open error when the requested journal directory cannot be
+/// created.
 pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, String> {
     cfg.validate()?;
 
-    let images = crate::study::generate_images(&cfg.mixes, &cfg.seeds)?;
+    let images = crate::study::generate_images(&cfg.mixes, &cfg.seeds);
 
     struct Spec<'a> {
         ablation: Option<Ablation>,
@@ -278,6 +333,78 @@ pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, St
         }
     }
 
+    let cell_label = |spec: &Spec| {
+        format!(
+            "{}/{}/{}/{}/{}/s{}",
+            spec.ablation.map_or("baseline", |a| a.name()),
+            spec.fetch,
+            spec.window,
+            spec.partition,
+            spec.mix,
+            spec.seed
+        )
+    };
+
+    // The durable journal and per-(mix, seed, partition) fingerprints —
+    // an ablation or fetch policy changes the machine's behaviour, not
+    // its fingerprinted geometry, so the fork axes live in the key's
+    // string parts instead (see `journal_key`).
+    let journal = match &cfg.journal {
+        Some(dir) => Some(
+            Journal::open(dir)
+                .map_err(|e| format!("cannot open journal {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+    let mut fingerprints: std::collections::HashMap<(String, u64, FetchPartition), u64> =
+        std::collections::HashMap::new();
+    if journal.is_some() {
+        for mix in &cfg.mixes {
+            for &seed in &cfg.seeds {
+                if let Ok(imgs) = &images[&(mix.clone(), seed)] {
+                    for &partition in &cfg.partitions {
+                        fingerprints.insert(
+                            (mix.clone(), seed, partition),
+                            config_fingerprint(&crate::warmup::canonical_config_for(
+                                imgs, seed, partition,
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let cell_key = |spec: &Spec| -> Option<u64> {
+        let fp = fingerprints.get(&(spec.mix.to_string(), spec.seed, spec.partition))?;
+        Some(journal_key(
+            *fp,
+            &[
+                "ablation-study",
+                spec.fetch,
+                spec.window.name(),
+                spec.ablation.map_or("baseline", |a| a.name()),
+            ],
+            &[cfg.cycles, cfg.warmup],
+        ))
+    };
+
+    // Journal prescan (see `run_study` — same resume contract).
+    let mut journaled: Vec<Option<SimReport>> = (0..specs.len()).map(|_| None).collect();
+    let mut degraded: Vec<Degradation> = Vec::new();
+    if let Some(journal) = &journal {
+        for (i, spec) in specs.iter().enumerate() {
+            let Some(key) = cell_key(spec) else { continue };
+            match journal.load(key, i as u64) {
+                Ok(found) => journaled[i] = found,
+                Err(detail) => degraded.push(Degradation {
+                    key: cell_label(spec),
+                    reason: DegradeReason::JournalRead,
+                    detail: format!("{detail}; cell re-run"),
+                }),
+            }
+        }
+    }
+
     // Each warm cell forks from a checkpoint warmed under the cell's OWN
     // fetch policy and ablation set — an ablation changes the machine
     // itself, so warming it any other way would contaminate the
@@ -285,9 +412,38 @@ pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, St
     // is not the warmed state of the baseline). Within one run every warm
     // cell's key is therefore unique; the sharing win is across repeat
     // sweeps, via the `--checkpoint-dir` cache. Cold cells never warm.
-    let outcomes = crate::parallel_map(specs.len(), cfg.jobs, |i| {
+    // Every cell is isolated behind `catch_unwind` at the scheduler
+    // boundary, so one cell's fault never takes down the matrix.
+    struct Done {
+        cell: AblationCell,
+        from_journal: bool,
+        warmed: bool,
+        degradations: Vec<Degradation>,
+    }
+    let outcomes = smt_stats::sched::work_steal_map_catch(specs.len(), cfg.jobs, |i| {
         let spec = &specs[i];
-        let mix_images = &images[&(spec.mix.to_string(), spec.seed)];
+        #[cfg(feature = "fault-inject")]
+        smt_stats::faults::panic_point("cell", i as u64);
+        let mix_images = match &images[&(spec.mix.to_string(), spec.seed)] {
+            Ok(imgs) => imgs,
+            Err(e) => return Err(CellError::workload(e.clone())),
+        };
+        if let Some(report) = &journaled[i] {
+            return Ok(Done {
+                cell: AblationCell {
+                    ablation: spec.ablation.map(|a| a.name().to_string()),
+                    fetch: report.fetch_policy.clone(),
+                    partition: spec.partition,
+                    mix: spec.mix.to_string(),
+                    seed: spec.seed,
+                    window: spec.window,
+                    report: report.clone(),
+                },
+                from_journal: true,
+                warmed: false,
+                degradations: Vec::new(),
+            });
+        }
         let ablations = match spec.ablation {
             Some(a) => Ablations::only(a),
             None => Ablations::none(),
@@ -300,6 +456,7 @@ pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, St
                 .with_partition(spec.partition)
                 .with_ablations(ablations)
         };
+        let mut degradations = Vec::new();
         let (report, warmed) = match spec.window {
             Window::Cold => (build().build().run(cfg.cycles), false),
             Window::Warm => {
@@ -313,39 +470,86 @@ pub fn run_ablation_study(cfg: &AblationStudyConfig) -> Result<AblationStudy, St
                         spec.fetch,
                         spec.ablation.map_or("baseline", |a| a.name()),
                     );
-                    crate::warmup::warm_checkpoint_under(
+                    let warm = crate::warmup::warm_checkpoint_under(
                         build,
                         &stem,
                         cfg.warmup,
                         cfg.checkpoint_dir.as_deref(),
-                    )
+                    );
+                    degradations.extend(warm.degradations);
+                    (warm.checkpoint, warm.computed)
                 } else {
                     let bytes = crate::warmup::compute_checkpoint_under(build(), cfg.warmup);
                     (std::sync::Arc::new(bytes), true)
                 };
-                (
-                    crate::warmup::fork_cell(build(), &checkpoint, cfg.cycles),
-                    computed,
-                )
+                let report = crate::warmup::try_fork_cell(build(), &checkpoint, cfg.cycles)
+                    .map_err(|e| CellError::checkpoint(e.to_string()))?;
+                (report, computed)
             }
         };
-        let cell = AblationCell {
-            ablation: spec.ablation.map(|a| a.name().to_string()),
-            fetch: report.fetch_policy.clone(),
-            partition: spec.partition,
-            mix: spec.mix.to_string(),
-            seed: spec.seed,
-            window: spec.window,
-            report,
-        };
-        (cell, warmed)
+        if let (Some(journal), Some(key)) = (&journal, cell_key(spec)) {
+            if let Err(e) = journal.store(key, i as u64, &report) {
+                degradations.push(Degradation {
+                    key: cell_label(spec),
+                    reason: DegradeReason::JournalWrite,
+                    detail: format!("store failed: {e}; result not durable"),
+                });
+            }
+        }
+        Ok(Done {
+            cell: AblationCell {
+                ablation: spec.ablation.map(|a| a.name().to_string()),
+                fetch: report.fetch_policy.clone(),
+                partition: spec.partition,
+                mix: spec.mix.to_string(),
+                seed: spec.seed,
+                window: spec.window,
+                report,
+            },
+            from_journal: false,
+            warmed,
+            degradations,
+        })
     });
-    let warmups_performed = outcomes.iter().filter(|(_, warmed)| *warmed).count();
-    let cells = outcomes.into_iter().map(|(cell, _)| cell).collect();
+
+    let mut cells = Vec::new();
+    let mut failed = Vec::new();
+    let mut warmups_performed = 0;
+    let mut journal_loaded = 0;
+    for (spec, outcome) in specs.iter().zip(outcomes) {
+        let flat = match outcome {
+            Ok(inner) => inner,
+            Err(panic_msg) => Err(CellError::panic(panic_msg)),
+        };
+        match flat {
+            Ok(done) => {
+                if done.from_journal {
+                    journal_loaded += 1;
+                }
+                if done.warmed {
+                    warmups_performed += 1;
+                }
+                degraded.extend(done.degradations);
+                cells.push(done.cell);
+            }
+            Err(error) => failed.push(FailedAblationCell {
+                ablation: spec.ablation.map(|a| a.name().to_string()),
+                fetch: crate::study::canonical_fetch_name(spec.fetch),
+                partition: spec.partition,
+                mix: spec.mix.to_string(),
+                seed: spec.seed,
+                window: spec.window,
+                error,
+            }),
+        }
+    }
     Ok(AblationStudy {
         config: cfg.clone(),
         cells,
+        failed,
+        degraded,
         warmups_performed,
+        journal_loaded,
     })
 }
 
@@ -628,6 +832,30 @@ impl AblationStudy {
             ("config", config),
             ("cells", cells),
             (
+                "failed_cells",
+                Json::array(self.failed.iter().map(|f| {
+                    Json::object([
+                        (
+                            "ablation",
+                            match &f.ablation {
+                                Some(a) => Json::from(a.clone()),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("fetch", Json::from(f.fetch.as_str())),
+                        ("partition", Json::from(f.partition.to_string())),
+                        ("mix", Json::from(f.mix.as_str())),
+                        ("seed", Json::from(f.seed)),
+                        ("window", Json::from(f.window.name())),
+                        ("error", f.error.to_json()),
+                    ])
+                })),
+            ),
+            (
+                "degraded_cells",
+                Json::array(self.degraded.iter().map(Degradation::to_json)),
+            ),
+            (
                 "summary",
                 Json::object([
                     ("ablations", ablation_summary),
@@ -835,6 +1063,44 @@ mod tests {
     }
 
     #[test]
+    fn journal_resume_is_byte_identical_across_windows() {
+        let dir =
+            std::env::temp_dir().join(format!("smt-exp-ablation-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let plain = tiny_ablation_study();
+        let cfg = AblationStudyConfig {
+            journal: Some(dir.clone()),
+            ..plain.clone()
+        };
+        let reference = run_ablation_study(&plain)
+            .unwrap()
+            .to_json()
+            .render_pretty();
+        let first = run_ablation_study(&cfg).unwrap();
+        assert_eq!(first.journal_loaded, 0);
+        assert_eq!(first.to_json().render_pretty(), reference);
+        // Cold AND warm cells are journaled, so a resume runs nothing.
+        let resumed = run_ablation_study(&cfg).unwrap();
+        assert_eq!(resumed.journal_loaded, cfg.cell_count());
+        assert_eq!(resumed.warmups_performed, 0);
+        assert!(resumed.degraded.is_empty());
+        assert_eq!(resumed.to_json().render_pretty(), reference);
+        // A partial journal re-runs only the missing cells.
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        for name in names.iter().take(names.len() / 2) {
+            std::fs::remove_file(dir.join(name)).unwrap();
+        }
+        let partial = run_ablation_study(&cfg).unwrap();
+        assert_eq!(partial.journal_loaded, names.len() - names.len() / 2);
+        assert_eq!(partial.to_json().render_pretty(), reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn study_json_round_trips_and_carries_summary() {
         let study = run_ablation_study(&tiny_ablation_study()).unwrap();
         let text = study.to_json().render_pretty();
@@ -846,6 +1112,10 @@ mod tests {
         assert_eq!(back.get("study").and_then(Json::as_str), Some("ablation"));
         let cells = back.get("cells").and_then(Json::as_array).unwrap();
         assert_eq!(cells.len(), study.cells.len());
+        for list in ["failed_cells", "degraded_cells"] {
+            let entries = back.get(list).and_then(Json::as_array).unwrap();
+            assert!(entries.is_empty(), "{list} not empty on a fault-free run");
+        }
         let summary = back.get("summary").unwrap();
         let gaps = summary.get("gap_decomposition").unwrap();
         assert!(gaps

@@ -9,9 +9,33 @@
 use std::process::ExitCode;
 
 use smt_experiments::ablation::{run_ablation_study, Window};
+use smt_experiments::fault::Degradation;
 use smt_experiments::study::run_study;
 use smt_experiments::warmup::{run_checkpoint_verify, run_checkpoint_write};
 use smt_experiments::{matrix_to_json, parse_cli, run_matrix, Command, USAGE};
+
+/// Prints the sweep's fault/degradation summary and returns whether any
+/// cell failed (a nonzero-exit condition — partial results are still
+/// printed and written, but the run must not look clean).
+fn report_faults(
+    journal_loaded: usize,
+    degraded: &[Degradation],
+    failed: &[(String, String)],
+) -> bool {
+    if journal_loaded > 0 {
+        println!("journal: resumed {journal_loaded} completed cell(s)");
+    }
+    for d in degraded {
+        eprintln!("degraded: {d}");
+    }
+    if !failed.is_empty() {
+        eprintln!("{} cell(s) FAILED:", failed.len());
+        for (label, error) in failed {
+            eprintln!("  {label}: {error}");
+        }
+    }
+    !failed.is_empty()
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,12 +108,29 @@ fn main() -> ExitCode {
                 study.issue_ipc_spread(),
                 study.fetch_ipc_spread()
             );
+            let failed: Vec<(String, String)> = study
+                .failed
+                .iter()
+                .map(|f| {
+                    (
+                        format!(
+                            "{}/{}/{}/{}/s{}",
+                            f.fetch, f.issue, f.partition, f.mix, f.seed
+                        ),
+                        f.error.to_string(),
+                    )
+                })
+                .collect();
+            let any_failed = report_faults(study.journal_loaded, &study.degraded, &failed);
             if let Some(path) = json {
                 if let Err(e) = std::fs::write(&path, study.to_json().render_pretty()) {
                     eprintln!("failed to write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
                 println!("wrote {path}");
+            }
+            if any_failed {
+                return ExitCode::FAILURE;
             }
         }
         Command::Ablation { cfg, json } => {
@@ -140,12 +181,34 @@ fn main() -> ExitCode {
                     println!("ICOUNT-vs-RR {label}: {gap:+.3} IPC");
                 }
             }
+            let failed: Vec<(String, String)> = study
+                .failed
+                .iter()
+                .map(|f| {
+                    (
+                        format!(
+                            "{}/{}/{}/{}/{}/s{}",
+                            f.ablation.as_deref().unwrap_or("baseline"),
+                            f.fetch,
+                            f.window,
+                            f.partition,
+                            f.mix,
+                            f.seed
+                        ),
+                        f.error.to_string(),
+                    )
+                })
+                .collect();
+            let any_failed = report_faults(study.journal_loaded, &study.degraded, &failed);
             if let Some(path) = json {
                 if let Err(e) = std::fs::write(&path, study.to_json().render_pretty()) {
                     eprintln!("failed to write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
                 println!("wrote {path}");
+            }
+            if any_failed {
+                return ExitCode::FAILURE;
             }
         }
         Command::CheckpointWrite(cfg) => match run_checkpoint_write(&cfg) {

@@ -55,7 +55,7 @@
 //! assert!(json.contains("\"schema_version\""));
 //! ```
 //!
-//! # JSON schema (version 3)
+//! # JSON schema (version 4)
 //!
 //! `smt_exp --study issue --json out.json` writes one pretty-rendered JSON
 //! object ([`study::Study::to_json`]); `--json` in matrix mode writes the
@@ -65,12 +65,14 @@
 //! added the optional per-report `restored_from_checkpoint` flag (present
 //! and `true` exactly when the cell was forked off a warmed-state
 //! checkpoint — every issue-study cell and every warm-window ablation cell
-//! under the default shared-warmup path). Version-1/2 documents are
-//! otherwise forward-compatible.
+//! under the default shared-warmup path); version 4 added the
+//! always-present `failed_cells` and `degraded_cells` lists (both empty on
+//! a fault-free run). Version-1/2/3 documents are otherwise
+//! forward-compatible.
 //!
 //! ```text
 //! {
-//!   "schema_version": 3,                // bumped on breaking changes
+//!   "schema_version": 4,                // bumped on breaking changes
 //!   "kind": "smt-exp-study",            // or "smt-exp-matrix"
 //!   "study": "issue",                   // study mode only
 //!   "config": {
@@ -97,6 +99,20 @@
 //!                                       // when the cell forked a warmed
 //!                                       // checkpoint
 //!   }],
+//!   "failed_cells": [{                  // contained cell faults (v4);
+//!     "fetch": str, "issue": str,       // empty on a fault-free run
+//!     "partition": "T.I", "mix": str, "seed": u64,
+//!     "error": {"kind": "panic" | "workload" | "checkpoint" | "io",
+//!               "message": str}
+//!   }],
+//!   "degraded_cells": [{                // recovered incidents (v4):
+//!     "key": str,                       // the affected cell/warmup
+//!     "reason": "checkpoint_cache_read_failed"
+//!             | "checkpoint_cache_invalid"
+//!             | "checkpoint_cache_write_failed"
+//!             | "journal_read_failed" | "journal_write_failed",
+//!     "detail": str                     // what happened + the fallback
+//!   }],
 //!   "summary": {
 //!     "baseline_issue": "OLDEST_FIRST",
 //!     "issue_policies": [{"issue": str, "mean_ipc": f64,
@@ -113,7 +129,7 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "kind": "smt-exp-study",
 //!   "study": "ablation",
 //!   "config": {
@@ -136,6 +152,13 @@
 //!     },
 //!     "report": { ... }
 //!   }],
+//!   "failed_cells": [{                  // as in the issue document, plus
+//!     "ablation": str | null,           // the cell's ablation and window
+//!     "fetch": str, "partition": "T.I", "mix": str, "seed": u64,
+//!     "window": "cold" | "warm",
+//!     "error": {"kind": str, "message": str}
+//!   }],
+//!   "degraded_cells": [{ "key": str, "reason": str, "detail": str }],
 //!   "summary": {
 //!     "ablations": [{"ablation": str, "window": str, "mean_ipc": f64,
 //!                    "mean_baseline_ipc": f64, "mean_delta_ipc": f64,
@@ -158,11 +181,46 @@
 //! `smt_bench --json` emits a sibling `"smt-bench"` document with the same
 //! `schema_version` convention, so BENCH_*.json trajectory tooling can
 //! consume both.
+//!
+//! # Operational robustness
+//!
+//! A sweep is a long-running fleet of independent cells, and the harness
+//! treats it that way ([`fault`], [`journal`]):
+//!
+//! * **Per-cell fault isolation.** Every cell (and every shared warmup)
+//!   runs behind `catch_unwind` at the scheduler boundary. A panic, an
+//!   unloadable `riscv:`/`trace:` workload file, a checkpoint mismatch or
+//!   a post-retry I/O failure becomes a typed entry in the document's
+//!   `failed_cells` list — tagged `panic` / `workload` / `checkpoint` /
+//!   `io` — while every other cell's result stays byte-identical to a
+//!   fault-free run. `smt_exp` exits nonzero when any cell failed.
+//! * **A durable, resumable journal.** `--journal DIR` atomically
+//!   publishes each completed cell's lossless binary report to `DIR` the
+//!   moment it finishes (entry format: [`journal`]). Re-running the
+//!   identical command after a SIGKILL resumes from the valid entries and
+//!   produces a document **byte-identical** to an uninterrupted run — CI
+//!   pins exactly this with a kill-and-resume step.
+//! * **Graceful degradation, on the record.** Transient I/O on the
+//!   `--checkpoint-dir` cache and the journal is retried with bounded
+//!   backoff; anything that still fails (unreadable cache entry, torn or
+//!   bit-rotted journal entry, failed store) falls back — recompute the
+//!   warmup, re-run the cell, keep the in-memory result — and is reported
+//!   as a reason-tagged entry in `degraded_cells` instead of an
+//!   `eprintln!` lost to a log. Degradation never changes result bytes.
+//! * **A fault-injection harness.** The `fault-inject` cargo feature
+//!   (never enabled in release artifacts) arms deterministic panics, I/O
+//!   errors and corruption at the named probe sites
+//!   (`smt_stats::faults`); the property suite drives it to assert the
+//!   sweep always terminates, reports exactly the injected failures and
+//!   leaves healthy cells bit-exact, across worker counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub(crate) mod durable;
+pub mod fault;
+pub mod journal;
 pub mod study;
 pub mod warmup;
 
@@ -176,26 +234,6 @@ use smt_workload::{standard_mix, Benchmark, Program};
 use crate::ablation::AblationStudyConfig;
 use crate::study::{StudyConfig, JSON_SCHEMA_VERSION, STUDY_MIXES};
 use crate::warmup::CheckpointCliConfig;
-
-/// Runs `count` independent jobs across a pool of OS threads and returns
-/// the results in job-index order. `jobs == 0` uses one worker per
-/// available core; the pool never exceeds `count`. Shared by the study
-/// runners — every job is an independent simulation, so the sweeps scale
-/// to the available cores.
-///
-/// Delegates to the workspace's work-stealing scheduler
-/// ([`smt_stats::sched::work_steal_map`]): sweep cells have heavily
-/// skewed costs (a warm cell forks a checkpoint in ~1 ms, a cold cell
-/// simulates its ~10 ms warmup), and the shrinking-batch queue rebalances
-/// that skew while keeping the output order — and therefore every study's
-/// JSON document — independent of the worker count.
-pub(crate) fn parallel_map<T, F>(count: usize, jobs: usize, run: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    smt_stats::sched::work_steal_map(count, jobs, run)
-}
 
 /// One experiment sweep: which policies and partitions to run, on what
 /// workload, for how long.
@@ -449,6 +487,7 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
     let mut ablations: Option<Vec<String>> = None;
     let mut cold_warmup = false;
     let mut checkpoint_dir: Option<String> = None;
+    let mut journal: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -580,6 +619,7 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
             "--json" => exp.json = Some(value("--json")?),
             "--cold-warmup" => cold_warmup = true,
             "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--journal" => journal = Some(value("--journal")?),
             "--verbose" | "-v" => exp.verbose = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -600,6 +640,7 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                 (ablations.is_some(), "--ablations"),
                 (cold_warmup, "--cold-warmup"),
                 (checkpoint_dir.is_some(), "--checkpoint-dir"),
+                (journal.is_some(), "--journal"),
             ] {
                 if given {
                     return Err(format!("{flag} requires a --study mode"));
@@ -653,6 +694,7 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                     jobs: jobs.unwrap_or(0),
                     share_warmup: !cold_warmup,
                     checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
+                    journal: journal.map(std::path::PathBuf::from),
                 };
                 cfg.validate()?;
                 Ok(Command::Study {
@@ -693,6 +735,7 @@ pub fn parse_cli(args: &[String]) -> Result<Command, String> {
                     jobs: jobs.unwrap_or(0),
                     share_warmup: !cold_warmup,
                     checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
+                    journal: journal.map(std::path::PathBuf::from),
                 };
                 cfg.validate()?;
                 Ok(Command::Ablation {
@@ -711,10 +754,12 @@ usage: smt_exp [--fetch rr,icount,brcount,misscount|all] [--issue oldest|opt_las
                [--seed N] [--verbose] [--json PATH]
        smt_exp --study issue [--fetch LIST] [--issue LIST|all] [--partition LIST|all]
                [--mixes MIX[,MIX...]|all] [--seeds N,N,...] [--cycles N]
-               [--warmup N] [--jobs N] [--cold-warmup] [--checkpoint-dir DIR] [--json PATH]
+               [--warmup N] [--jobs N] [--cold-warmup] [--checkpoint-dir DIR]
+               [--journal DIR] [--json PATH]
        smt_exp --study ablation [--fetch LIST] [--ablations LIST|all] [--partition LIST|all]
                [--mixes LIST|all] [--seeds N,N,...] [--cycles N] [--warmup N]
-               [--jobs N] [--cold-warmup] [--checkpoint-dir DIR] [--json PATH]
+               [--jobs N] [--cold-warmup] [--checkpoint-dir DIR] [--journal DIR]
+               [--json PATH]
        smt_exp checkpoint-write --path FILE [--mix NAME] [--seed N] [--partition T.I]
                [--warmup N]
        smt_exp checkpoint-verify --path FILE [--mix NAME] [--seed N] [--partition T.I]
@@ -748,7 +793,15 @@ warmup checkpoints on disk across invocations. 'checkpoint-write' simulates one
 canonical warmup (ICOUNT fetch, OLDEST_FIRST issue, no ablations) and writes
 the checkpoint to --path; 'checkpoint-verify' restores such a file — from any
 process — and fails unless the restored run's report is byte-identical to a
-straight-through run of the same machine.";
+straight-through run of the same machine.
+
+Sweeps contain cell faults: a cell that panics or fails to load its workload
+becomes a typed entry in the document's 'failed_cells' list (and a nonzero
+exit code) while every other cell completes unchanged. '--journal DIR'
+additionally makes the sweep crash-resumable: every completed cell is
+atomically published to DIR as it finishes, and re-running the identical
+command resumes from the journal, producing a document byte-identical to an
+uninterrupted run.";
 
 #[cfg(test)]
 mod tests {
@@ -929,6 +982,24 @@ mod tests {
             panic!("expected checkpoint-write");
         };
         assert_eq!(cfg.mix, mix);
+    }
+
+    #[test]
+    fn parse_journal_flag_is_study_only() {
+        let Command::Study { cfg, .. } =
+            parse_cli(&argv(&["--study", "issue", "--journal", "j.dir"])).unwrap()
+        else {
+            panic!("expected study mode");
+        };
+        assert_eq!(cfg.journal.as_deref(), Some(std::path::Path::new("j.dir")));
+        let Command::Ablation { cfg, .. } =
+            parse_cli(&argv(&["--study", "ablation", "--journal", "j.dir"])).unwrap()
+        else {
+            panic!("expected ablation mode");
+        };
+        assert_eq!(cfg.journal.as_deref(), Some(std::path::Path::new("j.dir")));
+        // Matrix mode rejects it loudly, like the other study-only flags.
+        assert!(parse_cli(&argv(&["--journal", "j.dir"])).is_err());
     }
 
     #[test]

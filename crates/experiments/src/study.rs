@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use smt_core::checkpoint::config_fingerprint;
 use smt_core::{
     fetch_policy_by_name, issue_policy_by_name, FetchPartition, SimConfig, SimReport, WorkloadSpec,
     MAX_THREADS,
@@ -23,13 +24,18 @@ use smt_stats::json::Json;
 use smt_stats::TextTable;
 use smt_workload::{standard_mix, Benchmark, Program, RiscvImage, TraceImage};
 
+use crate::fault::{CellError, Degradation, DegradeReason};
+use crate::journal::{journal_key, Journal};
+
 /// Version of the JSON documents emitted by [`Study::to_json`],
 /// [`crate::ablation::AblationStudy::to_json`] and `smt_exp --json`. Bump
 /// on any breaking change to a schema. Version 2 added the ablation-study
 /// document (and the optional per-report `ablations` field). Version 3
 /// added the optional per-report `restored_from_checkpoint` provenance
-/// flag written by the shared-warmup sweep path.
-pub const JSON_SCHEMA_VERSION: u64 = 3;
+/// flag written by the shared-warmup sweep path. Version 4 added the
+/// always-present `failed_cells` and `degraded_cells` lists (both empty
+/// on a fault-free run).
+pub const JSON_SCHEMA_VERSION: u64 = 4;
 
 /// The issue policy every delta is measured against.
 pub const BASELINE_ISSUE: &str = "OLDEST_FIRST";
@@ -205,22 +211,24 @@ pub fn resolve_mix(mix: &str, seed: u64) -> Result<MixImages, String> {
 }
 
 /// Workload images for a sweep, resolved once per (mix, seed) and shared
-/// between every cell that uses the pair. Mix names must be pre-validated
-/// ([`validate_mix`]); file loads can still fail here.
+/// between every cell that uses the pair. Mix names are pre-validated
+/// ([`validate_mix`]) but file loads can still fail — per *key*, not per
+/// sweep: an unreadable `riscv:`/`trace:` file fails only the cells of
+/// its own (mix, seed) pair (as typed `workload` [`CellError`]s), while
+/// every other key's cells run to completion.
 pub(crate) fn generate_images(
     mixes: &[String],
     seeds: &[u64],
-) -> Result<HashMap<(String, u64), MixImages>, String> {
-    let mut images: HashMap<(String, u64), MixImages> = HashMap::new();
+) -> HashMap<(String, u64), Result<MixImages, String>> {
+    let mut images = HashMap::new();
     for mix in mixes {
         for &seed in seeds {
-            if let std::collections::hash_map::Entry::Vacant(e) = images.entry((mix.clone(), seed))
-            {
-                e.insert(resolve_mix(mix, seed)?);
-            }
+            images
+                .entry((mix.clone(), seed))
+                .or_insert_with(|| resolve_mix(mix, seed));
         }
     }
-    Ok(images)
+    images
 }
 
 /// Configuration of one study sweep.
@@ -252,6 +260,12 @@ pub struct StudyConfig {
     /// (`--checkpoint-dir`); entries are fingerprint-validated on load and
     /// recomputed on any mismatch.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Durable result journal (`--journal`): append each completed cell's
+    /// report to this directory as it finishes, and on start resume every
+    /// journaled cell instead of re-running it. A sweep killed mid-flight
+    /// and re-run with the same journal produces a document byte-identical
+    /// to an uninterrupted run (see [`crate::journal`]).
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -280,6 +294,7 @@ impl Default for StudyConfig {
             jobs: 0,
             share_warmup: true,
             checkpoint_dir: None,
+            journal: None,
         }
     }
 }
@@ -342,20 +357,64 @@ pub struct StudyCell {
     pub report: SimReport,
 }
 
+/// One contained cell failure: the cell's matrix coordinates plus the
+/// typed error. Failed cells appear in the document's `failed_cells` list
+/// (in deterministic spec order) instead of aborting the sweep.
+#[derive(Debug, Clone)]
+pub struct FailedStudyCell {
+    /// Canonical fetch-policy name.
+    pub fetch: String,
+    /// Canonical issue-policy name.
+    pub issue: String,
+    /// Fetch partition the cell would have run.
+    pub partition: FetchPartition,
+    /// Workload-mix name.
+    pub mix: String,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Why the cell failed.
+    pub error: CellError,
+}
+
 /// Results of one sweep: the configuration plus every cell.
 #[derive(Debug, Clone)]
 pub struct Study {
     /// The sweep configuration that produced these cells.
     pub config: StudyConfig,
-    /// One entry per matrix cell, in deterministic
+    /// One entry per *completed* matrix cell, in deterministic
     /// (mix, seed, partition, fetch, issue) order.
     pub cells: Vec<StudyCell>,
+    /// Cells whose fault was contained (panic, workload, checkpoint or
+    /// I/O), in the same deterministic spec order. Empty on a fault-free
+    /// run; completed cells are byte-identical either way.
+    pub failed: Vec<FailedStudyCell>,
+    /// Graceful-degradation events survived along the way (cache or
+    /// journal trouble that cost speed or durability, never results), in
+    /// deterministic order: journal-read first, then warmup-cache, then
+    /// journal-write events.
+    pub degraded: Vec<Degradation>,
     /// Warmup simulations actually executed: one per unique (mix, seed,
     /// partition) when warmups are shared, one per cell when not, fewer
     /// when a checkpoint directory served cached entries. Deliberately not
     /// part of [`Study::to_json`] — the shared and cold paths produce
     /// byte-identical documents.
     pub warmups_performed: usize,
+    /// Cells resumed from the `--journal` directory instead of re-run.
+    /// Deliberately not part of [`Study::to_json`] — a resumed run's
+    /// document is byte-identical to an uninterrupted one.
+    pub journal_loaded: usize,
+}
+
+/// The canonical policy name for a validated raw name (used to label
+/// failed cells consistently with completed ones, whose names come off
+/// their reports).
+pub(crate) fn canonical_fetch_name(name: &str) -> String {
+    fetch_policy_by_name(name).map_or_else(|| name.to_string(), |p| p.name().to_string())
+}
+
+/// See [`canonical_fetch_name`].
+pub(crate) fn canonical_issue_name(name: &str) -> String {
+    issue_policy_by_name(name).map_or_else(|| name.to_string(), |p| p.name().to_string())
 }
 
 /// Runs the full study matrix, parallelized across OS threads. Each cell is
@@ -366,13 +425,21 @@ pub struct Study {
 /// computed once per unique (mix, seed, partition) and forked across the
 /// fetch × issue cross-product as a checkpoint (see [`crate::warmup`]).
 ///
+/// Cell faults are contained: a panicking cell, an unloadable workload
+/// file, a checkpoint mismatch or a post-retry I/O failure becomes a
+/// [`FailedStudyCell`] while every other cell completes with bytes
+/// identical to a fault-free run. With [`StudyConfig::journal`] the sweep
+/// is also crash-resumable (see [`crate::journal`]).
+///
 /// # Errors
 ///
-/// Returns the [`StudyConfig::validate`] message for bad names.
+/// Returns the [`StudyConfig::validate`] message for bad names, or the
+/// open error when the requested journal directory cannot be created —
+/// the only faults that still fail the whole sweep.
 pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
     cfg.validate()?;
 
-    let images = generate_images(&cfg.mixes, &cfg.seeds)?;
+    let images = generate_images(&cfg.mixes, &cfg.seeds);
 
     // The work list: one spec per cell, in deterministic order.
     struct Spec<'a> {
@@ -400,24 +467,95 @@ pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
             }
         }
     }
+    let cell_label = |spec: &Spec| {
+        format!(
+            "{}/{}/{}/{}/s{}",
+            spec.fetch, spec.issue, spec.partition, spec.mix, spec.seed
+        )
+    };
 
-    // One canonical warmup checkpoint per unique (mix, seed, partition),
-    // computed up front (in parallel) and forked across every cell that
-    // shares the key. The cold path recomputes the identical canonical
-    // warmup per cell instead, so both paths yield byte-identical cells.
-    let mut keys: Vec<(String, u64, FetchPartition)> = Vec::new();
-    for mix in &cfg.mixes {
-        for &seed in &cfg.seeds {
-            for &partition in &cfg.partitions {
-                keys.push((mix.clone(), seed, partition));
+    // The durable journal, when asked for. Each cell's 64-bit identity
+    // folds the canonical machine/workload fingerprint of its (mix, seed,
+    // partition) key with the fork axes and cycle counts, so entries are
+    // only ever resumed into a sweep that would reproduce them exactly.
+    let journal = match &cfg.journal {
+        Some(dir) => Some(
+            Journal::open(dir)
+                .map_err(|e| format!("cannot open journal {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+    let mut fingerprints: HashMap<(String, u64, FetchPartition), u64> = HashMap::new();
+    if journal.is_some() {
+        for mix in &cfg.mixes {
+            for &seed in &cfg.seeds {
+                if let Ok(imgs) = &images[&(mix.clone(), seed)] {
+                    for &partition in &cfg.partitions {
+                        fingerprints.insert(
+                            (mix.clone(), seed, partition),
+                            config_fingerprint(&crate::warmup::canonical_config_for(
+                                imgs, seed, partition,
+                            )),
+                        );
+                    }
+                }
             }
         }
     }
+    let cell_key = |spec: &Spec| -> Option<u64> {
+        let fp = fingerprints.get(&(spec.mix.to_string(), spec.seed, spec.partition))?;
+        Some(journal_key(
+            *fp,
+            &["issue-study", spec.fetch, spec.issue],
+            &[cfg.cycles, cfg.warmup],
+        ))
+    };
+
+    // Journal prescan: resume every valid completed entry; an invalid one
+    // degrades (and the cell re-runs). Failed cells are never journaled —
+    // deterministic failures re-fail on resume, keeping the resumed
+    // document byte-identical to an uninterrupted run.
+    let mut journaled: Vec<Option<SimReport>> = (0..specs.len()).map(|_| None).collect();
+    let mut degraded: Vec<Degradation> = Vec::new();
+    if let Some(journal) = &journal {
+        for (i, spec) in specs.iter().enumerate() {
+            let Some(key) = cell_key(spec) else { continue };
+            match journal.load(key, i as u64) {
+                Ok(found) => journaled[i] = found,
+                Err(detail) => degraded.push(Degradation {
+                    key: cell_label(spec),
+                    reason: DegradeReason::JournalRead,
+                    detail: format!("{detail}; cell re-run"),
+                }),
+            }
+        }
+    }
+
+    // One canonical warmup checkpoint per unique (mix, seed, partition)
+    // still needed by a non-journaled cell, computed up front (in
+    // parallel) and forked across every cell that shares the key. The
+    // cold path recomputes the identical canonical warmup per cell
+    // instead, so both paths yield byte-identical cells. A warmup that
+    // panics poisons exactly the cells that depend on its key.
+    type WarmKey = (String, u64, FetchPartition);
     let (shared, mut warmups_performed) = if cfg.share_warmup {
-        let blobs = crate::parallel_map(keys.len(), cfg.jobs, |i| {
-            let (mix, seed, partition) = &keys[i];
+        let mut needed: Vec<WarmKey> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let key = (spec.mix.to_string(), spec.seed, spec.partition);
+            if journaled[i].is_none()
+                && images[&(key.0.clone(), key.1)].is_ok()
+                && !needed.contains(&key)
+            {
+                needed.push(key);
+            }
+        }
+        let outcomes = smt_stats::sched::work_steal_map_catch(needed.len(), cfg.jobs, |i| {
+            let (mix, seed, partition) = &needed[i];
+            let imgs = images[&(mix.clone(), *seed)]
+                .as_ref()
+                .expect("needed keys filtered to loadable images");
             crate::warmup::warm_checkpoint(
-                &images[&(mix.clone(), *seed)],
+                imgs,
                 mix,
                 *seed,
                 *partition,
@@ -425,28 +563,77 @@ pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
                 cfg.checkpoint_dir.as_deref(),
             )
         });
-        let computed = blobs.iter().filter(|(_, computed)| *computed).count();
-        let map: HashMap<(String, u64, FetchPartition), Arc<Vec<u8>>> = keys
-            .iter()
-            .cloned()
-            .zip(blobs.into_iter().map(|(bytes, _)| bytes))
-            .collect();
+        let mut computed = 0;
+        let mut map: HashMap<WarmKey, Result<Arc<Vec<u8>>, CellError>> = HashMap::new();
+        for (key, outcome) in needed.into_iter().zip(outcomes) {
+            match outcome {
+                Ok(warm) => {
+                    if warm.computed {
+                        computed += 1;
+                    }
+                    degraded.extend(warm.degradations);
+                    map.insert(key, Ok(warm.checkpoint));
+                }
+                Err(panic_msg) => {
+                    map.insert(
+                        key,
+                        Err(CellError::panic(format!("warmup panicked: {panic_msg}"))),
+                    );
+                }
+            }
+        }
         (Some(map), computed)
     } else {
         (None, 0)
     };
 
-    let cells = crate::parallel_map(specs.len(), cfg.jobs, |i| {
+    // The cell phase, each cell isolated behind `catch_unwind` at the
+    // scheduler boundary: one cell's fault becomes its own failure record
+    // while every other cell's result stays byte-identical.
+    struct Done {
+        cell: StudyCell,
+        from_journal: bool,
+        warmed_cold: bool,
+        degradation: Option<Degradation>,
+    }
+    let outcomes = smt_stats::sched::work_steal_map_catch(specs.len(), cfg.jobs, |i| {
         let spec = &specs[i];
-        let mix_images = &images[&(spec.mix.to_string(), spec.seed)];
+        #[cfg(feature = "fault-inject")]
+        smt_stats::faults::panic_point("cell", i as u64);
+        let mix_images = match &images[&(spec.mix.to_string(), spec.seed)] {
+            Ok(imgs) => imgs,
+            Err(e) => return Err(CellError::workload(e.clone())),
+        };
+        if let Some(report) = &journaled[i] {
+            return Ok(Done {
+                cell: StudyCell {
+                    fetch: report.fetch_policy.clone(),
+                    issue: report.issue_policy.clone(),
+                    partition: spec.partition,
+                    mix: spec.mix.to_string(),
+                    seed: spec.seed,
+                    report: report.clone(),
+                },
+                from_journal: true,
+                warmed_cold: false,
+                degradation: None,
+            });
+        }
+        let mut warmed_cold = false;
         let checkpoint = match &shared {
-            Some(map) => map[&(spec.mix.to_string(), spec.seed, spec.partition)].clone(),
-            None => Arc::new(crate::warmup::compute_checkpoint(
-                mix_images,
-                spec.seed,
-                spec.partition,
-                cfg.warmup,
-            )),
+            Some(map) => match &map[&(spec.mix.to_string(), spec.seed, spec.partition)] {
+                Ok(bytes) => bytes.clone(),
+                Err(poisoned) => return Err(poisoned.clone()),
+            },
+            None => {
+                warmed_cold = true;
+                Arc::new(crate::warmup::compute_checkpoint(
+                    mix_images,
+                    spec.seed,
+                    spec.partition,
+                    cfg.warmup,
+                ))
+            }
         };
         let cell_cfg = mix_images
             .apply(SimConfig::new())
@@ -454,23 +641,77 @@ pub fn run_study(cfg: &StudyConfig) -> Result<Study, String> {
             .with_fetch(fetch_policy_by_name(spec.fetch).expect("validated"))
             .with_issue(issue_policy_by_name(spec.issue).expect("validated"))
             .with_partition(spec.partition);
-        let report = crate::warmup::fork_cell(cell_cfg, &checkpoint, cfg.cycles);
-        StudyCell {
-            fetch: report.fetch_policy.clone(),
-            issue: report.issue_policy.clone(),
-            partition: spec.partition,
-            mix: spec.mix.to_string(),
-            seed: spec.seed,
-            report,
+        let report = crate::warmup::try_fork_cell(cell_cfg, &checkpoint, cfg.cycles)
+            .map_err(|e| CellError::checkpoint(e.to_string()))?;
+        let mut degradation = None;
+        if let (Some(journal), Some(key)) = (&journal, cell_key(spec)) {
+            if let Err(e) = journal.store(key, i as u64, &report) {
+                degradation = Some(Degradation {
+                    key: cell_label(spec),
+                    reason: DegradeReason::JournalWrite,
+                    detail: format!("store failed: {e}; result not durable"),
+                });
+            }
         }
+        Ok(Done {
+            cell: StudyCell {
+                fetch: report.fetch_policy.clone(),
+                issue: report.issue_policy.clone(),
+                partition: spec.partition,
+                mix: spec.mix.to_string(),
+                seed: spec.seed,
+                report,
+            },
+            from_journal: false,
+            warmed_cold,
+            degradation,
+        })
     });
+
+    let mut cells = Vec::new();
+    let mut failed = Vec::new();
+    let mut store_degradations = Vec::new();
+    let mut journal_loaded = 0;
+    let mut cold_warmups = 0;
+    for (spec, outcome) in specs.iter().zip(outcomes) {
+        // Flatten the scheduler's catch layer (an escaped panic) into the
+        // cell's own typed result.
+        let flat = match outcome {
+            Ok(inner) => inner,
+            Err(panic_msg) => Err(CellError::panic(panic_msg)),
+        };
+        match flat {
+            Ok(done) => {
+                if done.from_journal {
+                    journal_loaded += 1;
+                }
+                if done.warmed_cold {
+                    cold_warmups += 1;
+                }
+                store_degradations.extend(done.degradation);
+                cells.push(done.cell);
+            }
+            Err(error) => failed.push(FailedStudyCell {
+                fetch: canonical_fetch_name(spec.fetch),
+                issue: canonical_issue_name(spec.issue),
+                partition: spec.partition,
+                mix: spec.mix.to_string(),
+                seed: spec.seed,
+                error,
+            }),
+        }
+    }
+    degraded.extend(store_degradations);
     if !cfg.share_warmup {
-        warmups_performed = cells.len();
+        warmups_performed = cold_warmups;
     }
     Ok(Study {
         config: cfg.clone(),
         cells,
+        failed,
+        degraded,
         warmups_performed,
+        journal_loaded,
     })
 }
 
@@ -637,6 +878,23 @@ impl Study {
             ("config", config),
             ("cells", cells),
             (
+                "failed_cells",
+                Json::array(self.failed.iter().map(|f| {
+                    Json::object([
+                        ("fetch", Json::from(f.fetch.as_str())),
+                        ("issue", Json::from(f.issue.as_str())),
+                        ("partition", Json::from(f.partition.to_string())),
+                        ("mix", Json::from(f.mix.as_str())),
+                        ("seed", Json::from(f.seed)),
+                        ("error", f.error.to_json()),
+                    ])
+                })),
+            ),
+            (
+                "degraded_cells",
+                Json::array(self.degraded.iter().map(Degradation::to_json)),
+            ),
+            (
                 "summary",
                 Json::object([
                     ("baseline_issue", Json::from(BASELINE_ISSUE)),
@@ -688,6 +946,7 @@ fn spread(means: &[(String, f64)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::CellErrorKind;
 
     fn tiny_study() -> StudyConfig {
         StudyConfig {
@@ -948,6 +1207,154 @@ mod tests {
     }
 
     #[test]
+    fn journal_resume_is_byte_identical_and_reuses_entries() {
+        let dir =
+            std::env::temp_dir().join(format!("smt-exp-study-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let plain = tiny_study();
+        let cfg = StudyConfig {
+            journal: Some(dir.clone()),
+            ..plain.clone()
+        };
+        // A journaled sweep changes nothing about the results …
+        let reference = run_study(&plain).unwrap().to_json().render_pretty();
+        let first = run_study(&cfg).unwrap();
+        assert_eq!(first.journal_loaded, 0);
+        assert!(first.degraded.is_empty());
+        assert_eq!(first.to_json().render_pretty(), reference);
+        // … publishes one entry per cell …
+        let entries = || {
+            let mut names: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(entries().len(), cfg.cell_count());
+        // … and a full re-run resumes every cell, byte-identical, with no
+        // warmups at all.
+        let resumed = run_study(&cfg).unwrap();
+        assert_eq!(resumed.journal_loaded, cfg.cell_count());
+        assert_eq!(resumed.warmups_performed, 0);
+        assert_eq!(resumed.to_json().render_pretty(), reference);
+        // A *partial* journal (as a SIGKILL mid-sweep leaves behind)
+        // resumes what it has and re-runs the rest — still byte-identical.
+        for name in entries().iter().step_by(2) {
+            std::fs::remove_file(dir.join(name)).unwrap();
+        }
+        let kept = entries().len();
+        let partial = run_study(&cfg).unwrap();
+        assert_eq!(partial.journal_loaded, kept);
+        assert!(partial.degraded.is_empty());
+        assert_eq!(partial.to_json().render_pretty(), reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_journal_entries_degrade_and_rerun() {
+        let dir =
+            std::env::temp_dir().join(format!("smt-exp-study-journal-rot-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StudyConfig {
+            journal: Some(dir.clone()),
+            ..tiny_study()
+        };
+        let first = run_study(&cfg).unwrap();
+        // Bit-rot one entry; the resumed sweep must not trust it.
+        let mut names: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        names.sort();
+        let victim = &names[0];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(victim, &bytes).unwrap();
+        let resumed = run_study(&cfg).unwrap();
+        assert_eq!(resumed.journal_loaded, cfg.cell_count() - 1);
+        assert_eq!(resumed.degraded.len(), 1);
+        assert_eq!(resumed.degraded[0].reason, DegradeReason::JournalRead);
+        assert!(resumed.degraded[0].detail.contains("cell re-run"));
+        // The re-run cell reproduced the identical result.
+        for (a, b) in first.cells.iter().zip(resumed.cells.iter()) {
+            assert_eq!(a.report, b.report);
+        }
+        assert!(resumed.failed.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_keys_do_not_collide_across_sweep_shapes() {
+        // Two sweeps differing only in measured length share a journal
+        // directory without poisoning each other: the cycle counts are
+        // part of every key.
+        let dir = std::env::temp_dir().join(format!(
+            "smt-exp-study-journal-shapes-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let short = StudyConfig {
+            journal: Some(dir.clone()),
+            ..tiny_study()
+        };
+        let long = StudyConfig {
+            cycles: short.cycles + 100,
+            ..short.clone()
+        };
+        run_study(&short).unwrap();
+        let other = run_study(&long).unwrap();
+        assert_eq!(
+            other.journal_loaded, 0,
+            "a different sweep shape resumed foreign entries"
+        );
+        // Both populations coexist; re-running either resumes fully.
+        assert_eq!(
+            run_study(&short).unwrap().journal_loaded,
+            short.cell_count()
+        );
+        assert_eq!(run_study(&long).unwrap().journal_loaded, long.cell_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unloadable_workloads_fail_their_cells_only() {
+        // A mix naming a file that does not exist must not abort the
+        // sweep: its cells become typed `workload` failures and every
+        // other cell is byte-identical to a sweep without the bad mix.
+        let good = tiny_study();
+        let cfg = StudyConfig {
+            mixes: vec!["mixed4".into(), "riscv:/nonexistent/nope.elf".into()],
+            ..good.clone()
+        };
+        let study = run_study(&cfg).unwrap();
+        let per_mix = cfg.cell_count() / cfg.mixes.len();
+        assert_eq!(study.failed.len(), per_mix);
+        assert_eq!(study.cells.len(), per_mix);
+        for f in &study.failed {
+            assert_eq!(f.error.kind, CellErrorKind::Workload);
+            assert_eq!(f.mix, "riscv:/nonexistent/nope.elf");
+            assert!(f.error.message.contains("nope.elf"), "{}", f.error.message);
+        }
+        let reference = run_study(&good).unwrap();
+        for (a, b) in reference.cells.iter().zip(study.cells.iter()) {
+            assert_eq!(a.report, b.report, "a failing mix perturbed a healthy cell");
+        }
+        // The document carries the failures and still parses.
+        let back = Json::parse(&study.to_json().render_pretty()).unwrap();
+        let failed = back.get("failed_cells").and_then(Json::as_array).unwrap();
+        assert_eq!(failed.len(), per_mix);
+        assert_eq!(
+            failed[0]
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("workload")
+        );
+    }
+
+    #[test]
     fn study_json_round_trips_and_carries_summary() {
         let study = run_study(&tiny_study()).unwrap();
         let doc = study.to_json();
@@ -963,6 +1370,11 @@ mod tests {
         );
         let cells = back.get("cells").and_then(Json::as_array).unwrap();
         assert_eq!(cells.len(), study.cells.len());
+        // The v4 fault lists are always present — and empty on a clean run.
+        for list in ["failed_cells", "degraded_cells"] {
+            let entries = back.get(list).and_then(Json::as_array).unwrap();
+            assert!(entries.is_empty(), "{list} not empty on a fault-free run");
+        }
         let summary = back.get("summary").unwrap();
         assert!(summary
             .get("issue_ipc_spread")

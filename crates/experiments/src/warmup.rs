@@ -30,9 +30,15 @@
 //! disk, keyed by mix, seed, partition, warmup length and the
 //! [`config_fingerprint`] of the canonical machine. Cache entries are
 //! validated on load (header fingerprint, checksum trailer, and the
-//! restored cycle count must equal the requested warmup); any mismatch is
-//! logged and falls back to recomputing — a stale or corrupt cache can
-//! slow a sweep down but never change its results.
+//! restored cycle count must equal the requested warmup); any mismatch
+//! falls back to recomputing — a stale or corrupt cache can slow a sweep
+//! down but never change its results. Cache I/O goes through the durable
+//! layer (`crate::durable`): writes are atomic (temp file + rename, so
+//! a killed sweep never leaves a torn entry under the real name),
+//! transient errors are retried, and every fallback is reported as a
+//! typed [`Degradation`] in the returned [`WarmOutcome`] instead of a
+//! fire-and-forget `eprintln!` — the sweeps surface them in the study
+//! document's `degraded_cells` list.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -43,6 +49,7 @@ use smt_core::{
 };
 use smt_workload::Program;
 
+use crate::fault::{Degradation, DegradeReason};
 use crate::study::{resolve_mix, MixImages};
 
 /// The canonical warmup configuration for a (workloads, seed, partition)
@@ -108,11 +115,34 @@ pub(crate) fn sanitize_stem(mix: &str) -> String {
         .collect()
 }
 
+/// One warmed checkpoint, plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct WarmOutcome {
+    /// The serialized warmed machine.
+    pub checkpoint: Arc<Vec<u8>>,
+    /// Whether a warmup was actually simulated (`false` when the on-disk
+    /// cache served the entry) — the accounting the sweeps expose as
+    /// `warmups_performed`.
+    pub computed: bool,
+    /// Cache troubles survived along the way (invalid entries recomputed,
+    /// write-backs that failed), in occurrence order. Empty on the happy
+    /// path; never affects the checkpoint bytes.
+    pub degradations: Vec<Degradation>,
+}
+
+impl WarmOutcome {
+    fn computed_fresh(bytes: Vec<u8>, degradations: Vec<Degradation>) -> WarmOutcome {
+        WarmOutcome {
+            checkpoint: Arc::new(bytes),
+            computed: true,
+            degradations,
+        }
+    }
+}
+
 /// One warmed checkpoint for the key, served from the on-disk cache when
 /// `dir` is given and holds a valid entry, computed (and best-effort
-/// cached) otherwise. The second element reports whether a warmup was
-/// actually simulated — the sharing/caching accounting the sweeps expose
-/// as `warmups_performed`.
+/// cached) otherwise.
 pub fn warm_checkpoint(
     images: &MixImages,
     mix: &str,
@@ -120,7 +150,7 @@ pub fn warm_checkpoint(
     partition: FetchPartition,
     warmup: u64,
     dir: Option<&Path>,
-) -> (Arc<Vec<u8>>, bool) {
+) -> WarmOutcome {
     let stem = format!(
         "warm-{}-s{seed}-p{}.{}",
         sanitize_stem(mix),
@@ -141,66 +171,86 @@ pub fn warm_checkpoint(
 /// cache axis the config fingerprint does not cover (the fingerprint
 /// deliberately excludes the fork axes — fetch/issue policies and
 /// ablations — so a caller whose warmup depends on them, like the
-/// ablation study, encodes them here). The second element reports whether
-/// a warmup was actually simulated.
+/// ablation study, encodes them here).
+///
+/// Cache trouble never fails the warmup: an unreadable or invalid entry
+/// is recomputed and a failed write-back leaves the sweep uncached, each
+/// recorded as a [`Degradation`] on the returned [`WarmOutcome`].
 pub fn warm_checkpoint_under(
     build: impl Fn() -> SimConfig,
     stem: &str,
     warmup: u64,
     dir: Option<&Path>,
-) -> (Arc<Vec<u8>>, bool) {
+) -> WarmOutcome {
     let path = dir.map(|d| {
         let fingerprint = config_fingerprint(&build());
         d.join(format!("{stem}-w{warmup}-{fingerprint:016x}.ckpt"))
     });
+    let entry_name = |path: &Path| {
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string())
+    };
 
+    let mut degradations = Vec::new();
     if let Some(path) = &path {
         match load_cached(&build, warmup, path) {
-            Ok(Some(bytes)) => return (Arc::new(bytes), false),
-            Ok(None) => {}
-            Err(why) => {
-                eprintln!(
-                    "checkpoint cache {}: {why}; recomputing the warmup",
-                    path.display()
-                );
+            Ok(Some(bytes)) => {
+                return WarmOutcome {
+                    checkpoint: Arc::new(bytes),
+                    computed: false,
+                    degradations,
+                }
             }
+            Ok(None) => {}
+            Err((reason, detail)) => degradations.push(Degradation {
+                key: entry_name(path),
+                reason,
+                detail: format!("{detail}; recomputed the warmup"),
+            }),
         }
     }
 
     let bytes = compute_checkpoint_under(build(), warmup);
     if let Some(path) = &path {
         // Best-effort: a cache that cannot be written only costs time.
-        let write = path
-            .parent()
-            .map_or(Ok(()), std::fs::create_dir_all)
-            .and_then(|()| std::fs::write(path, &bytes));
-        if let Err(e) = write {
-            eprintln!("checkpoint cache {}: write failed: {e}", path.display());
+        if let Err(e) = crate::durable::atomic_write(path, &bytes, "cache-write", 0) {
+            degradations.push(Degradation {
+                key: entry_name(path),
+                reason: DegradeReason::CheckpointCacheWrite,
+                detail: format!("write failed: {e}; sweep continues uncached"),
+            });
         }
     }
-    (Arc::new(bytes), true)
+    WarmOutcome::computed_fresh(bytes, degradations)
 }
 
 /// Loads and validates one cache entry. `Ok(None)` means the entry does
 /// not exist (a cold cache, not an error); `Err` is any reason the entry
-/// cannot be trusted.
+/// cannot be used, as a degradation reason plus detail.
 fn load_cached(
     build: impl Fn() -> SimConfig,
     warmup: u64,
     path: &Path,
-) -> Result<Option<Vec<u8>>, String> {
-    let bytes = match std::fs::read(path) {
+) -> Result<Option<Vec<u8>>, (DegradeReason, String)> {
+    let bytes = match crate::durable::read_file(path, "cache-read", 0) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(format!("read failed: {e}")),
+        Err(e) => {
+            return Err((
+                DegradeReason::CheckpointCacheRead,
+                format!("read failed: {e}"),
+            ))
+        }
     };
+    let invalid = |msg: String| (DegradeReason::CheckpointCacheInvalid, msg);
     let sim = Simulator::restore_checkpoint(build(), &mut bytes.as_slice())
-        .map_err(|e| format!("invalid cached checkpoint: {e}"))?;
+        .map_err(|e| invalid(format!("invalid cached checkpoint: {e}")))?;
     if sim.cycle() != warmup {
-        return Err(format!(
+        return Err(invalid(format!(
             "cached checkpoint is at cycle {}, expected warmup {warmup}",
             sim.cycle()
-        ));
+        )));
     }
     Ok(Some(bytes))
 }
@@ -213,17 +263,32 @@ fn load_cached(
 /// `cfg.with_warmup(warmup).build().run(cycles)` run except for the
 /// `restored_from_checkpoint` flag.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the checkpoint does not match the configuration's machine —
-/// the sweeps only fork checkpoints they wrote for the same key, so a
-/// mismatch is a bug, not an input error.
-pub fn fork_cell(cfg: SimConfig, checkpoint: &[u8], cycles: u64) -> SimReport {
-    let mut sim = Simulator::restore_checkpoint(cfg, &mut &checkpoint[..])
-        .expect("sweep checkpoints share the cell's machine fingerprint");
+/// Returns the typed [`CheckpointError`](smt_core::CheckpointError) when
+/// the checkpoint does not match the configuration's machine. The sweeps
+/// only fork checkpoints they produced for the same key, so this is
+/// next to unreachable — but it is contained as a per-cell `checkpoint`
+/// failure rather than a process abort.
+pub fn try_fork_cell(
+    cfg: SimConfig,
+    checkpoint: &[u8],
+    cycles: u64,
+) -> Result<SimReport, smt_core::CheckpointError> {
+    let mut sim = Simulator::restore_checkpoint(cfg, &mut &checkpoint[..])?;
     sim.mark_restored_from_checkpoint();
     sim.reset_stats();
-    sim.run(cycles)
+    Ok(sim.run(cycles))
+}
+
+/// [`try_fork_cell`] for callers outside a containment boundary.
+///
+/// # Panics
+///
+/// Panics if the checkpoint does not match the configuration's machine.
+pub fn fork_cell(cfg: SimConfig, checkpoint: &[u8], cycles: u64) -> SimReport {
+    try_fork_cell(cfg, checkpoint, cycles)
+        .expect("sweep checkpoints share the cell's machine fingerprint")
 }
 
 /// What `smt_exp checkpoint-write` / `checkpoint-verify` operate on: one
@@ -386,11 +451,16 @@ mod tests {
         let partition = FetchPartition::new(2, 8);
         let p = images();
 
-        let (first, computed) = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
-        assert!(computed, "cold cache must compute");
-        let (second, computed) = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
-        assert!(!computed, "second call must be served from the cache");
-        assert_eq!(*first, *second);
+        let first = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
+        assert!(first.computed, "cold cache must compute");
+        assert!(first.degradations.is_empty(), "{:?}", first.degradations);
+        let second = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
+        assert!(
+            !second.computed,
+            "second call must be served from the cache"
+        );
+        assert!(second.degradations.is_empty());
+        assert_eq!(*first.checkpoint, *second.checkpoint);
 
         // A corrupt cache entry is detected and recomputed, not trusted.
         let entry = std::fs::read_dir(&dir)
@@ -403,9 +473,15 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         std::fs::write(&entry, &bytes).unwrap();
-        let (third, computed) = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
-        assert!(computed, "corrupt cache entry must be recomputed");
-        assert_eq!(*first, *third);
+        let third = warm_checkpoint(&p, "mixed4", 42, partition, 200, Some(&dir));
+        assert!(third.computed, "corrupt cache entry must be recomputed");
+        assert_eq!(*first.checkpoint, *third.checkpoint);
+        // The fallback is no longer silent: it is a typed degradation.
+        assert_eq!(third.degradations.len(), 1);
+        assert_eq!(
+            third.degradations[0].reason,
+            DegradeReason::CheckpointCacheInvalid
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -422,12 +498,12 @@ mod tests {
         let warmup = 200;
 
         // The cacheless run every fallback must be byte-identical to.
-        let (reference, _) = warm_checkpoint(&p, "mixed4", 42, partition, warmup, None);
+        let reference = warm_checkpoint(&p, "mixed4", 42, partition, warmup, None).checkpoint;
 
         // Seed the on-disk cache and keep a pristine copy of the entry.
-        let (cached, computed) = warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
-        assert!(computed, "cold cache must compute");
-        assert_eq!(*reference, *cached);
+        let cached = warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
+        assert!(cached.computed, "cold cache must compute");
+        assert_eq!(*reference, *cached.checkpoint);
         let entry = std::fs::read_dir(&dir)
             .unwrap()
             .next()
@@ -491,18 +567,28 @@ mod tests {
             assert!(is_expected(&err), "{label}: unexpected error {err}");
 
             // … and the cache layer degrades to a cold warmup whose bytes
-            // match the cacheless run exactly.
+            // match the cacheless run exactly, reporting the degradation.
             std::fs::write(&entry, &rotten).unwrap();
-            let (again, computed) =
-                warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
-            assert!(computed, "{label}: rotten entry must be recomputed");
-            assert_eq!(*reference, *again, "{label}: fallback changed the bytes");
+            let again = warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
+            assert!(again.computed, "{label}: rotten entry must be recomputed");
+            assert_eq!(
+                *reference, *again.checkpoint,
+                "{label}: fallback changed the bytes"
+            );
+            assert_eq!(again.degradations.len(), 1, "{label}");
+            assert_eq!(
+                again.degradations[0].reason,
+                DegradeReason::CheckpointCacheInvalid,
+                "{label}"
+            );
 
             // The fallback best-effort repaired the cache on the way out.
-            let (served, computed) =
-                warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
-            assert!(!computed, "{label}: repaired entry must serve from disk");
-            assert_eq!(*reference, *served);
+            let served = warm_checkpoint(&p, "mixed4", 42, partition, warmup, Some(&dir));
+            assert!(
+                !served.computed,
+                "{label}: repaired entry must serve from disk"
+            );
+            assert_eq!(*reference, *served.checkpoint);
         }
 
         std::fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,129 @@
+//! Property tests for workload-input robustness: malformed trace files and
+//! ELF binaries must always produce typed errors — never a panic, never a
+//! silently-accepted corrupt image. The sweep's per-cell fault containment
+//! relies on this layer (a bad `riscv:`/`trace:` file becomes a `workload`
+//! entry in `failed_cells`), so the loaders are fuzzed here exhaustively
+//! over truncation points and byte flips.
+
+use std::sync::Arc;
+
+use smt_workload::{RiscvImage, TraceImage, Xlen};
+
+/// A tiny valid RISC-V flat image (the store/load/branch loop the
+/// workspace's other tests use).
+fn loop_image() -> Arc<RiscvImage> {
+    let words: [u32; 7] = [
+        0x0000_0293, // addi x5, x0, 0
+        0x00a0_0313, // addi x6, x0, 10
+        0x0012_8293, // addi x5, x5, 1
+        0x1050_2023, // sw x5, 256(x0)
+        0x1000_2383, // lw x7, 256(x0)
+        0xfe62_cae3, // blt x5, x6, -12
+        0x0000_0073, // ecall
+    ];
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    Arc::new(RiscvImage::from_flat("loop10", &bytes, Xlen::Rv64).expect("valid image"))
+}
+
+/// A valid serialized trace to mutate.
+fn valid_trace_bytes() -> Vec<u8> {
+    let trace = TraceImage::record(&loop_image(), 32).expect("record");
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).expect("vec write");
+    bytes
+}
+
+#[test]
+fn every_trace_truncation_is_a_typed_error() {
+    let bytes = valid_trace_bytes();
+    assert!(
+        TraceImage::read_from(&bytes[..]).is_ok(),
+        "the unmutated trace must parse"
+    );
+    // Every proper prefix — as a torn write or partial download would
+    // leave behind — must be rejected, not panic or misparse.
+    for cut in 0..bytes.len() {
+        let result = TraceImage::read_from(&bytes[..cut]);
+        assert!(result.is_err(), "truncation at byte {cut} was accepted");
+    }
+}
+
+#[test]
+fn every_trace_byte_flip_is_a_typed_error() {
+    let bytes = valid_trace_bytes();
+    // Any single-byte corruption must fail some check — magic, version,
+    // a bounds check, or ultimately the checksum trailer. Two flip
+    // patterns per position cover both low- and high-bit corruption.
+    for pos in 0..bytes.len() {
+        for mask in [0x01u8, 0x80] {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= mask;
+            let result = TraceImage::read_from(&mutated[..]);
+            assert!(
+                result.is_err(),
+                "flip {mask:#04x} at byte {pos} was accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_elves_are_typed_errors() {
+    let elf = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../testdata/riscv/loops.elf"
+    ))
+    .expect("testdata ELF");
+    assert!(
+        RiscvImage::from_elf("loops", &elf).is_ok(),
+        "the unmutated ELF must parse"
+    );
+    // Truncations: every prefix of the header region byte-by-byte, the
+    // rest sampled (segment payloads are large and homogeneous).
+    for cut in (0..elf.len().min(256)).chain((256..elf.len()).step_by(37)) {
+        assert!(
+            RiscvImage::from_elf("loops", &elf[..cut]).is_err(),
+            "ELF truncated at {cut} was accepted"
+        );
+    }
+    // Header/program-header corruption: flip bytes across the first 256
+    // bytes, where class, machine, offsets and counts live. Payload bit
+    // flips can legitimately still parse (they only change code bytes),
+    // so the property is scoped to the structural region — it must never
+    // panic and never produce an image with absurd geometry.
+    for pos in 0..elf.len().min(256) {
+        for mask in [0x01u8, 0xff] {
+            let mut mutated = elf.clone();
+            mutated[pos] ^= mask;
+            if let Ok(image) = RiscvImage::from_elf("loops", &mutated) {
+                assert!(
+                    image.arena_len() <= 1 << 28,
+                    "corrupt ELF produced an implausible arena (flip {mask:#04x} at {pos})"
+                );
+            }
+        }
+    }
+    // Garbage and empty inputs.
+    assert!(RiscvImage::from_elf("e", &[]).is_err());
+    assert!(RiscvImage::from_elf("e", b"\x7fELF").is_err());
+    assert!(RiscvImage::from_elf("e", &[0xAB; 4096]).is_err());
+}
+
+#[test]
+fn custom_mix_load_failures_are_typed_not_fatal() {
+    // The study layer's view of the same property: resolving a mix whose
+    // file is missing or malformed yields an Err(String) naming the file,
+    // never a panic or a process abort.
+    let missing = smt_experiments::study::resolve_mix("riscv:/nonexistent/nope.elf", 42);
+    let msg = missing.expect_err("missing file must not resolve");
+    assert!(msg.contains("nope.elf"), "{msg}");
+
+    let dir = std::env::temp_dir().join(format!("smt-exp-loader-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let junk = dir.join("junk.trace");
+    std::fs::write(&junk, b"not a trace at all").unwrap();
+    let bad = smt_experiments::study::resolve_mix(&format!("trace:{}", junk.display()), 42);
+    let msg = bad.expect_err("junk trace must not resolve");
+    assert!(msg.contains("junk.trace"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,214 @@
+//! Deterministic fault injection for robustness testing (behind the
+//! `fault-inject` cargo feature).
+//!
+//! The sweep layer (`smt-experiments`) claims to contain cell panics,
+//! retry transient I/O, and degrade gracefully on corrupt cache or
+//! journal entries. Those claims are only testable if faults can be
+//! produced *on demand, deterministically, at a chosen cell* — a real
+//! disk does not flip bits on cue. This module is a process-global
+//! registry of armed faults keyed by an injection **site** (a static
+//! string naming the code location, e.g. `"cell"` or `"journal-write"`)
+//! and a **key** (the cell or spec index the caller passes). Production
+//! code places cheap probe calls at its fault-sensitive points; each
+//! probe consults the registry and either does nothing (the overwhelmingly
+//! common case) or produces the armed fault and decrements its shot
+//! count.
+//!
+//! Faults are armed a bounded number of `times`, so a transient error can
+//! be injected exactly N times — fewer than the retry budget to prove the
+//! retry path recovers, or more to prove the typed failure surfaces.
+//!
+//! The registry is global mutable state: tests that arm faults must
+//! serialize themselves (a `static Mutex` in the test module) and call
+//! [`clear`] when done. None of this module exists without the
+//! `fault-inject` feature, and the probe points in production crates
+//! compile to nothing, so release artifacts carry zero overhead.
+
+use std::io;
+use std::sync::Mutex;
+
+/// What an armed fault does when its site/key probe fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The probe panics (exercises `catch_unwind` isolation).
+    Panic,
+    /// The probe returns a *transient* I/O error
+    /// ([`io::ErrorKind::Interrupted`]) that a bounded-backoff retry loop
+    /// is expected to absorb.
+    IoTransient,
+    /// The probe returns a hard I/O error that survives retries.
+    Io,
+    /// The probe flips one byte of the buffer passed to
+    /// [`corrupt_point`] (exercises checksum/typed-corruption paths).
+    Corrupt,
+}
+
+/// One armed fault: fires on matching `(site, key)` probes until its
+/// remaining shot count hits zero. `key == None` matches any key.
+#[derive(Debug)]
+struct Armed {
+    site: String,
+    key: Option<u64>,
+    kind: FaultKind,
+    remaining: usize,
+}
+
+static ARMED: Mutex<Vec<Armed>> = Mutex::new(Vec::new());
+
+/// Arms a fault: the next `times` probes matching `site` (and `key`, when
+/// `Some`) produce `kind`. Multiple armed faults coexist; the first match
+/// in arming order wins each probe.
+pub fn arm(site: &str, key: Option<u64>, kind: FaultKind, times: usize) {
+    let mut armed = ARMED.lock().expect("fault registry lock");
+    armed.push(Armed {
+        site: site.to_string(),
+        key,
+        kind,
+        remaining: times,
+    });
+}
+
+/// Disarms every fault. Tests call this on entry and exit so state never
+/// leaks between serialized tests.
+pub fn clear() {
+    ARMED.lock().expect("fault registry lock").clear();
+}
+
+/// Total remaining shots across all armed faults (lets a test assert
+/// every injected fault actually fired).
+pub fn remaining_shots() -> usize {
+    ARMED
+        .lock()
+        .expect("fault registry lock")
+        .iter()
+        .map(|a| a.remaining)
+        .sum()
+}
+
+/// Probe for [`FaultKind::Panic`]: panics with a deterministic message if
+/// a matching panic fault is armed. Other fault kinds do not fire here.
+pub fn panic_point(site: &str, key: u64) {
+    if matches!(fire_of(site, key, FaultKind::Panic), Some(FaultKind::Panic)) {
+        panic!("injected panic at {site}#{key}");
+    }
+}
+
+/// Probe for I/O faults: returns the armed transient or hard error, if
+/// any. Call *inside* the retried operation so retries re-probe.
+pub fn io_point(site: &str, key: u64) -> io::Result<()> {
+    if let Some(kind) = fire_of2(site, key, FaultKind::IoTransient, FaultKind::Io) {
+        return Err(match kind {
+            FaultKind::IoTransient => io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient I/O fault at {site}#{key}"),
+            ),
+            _ => io::Error::other(format!("injected hard I/O fault at {site}#{key}")),
+        });
+    }
+    Ok(())
+}
+
+/// Probe for [`FaultKind::Corrupt`]: flips one byte in the middle of
+/// `bytes` if a matching corruption fault is armed.
+pub fn corrupt_point(site: &str, key: u64, bytes: &mut [u8]) {
+    if matches!(
+        fire_of(site, key, FaultKind::Corrupt),
+        Some(FaultKind::Corrupt)
+    ) && !bytes.is_empty()
+    {
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+    }
+}
+
+/// Consumes one shot of the first matching fault **of the given kind**,
+/// leaving faults of other kinds (and their shot counts) untouched.
+fn fire_of(site: &str, key: u64, kind: FaultKind) -> Option<FaultKind> {
+    fire_matching(site, key, |k| k == kind)
+}
+
+/// Like [`fire_of`] for either of two kinds.
+fn fire_of2(site: &str, key: u64, a: FaultKind, b: FaultKind) -> Option<FaultKind> {
+    fire_matching(site, key, |k| k == a || k == b)
+}
+
+fn fire_matching(site: &str, key: u64, want: impl Fn(FaultKind) -> bool) -> Option<FaultKind> {
+    let mut armed = ARMED.lock().expect("fault registry lock");
+    let hit = armed.iter_mut().find(|a| {
+        a.remaining > 0 && want(a.kind) && a.site == site && a.key.is_none_or(|k| k == key)
+    })?;
+    hit.remaining -= 1;
+    Some(hit.kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; these tests serialize on one lock.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn shots_are_bounded_and_key_scoped() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        arm("write", Some(3), FaultKind::IoTransient, 2);
+        assert!(io_point("write", 1).is_ok(), "other keys unaffected");
+        assert!(io_point("read", 3).is_ok(), "other sites unaffected");
+        let e = io_point("write", 3).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        assert!(io_point("write", 3).is_err(), "second shot");
+        assert!(io_point("write", 3).is_ok(), "shots exhausted");
+        assert_eq!(remaining_shots(), 0);
+        clear();
+    }
+
+    #[test]
+    fn wildcard_key_matches_everything() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        arm("read", None, FaultKind::Io, 1);
+        let e = io_point("read", 42).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::Other);
+        clear();
+    }
+
+    #[test]
+    fn panic_probe_panics_with_deterministic_message() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        arm("cell", Some(7), FaultKind::Panic, 1);
+        panic_point("cell", 6); // does not fire
+        let err = std::panic::catch_unwind(|| panic_point("cell", 7)).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "injected panic at cell#7");
+        clear();
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte_once() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        arm("load", Some(0), FaultKind::Corrupt, 1);
+        let mut buf = vec![0u8; 9];
+        corrupt_point("load", 0, &mut buf);
+        assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1);
+        let snapshot = buf.clone();
+        corrupt_point("load", 0, &mut buf);
+        assert_eq!(buf, snapshot, "single shot");
+        clear();
+    }
+
+    #[test]
+    fn kind_filtered_probes_do_not_eat_each_others_shots() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        arm("cell", Some(1), FaultKind::Panic, 1);
+        assert!(io_point("cell", 1).is_ok(), "io probe ignores panic fault");
+        let mut b = [1u8; 4];
+        corrupt_point("cell", 1, &mut b);
+        assert_eq!(b, [1u8; 4], "corrupt probe ignores panic fault");
+        assert_eq!(remaining_shots(), 1, "panic shot still armed");
+        clear();
+    }
+}

@@ -21,6 +21,8 @@
 #![warn(missing_docs)]
 
 pub mod binio;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod hash;
 pub mod json;
 pub mod sched;

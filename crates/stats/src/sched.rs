@@ -152,6 +152,39 @@ where
         .collect()
 }
 
+/// Like [`work_steal_map`], but each job runs under
+/// [`std::panic::catch_unwind`]: a panicking job yields
+/// `Err(panic message)` in its output slot instead of tearing down the
+/// pool (and poisoning the merge lock) the way an escaped panic would.
+/// Healthy jobs are unaffected — their results land in the same
+/// index-ordered slots a fault-free [`work_steal_map`] run would produce.
+///
+/// The panic payload is rendered to a `String` when it is one (or a
+/// `&str`), which covers every `panic!`/`assert!` in practice; exotic
+/// [`std::panic::panic_any`] payloads degrade to a fixed placeholder.
+/// The process panic hook still runs for each caught panic, so callers
+/// that inject panics on purpose may want to silence it around the call.
+pub fn work_steal_map_catch<T, F>(count: usize, jobs: usize, run: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    work_steal_map(count, jobs, move |i| {
+        // The closure only borrows `run`; any broken invariants a panic
+        // could leave behind are confined to the job's own result, which
+        // is replaced by the error — hence `AssertUnwindSafe`.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(i))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_string()
+            }
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +230,65 @@ mod tests {
         for jobs in [1, 2, 3, 8] {
             assert_eq!(work_steal_map(97, jobs, |i| i * i), expect, "jobs={jobs}");
         }
+    }
+
+    /// Runs `f` with the process panic hook silenced, restoring it after.
+    /// The catch tests below panic on purpose dozens of times; without
+    /// this the test log drowns in backtraces.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn catch_variant_isolates_panicking_jobs() {
+        quiet_panics(|| {
+            let run = |i: usize| {
+                if i % 5 == 3 {
+                    panic!("job {i} exploded");
+                }
+                i * 2
+            };
+            for jobs in [1, 2, 8] {
+                let out = work_steal_map_catch(23, jobs, run);
+                assert_eq!(out.len(), 23, "jobs={jobs}");
+                for (i, r) in out.iter().enumerate() {
+                    if i % 5 == 3 {
+                        assert_eq!(r.as_ref().unwrap_err(), &format!("job {i} exploded"));
+                    } else {
+                        assert_eq!(*r.as_ref().unwrap(), i * 2, "jobs={jobs}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn catch_variant_renders_str_and_opaque_payloads() {
+        quiet_panics(|| {
+            let out = work_steal_map_catch(2, 1, |i| {
+                if i == 0 {
+                    std::panic::panic_any(42u32);
+                }
+                panic!("plain literal")
+            });
+            assert_eq!(out[0].as_ref().unwrap_err(), "opaque panic payload");
+            assert_eq!(out[1].as_ref().unwrap_err(), "plain literal");
+        });
+    }
+
+    #[test]
+    fn catch_variant_with_all_jobs_panicking_still_terminates() {
+        quiet_panics(|| {
+            for jobs in [1, 4] {
+                let out: Vec<Result<(), String>> =
+                    work_steal_map_catch(17, jobs, |i| panic!("boom {i}"));
+                assert!(out.iter().all(|r| r.is_err()), "jobs={jobs}");
+            }
+        });
     }
 
     #[test]

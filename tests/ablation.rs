@@ -160,12 +160,22 @@ fn perfect_branch_prediction_removes_all_speculation_cost() {
 #[test]
 fn ablation_document_meets_the_acceptance_schema() {
     // `smt_exp --study ablation --json` writes exactly this document:
-    // schema_version 3, quantifying (a) the wrong-path IPC delta against
-    // the paper's 2% claim and (b) the gap decomposition.
+    // schema_version 4 (v4 added the always-present failed_cells and
+    // degraded_cells fault records), quantifying (a) the wrong-path IPC
+    // delta against the paper's 2% claim and (b) the gap decomposition.
     let doc = study().to_json();
     let back = Json::parse(&doc.render_pretty()).expect("document parses");
-    assert_eq!(back.get("schema_version").and_then(Json::as_u64), Some(3));
-    assert_eq!(JSON_SCHEMA_VERSION, 3);
+    assert_eq!(back.get("schema_version").and_then(Json::as_u64), Some(4));
+    assert_eq!(JSON_SCHEMA_VERSION, 4);
+    // A clean run still carries the (empty) fault records.
+    for key in ["failed_cells", "degraded_cells"] {
+        let list = back.get(key).and_then(Json::as_array);
+        assert_eq!(
+            list.map(|l| l.len()),
+            Some(0),
+            "{key} must be present+empty"
+        );
+    }
     assert_eq!(back.get("study").and_then(Json::as_str), Some("ablation"));
     let summary = back.get("summary").expect("summary present");
     let claim = summary.get("wrong_path_claim").unwrap();
